@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for the substrate primitives whose costs
+//! drive the schemes' trade-offs: the store-test hash table, the
+//! stop-the-world barrier, software-HTM transactions, guest memory CAS,
+//! the assembler/translator, and one end-to-end LL/SC round trip per
+//! scheme.
+
+use adbt::engine::{ExclusiveBarrier, StoreTestTable};
+use adbt::mmu::{GuestMemory, Width};
+use adbt::{MachineBuilder, SchemeKind};
+use adbt_htm::HtmDomain;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_store_test_table(c: &mut Criterion) {
+    let table = StoreTestTable::new(16, false);
+    let mut group = c.benchmark_group("store_test_table");
+    group.bench_function("set", |b| {
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(4);
+            table.set(black_box(addr), 1);
+        });
+    });
+    group.bench_function("get", |b| {
+        table.set(0x1000, 7);
+        b.iter(|| black_box(table.get(black_box(0x1000))));
+    });
+    group.bench_function("lock_unlock", |b| {
+        table.set(0x2000, 3);
+        b.iter(|| {
+            assert!(table.try_lock(black_box(0x2000), 3));
+            table.unlock(0x2000, 3);
+        });
+    });
+    group.finish();
+}
+
+fn bench_exclusive(c: &mut Criterion) {
+    let barrier = ExclusiveBarrier::new();
+    barrier.register();
+    c.bench_function("exclusive_section_uncontended", |b| {
+        b.iter(|| {
+            let waited = barrier.start_exclusive();
+            barrier.end_exclusive();
+            black_box(waited)
+        });
+    });
+    barrier.unregister();
+}
+
+fn bench_htm(c: &mut Criterion) {
+    let mem = GuestMemory::new(1 << 16);
+    let domain = HtmDomain::default();
+    let mut group = c.benchmark_group("htm");
+    group.bench_function("txn_rmw_commit", |b| {
+        b.iter(|| {
+            let mut txn = domain.begin();
+            let v = txn.load_word(&mem, 0x100).unwrap();
+            txn.store_word(0x100, v.wrapping_add(1)).unwrap();
+            txn.commit(&mem).unwrap();
+        });
+    });
+    group.bench_function("txn_conflict_abort", |b| {
+        b.iter(|| {
+            let mut txn = domain.begin();
+            let _ = txn.load_word(&mem, 0x200).unwrap();
+            domain.notify_plain_store(0x200);
+            txn.store_word(0x204, 1).unwrap();
+            assert!(txn.commit(&mem).is_err());
+        });
+    });
+    group.bench_function("consistent_load", |b| {
+        b.iter(|| black_box(domain.consistent_load(&mem, black_box(0x300), Width::Word)));
+    });
+    group.finish();
+}
+
+fn bench_guest_memory(c: &mut Criterion) {
+    let mem = GuestMemory::new(1 << 16);
+    let mut group = c.benchmark_group("guest_memory");
+    group.bench_function("load_word", |b| {
+        b.iter(|| black_box(mem.load(black_box(0x40), Width::Word)));
+    });
+    group.bench_function("store_word", |b| {
+        b.iter(|| mem.store(black_box(0x40), Width::Word, black_box(7)));
+    });
+    group.bench_function("cas_word_success", |b| {
+        mem.store(0x80, Width::Word, 0);
+        b.iter(|| {
+            let old = mem.load(0x80, Width::Word);
+            let _ = black_box(mem.cas_word(0x80, old, old.wrapping_add(1)));
+        });
+    });
+    group.finish();
+}
+
+fn bench_assembler_and_translation(c: &mut Criterion) {
+    let source = r#"
+    retry:
+        ldrex r1, [r0]
+        add   r1, r1, #1
+        strex r2, r1, [r0]
+        cmp   r2, #0
+        bne   retry
+        mov   r0, #0
+        svc   #0
+    "#;
+    c.bench_function("assemble_llsc_loop", |b| {
+        b.iter(|| black_box(adbt::assemble(black_box(source), 0x1000).unwrap()));
+    });
+}
+
+/// End-to-end: one single-threaded guest run of a 1000-iteration LL/SC
+/// counter loop per scheme — the per-SC cost difference between schemes
+/// at zero contention.
+fn bench_scheme_sc_roundtrip(c: &mut Criterion) {
+    let program = r#"
+        mov32 r5, counter
+        mov32 r6, #1000
+    loop:
+    retry:
+        ldrex r1, [r5]
+        add   r1, r1, #1
+        strex r2, r1, [r5]
+        cmp   r2, #0
+        bne   retry
+        subs  r6, r6, #1
+        bne   loop
+        mov   r0, #0
+        svc   #0
+        .align 4096
+    counter:
+        .word 0
+    "#;
+    let mut group = c.benchmark_group("sc_roundtrip_1000");
+    group.sample_size(20);
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut machine = MachineBuilder::new(kind).memory(1 << 20).build().unwrap();
+                    machine.load_asm(program, 0x1_0000).unwrap();
+                    machine
+                },
+                |machine| {
+                    let report = machine.run(1, 0x1_0000);
+                    assert!(report.all_ok());
+                    report
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_test_table,
+    bench_exclusive,
+    bench_htm,
+    bench_guest_memory,
+    bench_assembler_and_translation,
+    bench_scheme_sc_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E1 — the §IV-A correctness experiment: the multi-threaded lock-free
+//! stack under every scheme, reporting ABA corruption rates.
+//!
+//! The paper runs 16 threads × 0xFFFFF pop/push pairs and reports that
+//! only QEMU-4.1 (PICO-CAS) corrupts, with ~4% of entries exhibiting the
+//! self-`next` ABA witness. Reproduce with:
+//!
+//! ```text
+//! cargo run --release -p adbt-bench --bin aba_correctness -- \
+//!     [--threads 16] [--ops 65535] [--nodes 64] [--stall 24] [--reps 3] [--csv out.csv]
+//! ```
+
+use adbt::harness::{run_stack, run_stack_sim};
+use adbt::workloads::stack::StackConfig;
+use adbt::{SchemeKind, VcpuOutcome};
+use adbt_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let threads: u32 = args.get("threads", 16);
+    let ops: u32 = args.get("ops", 0xFFFF);
+    let nodes: u32 = args.get("nodes", 64);
+    let stall: u32 = args.get("stall", 0);
+    let victim_stall: u32 = args.get("victim-stall", 0);
+    let reps: u32 = args.get("reps", 3);
+    // Default: simulated multicore (deterministic, host-independent);
+    // --threaded runs on real OS threads instead.
+    let threaded = args.flag("threaded");
+    let config = StackConfig {
+        nodes,
+        ops_per_thread: ops,
+        stall,
+        victim_stall,
+    };
+
+    println!(
+        "lock-free stack: {threads} threads x {ops} pop/push pairs, {nodes} nodes, \
+         stall {stall}, victim-stall {victim_stall}, {reps} reps, {} mode\n",
+        if threaded { "threaded" } else { "simulated" }
+    );
+    let mut table = Table::new(&[
+        "scheme",
+        "runs",
+        "corrupted",
+        "aba_entries_pct",
+        "lost_nodes",
+        "livelocked",
+        "crashed",
+        "verdict",
+    ]);
+
+    for kind in SchemeKind::ALL {
+        let mut corrupted = 0u32;
+        let mut aba_fraction_sum = 0.0;
+        let mut lost = 0u32;
+        let mut livelocked = 0u32;
+        let mut crashed = 0u32;
+        for _ in 0..reps {
+            let run = if threaded {
+                run_stack(kind, threads, config)
+            } else {
+                run_stack_sim(kind, threads, config)
+            }
+            .expect("machine construction");
+            let mut run_livelocked = 0;
+            for outcome in &run.report.outcomes {
+                match outcome {
+                    VcpuOutcome::Livelocked { .. } => run_livelocked += 1,
+                    VcpuOutcome::Crashed(_) => crashed += 1,
+                    VcpuOutcome::Exited(_) => {}
+                }
+            }
+            livelocked += run_livelocked;
+            // A livelocked vCPU legitimately holds its popped node in a
+            // register, so "lost" nodes alone do not indicate ABA when
+            // progress failed; self-loops, cycles and wild pointers are
+            // corruption witnesses regardless.
+            let structural_corruption = run.verdict.self_loops > 0
+                || run.verdict.cycle
+                || run.verdict.wild_pointer
+                || (run.verdict.lost > run_livelocked);
+            if structural_corruption {
+                corrupted += 1;
+            }
+            aba_fraction_sum += run.verdict.aba_entry_fraction(run.nodes);
+            lost += run.verdict.lost;
+        }
+        let verdict = if corrupted == 0 && crashed == 0 {
+            if livelocked > 0 {
+                "no ABA (livelocks under contention)"
+            } else {
+                "ABA test passed"
+            }
+        } else {
+            "STACK CORRUPTED (ABA)"
+        };
+        table.row(vec![
+            kind.name().to_string(),
+            reps.to_string(),
+            corrupted.to_string(),
+            format!("{:.2}", 100.0 * aba_fraction_sum / reps as f64),
+            lost.to_string(),
+            livelocked.to_string(),
+            crashed.to_string(),
+            verdict.to_string(),
+        ]);
+    }
+    table.emit(&args);
+    println!(
+        "paper expectation: only pico-cas corrupts (~4% ABA entries at the paper's\n\
+         scale); every proposed scheme passes; pico-htm may stop making progress\n\
+         at high thread counts (its documented livelock)."
+    );
+}

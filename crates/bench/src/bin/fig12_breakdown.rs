@@ -1,0 +1,117 @@
+//! E5/E9 — Fig. 12: the per-program stacked overhead breakdown
+//! (native / exclusive / instrument / mprotect) for PICO-ST, HST, PST
+//! and PST-REMAP across thread counts, plus the PST false-sharing growth
+//! of §IV-B2 (`--false-sharing`).
+//!
+//! ```text
+//! cargo run --release -p adbt-bench --bin fig12_breakdown -- \
+//!     [--scale 0.1] [--max-threads 32] [--programs ...] [--csv fig12.csv]
+//! cargo run --release -p adbt-bench --bin fig12_breakdown -- --false-sharing
+//! ```
+
+use adbt::harness::run_parsec_sim;
+use adbt::workloads::parsec::Program;
+use adbt::SchemeKind;
+use adbt_bench::{thread_ladder, Args, Table};
+
+fn breakdown_sweep(args: &Args) {
+    let scale: f64 = args.get("scale", 0.1);
+    let max_threads: u32 = args.get("max-threads", 32);
+    let programs: Vec<Program> = match args.get_str("programs") {
+        Some(list) => list
+            .split(',')
+            .map(|name| Program::from_name(name.trim()).expect("unknown program"))
+            .collect(),
+        None => Program::ALL.to_vec(),
+    };
+    // The paper's four bars per thread configuration, left to right.
+    let schemes = [
+        SchemeKind::PicoSt,
+        SchemeKind::Hst,
+        SchemeKind::Pst,
+        SchemeKind::PstRemap,
+    ];
+    let ladder = thread_ladder(max_threads);
+
+    let mut table = Table::new(&[
+        "program",
+        "scheme",
+        "threads",
+        "total_units",
+        "native_pct",
+        "exclusive_pct",
+        "instrument_pct",
+        "mprotect_pct",
+    ]);
+    for &program in &programs {
+        eprintln!("running {program} ...");
+        for &scheme in &schemes {
+            for &threads in &ladder {
+                let run =
+                    run_parsec_sim(scheme, program, threads, scale).expect("machine construction");
+                assert!(run.valid, "{scheme} x {program} x {threads}");
+                let b = run.report.sim_breakdown();
+                let total = b.total().max(1) as f64;
+                let pct = |units: u64| format!("{:.1}", 100.0 * units as f64 / total);
+                table.row(vec![
+                    program.name().to_string(),
+                    scheme.name().to_string(),
+                    threads.to_string(),
+                    b.total().to_string(),
+                    pct(b.native),
+                    pct(b.exclusive),
+                    pct(b.instrument),
+                    pct(b.mprotect),
+                ]);
+            }
+        }
+    }
+    table.emit(args);
+    println!(
+        "paper expectation (Fig. 12): pico-st dominated by instrumentation (helper\n\
+         per store); hst mostly native with a small instrument slice; pst/pst-remap\n\
+         dominated by mprotect/remap, growing with thread count."
+    );
+}
+
+/// §IV-B2: PST false-sharing faults grow with thread count (0.2% → 17%
+/// of faults as threads go 2 → 64 in the paper's bodytrack example).
+fn false_sharing_sweep(args: &Args) {
+    let scale: f64 = args.get("scale", 0.1);
+    let max_threads: u32 = args.get("max-threads", 64);
+    let program = Program::Bodytrack;
+    let mut table = Table::new(&[
+        "threads",
+        "page_faults",
+        "false_sharing",
+        "false_per_100k_stores",
+    ]);
+    for threads in thread_ladder(max_threads) {
+        let run =
+            run_parsec_sim(SchemeKind::Pst, program, threads, scale).expect("machine construction");
+        let fs = run.report.stats.false_sharing_faults;
+        let stores = run.report.stats.stores.max(1);
+        table.row(vec![
+            threads.to_string(),
+            run.report.stats.page_faults.to_string(),
+            fs.to_string(),
+            format!("{:.2}", 100_000.0 * fs as f64 / stores as f64),
+        ]);
+    }
+    table.emit(args);
+    println!(
+        "paper expectation (§IV-B2): with total work fixed, more threads mean more\n\
+         stores landing inside other threads' LL→SC protection windows — the\n\
+         false-sharing rate grows steadily with thread count (0.2%→17% in the\n\
+         paper's bodytrack runs from 2→64 threads)."
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("false-sharing") {
+        false_sharing_sweep(&args);
+    } else {
+        breakdown_sweep(&args);
+    }
+}

@@ -1,0 +1,274 @@
+//! # adbt-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! `DESIGN.md` §5 for the experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `aba_correctness` | §IV-A ABA rates (E1) |
+//! | `table2_matrix` | Table II + litmus verdicts (E2, E7) |
+//! | `fig10_scalability` | Fig. 10 scalability curves (E3) |
+//! | `fig11_htm` | Fig. 11 HTM-scheme comparison (E4) |
+//! | `fig12_breakdown` | Fig. 12 overhead breakdown (E5, E9) |
+//! | `table1_profile` | Table I instruction profile (E6) |
+//! | `speedup_summary` | §IV-B headline speedups (E8) |
+//!
+//! Every binary prints a human-readable table to stdout and, with
+//! `--csv PATH`, machine-readable CSV. Use `--scale` to trade runtime
+//! for noise and `--max-threads` to cap the thread ladder.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Simple `--flag value` argument parsing shared by the harness binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, treating `--key value` as a pair and a
+    /// trailing `--key` as a boolean flag.
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        args.values
+                            .insert(key.to_string(), iter.next().expect("peeked"));
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            }
+        }
+        args
+    }
+
+    /// A typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// The thread ladder the paper sweeps (Fig. 10 goes to 64); capped by
+/// `max`.
+pub fn thread_ladder(max: u32) -> Vec<u32> {
+    [1u32, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect()
+}
+
+/// The default thread cap: the host's available parallelism (the paper
+/// oversubscribes beyond physical cores too, so callers may raise it).
+pub fn default_max_threads() -> u32 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(8)
+        .clamp(4, 64)
+}
+
+/// A rectangular result table that renders both human-readable and CSV.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, width) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a JSON array of row objects keyed by column name (numbers
+    /// stay numbers where they parse).
+    pub fn to_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let object: serde_json::Map<String, serde_json::Value> = self
+                    .header
+                    .iter()
+                    .zip(row)
+                    .map(|(key, cell)| {
+                        let value = cell
+                            .parse::<i64>()
+                            .map(serde_json::Value::from)
+                            .or_else(|_| cell.parse::<f64>().map(serde_json::Value::from))
+                            .unwrap_or_else(|_| serde_json::Value::from(cell.clone()));
+                        (key.clone(), value)
+                    })
+                    .collect();
+                serde_json::Value::Object(object)
+            })
+            .collect();
+        serde_json::Value::Array(rows)
+    }
+
+    /// Prints the table and optionally writes CSV (`--csv PATH`) and/or
+    /// JSON (`--json PATH`).
+    pub fn emit(&self, args: &Args) {
+        println!("{}", self.render());
+        if let Some(path) = args.get_str("csv") {
+            let mut file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            file.write_all(self.to_csv().as_bytes())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = args.get_str("json") {
+            let text = serde_json::to_string_pretty(&self.to_json()).expect("table to JSON");
+            std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Runs `f` `reps` times and returns the minimum duration (the paper
+/// averages three runs; minimum-of-N is the standard noise-floor
+/// estimator for interpreted workloads).
+pub fn time_best<T>(reps: u32, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..reps.max(1) {
+        let (elapsed, value) = f();
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, value));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}")
+    } else if value >= 1.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_caps() {
+        assert_eq!(thread_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_ladder(1), vec![1]);
+        assert_eq!(thread_ladder(64).len(), 7);
+    }
+
+    #[test]
+    fn table_renders_and_csvs() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("a"));
+        assert!(text.contains("bb"));
+        assert_eq!(t.to_csv(), "a,bb\n1,2\n");
+    }
+
+    #[test]
+    fn table_to_json_types_cells() {
+        let mut t = Table::new(&["name", "count", "ratio"]);
+        t.row(vec!["hst".into(), "42".into(), "2.03".into()]);
+        let json = t.to_json();
+        assert_eq!(json[0]["name"], "hst");
+        assert_eq!(json[0]["count"], 42);
+        assert_eq!(json[0]["ratio"], 2.03);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_best_takes_minimum() {
+        let mut calls = 0;
+        let (d, v) = time_best(3, || {
+            calls += 1;
+            (Duration::from_millis(10 * calls), calls)
+        });
+        assert_eq!(d, Duration::from_millis(10));
+        assert_eq!(v, 1);
+    }
+}

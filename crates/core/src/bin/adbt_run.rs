@@ -1,0 +1,205 @@
+//! `adbt-run` — run a guest assembly program from the command line.
+//!
+//! ```text
+//! adbt-run <program.s> [--scheme hst] [--threads 4] [--base 0x10000]
+//!          [--entry <symbol|addr>] [--sim] [--fuse-atomics]
+//!          [--dump <symbol|addr>] [--memory BYTES] [--stats]
+//! ```
+//!
+//! The program is assembled at `--base`, each vCPU starts at `--entry`
+//! (default: the image base) with the launch ABI (r0 = thread index,
+//! r1 = thread count, sp = a private stack), and the process exit code
+//! is the first non-zero guest exit code (0 if all succeed).
+
+use adbt::{MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adbt-run <program.s> [--scheme NAME] [--threads N] [--base ADDR]\n\
+         \x20               [--entry SYM|ADDR] [--sim] [--fuse-atomics] [--dump SYM|ADDR]\n\
+         \x20               [--memory BYTES] [--stats]\n\
+         schemes: {}",
+        SchemeKind::ALL.map(|k| k.name()).join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_u32(text: &str) -> Option<u32> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut source_path: Option<String> = None;
+    let mut scheme = SchemeKind::Hst;
+    let mut threads: u32 = 1;
+    let mut base: u32 = 0x1_0000;
+    let mut entry: Option<String> = None;
+    let mut dump: Option<String> = None;
+    let mut memory: u32 = 32 << 20;
+    let mut sim = false;
+    let mut fuse = false;
+    let mut stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                scheme = SchemeKind::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scheme `{name}`");
+                    usage()
+                });
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--base" => {
+                base = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--memory" => {
+                memory = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
+            "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
+            "--sim" => sim = true,
+            "--fuse-atomics" => fuse = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') && source_path.is_none() => {
+                source_path = Some(path.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                usage()
+            }
+        }
+    }
+    let Some(path) = source_path else { usage() };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut machine = match MachineBuilder::new(scheme)
+        .memory(memory)
+        .fuse_atomics(fuse)
+        .build()
+    {
+        Ok(machine) => machine,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = machine.load_asm(&source, base) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+
+    let resolve = |machine: &adbt::Machine, text: &str| -> Option<u32> {
+        parse_u32(text).or_else(|| machine.symbol(text).ok())
+    };
+
+    if let Some(target) = dump {
+        let Some(addr) = resolve(&machine, &target) else {
+            eprintln!("cannot resolve `{target}`");
+            return ExitCode::from(2);
+        };
+        match machine.core().dump_block(addr) {
+            Ok(text) => {
+                print!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(trap) => {
+                eprintln!("cannot translate {addr:#x}: {trap}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let entry_addr = match entry {
+        Some(text) => match resolve(&machine, &text) {
+            Some(addr) => addr,
+            None => {
+                eprintln!("cannot resolve entry `{text}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => base,
+    };
+
+    let report = if sim {
+        machine.core().run_sim(
+            machine.make_vcpus(threads, entry_addr),
+            &SimCosts::default(),
+        )
+    } else {
+        machine.run(threads, entry_addr)
+    };
+
+    if !report.output.is_empty() {
+        print!("{}", report.output_string());
+    }
+    if stats {
+        let s = &report.stats;
+        eprintln!(
+            "insns={} loads={} stores={} ll={} sc={} sc_failures={} fused={} \
+             helpers={} htable={} faults={} mprotect={} remap={} htm_txns={} htm_aborts={}",
+            s.insns,
+            s.loads,
+            s.stores,
+            s.ll,
+            s.sc,
+            s.sc_failures,
+            s.fused_rmws,
+            s.helper_calls,
+            s.htable_sets,
+            s.page_faults,
+            s.mprotect_calls,
+            s.remap_calls,
+            s.htm_txns,
+            s.htm_aborts,
+        );
+        if let Some(t) = report.sim_time() {
+            eprintln!("sim_time={t} units");
+        } else {
+            eprintln!("wall={:?}", report.wall);
+        }
+    }
+
+    let mut exit = 0;
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        match outcome {
+            VcpuOutcome::Exited(code) => {
+                if *code != 0 && exit == 0 {
+                    exit = (*code & 0xff) as u8;
+                }
+            }
+            other => {
+                eprintln!("vcpu {i}: {other:?}");
+                if exit == 0 {
+                    exit = 101;
+                }
+            }
+        }
+    }
+    ExitCode::from(exit)
+}

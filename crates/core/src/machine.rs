@@ -1,0 +1,240 @@
+//! The user-facing machine wrapper.
+
+use crate::Error;
+use adbt_engine::{MachineConfig, MachineCore, RunReport, Schedule, Vcpu};
+
+use adbt_isa::asm::{assemble, Image};
+use adbt_mmu::Width;
+use adbt_schemes::SchemeKind;
+
+/// Builds a [`Machine`] for one atomic-emulation scheme.
+///
+/// # Example
+///
+/// ```
+/// use adbt::{MachineBuilder, SchemeKind};
+///
+/// let machine = MachineBuilder::new(SchemeKind::HstWeak)
+///     .memory(8 << 20)
+///     .track_collisions(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(machine.scheme(), SchemeKind::HstWeak);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineBuilder {
+    kind: SchemeKind,
+    config: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// Starts a builder for the given scheme with default configuration
+    /// (32 MiB guest memory, 32-instruction translation blocks).
+    pub fn new(kind: SchemeKind) -> MachineBuilder {
+        MachineBuilder {
+            kind,
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// Sets the guest physical memory size in bytes (page-aligned).
+    pub fn memory(mut self, bytes: u32) -> MachineBuilder {
+        self.config.mem_size = bytes;
+        self
+    }
+
+    /// Caps translated blocks at `n` guest instructions. Use `1` for
+    /// lockstep litmus runs needing instruction-granular interleaving.
+    pub fn max_block_insns(mut self, n: u32) -> MachineBuilder {
+        self.config.max_block_insns = n;
+        self
+    }
+
+    /// Enables store-test hash-table collision tracking (profiling).
+    pub fn track_collisions(mut self, on: bool) -> MachineBuilder {
+        self.config.track_collisions = on;
+        self
+    }
+
+    /// Enables the rule-based translation pass (paper §VI): canonical
+    /// LL/SC retry loops are fused into single host atomics, bypassing
+    /// the scheme for those loops.
+    pub fn fuse_atomics(mut self, on: bool) -> MachineBuilder {
+        self.config.fuse_atomics = on;
+        self
+    }
+
+    /// Overrides the full engine configuration.
+    pub fn config(mut self, config: MachineConfig) -> MachineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Constructs the machine.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Machine`] for invalid configuration.
+    pub fn build(self) -> Result<Machine, Error> {
+        let core = MachineCore::new(self.config, self.kind.build()).map_err(Error::Machine)?;
+        Ok(Machine {
+            core,
+            kind: self.kind,
+            image: None,
+        })
+    }
+}
+
+/// A guest machine bound to one scheme, with a loaded program image.
+pub struct Machine {
+    core: MachineCore,
+    kind: SchemeKind,
+    image: Option<Image>,
+}
+
+impl Machine {
+    /// The scheme this machine runs.
+    pub fn scheme(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// The underlying engine machine (memory, stats services, …).
+    pub fn core(&self) -> &MachineCore {
+        &self.core
+    }
+
+    /// Assembles `source` at `base` and loads it into guest memory.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Asm`] on assembly failure.
+    pub fn load_asm(&mut self, source: &str, base: u32) -> Result<&Image, Error> {
+        let image = assemble(source, base)?;
+        self.core.load_image(&image);
+        self.image = Some(image);
+        Ok(self.image.as_ref().expect("just set"))
+    }
+
+    /// Loads a pre-assembled image.
+    pub fn load_image(&mut self, image: Image) -> &Image {
+        self.core.load_image(&image);
+        self.image = Some(image);
+        self.image.as_ref().expect("just set")
+    }
+
+    /// The loaded image, if any.
+    pub fn image(&self) -> Option<&Image> {
+        self.image.as_ref()
+    }
+
+    /// Looks up a symbol in the loaded image.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoImage`] / [`Error::MissingSymbol`].
+    pub fn symbol(&self, name: &str) -> Result<u32, Error> {
+        self.image
+            .as_ref()
+            .ok_or(Error::NoImage)?
+            .symbol(name)
+            .ok_or_else(|| Error::MissingSymbol(name.to_string()))
+    }
+
+    /// Runs `threads` vCPUs from `entry` on real OS threads.
+    pub fn run(&self, threads: u32, entry: u32) -> RunReport {
+        self.core.run_threaded(self.core.make_vcpus(threads, entry))
+    }
+
+    /// Runs pre-built vCPUs on real OS threads (per-thread entry points).
+    pub fn run_vcpus(&self, vcpus: Vec<Vcpu>) -> RunReport {
+        self.core.run_threaded(vcpus)
+    }
+
+    /// Runs deterministically on the calling thread under `schedule`.
+    pub fn run_lockstep(&self, vcpus: Vec<Vcpu>, schedule: Schedule) -> RunReport {
+        self.core.run_lockstep(vcpus, schedule)
+    }
+
+    /// Runs `threads` vCPUs from `entry` on the simulated multicore with
+    /// the default cost model (see [`adbt_engine::SimCosts`]).
+    pub fn run_sim(&self, threads: u32, entry: u32) -> RunReport {
+        self.core.run_sim(
+            self.core.make_vcpus(threads, entry),
+            &adbt_engine::SimCosts::default(),
+        )
+    }
+
+    /// Builds vCPUs with the standard launch ABI (see
+    /// [`MachineCore::make_vcpus`]).
+    pub fn make_vcpus(&self, threads: u32, entry: u32) -> Vec<Vcpu> {
+        self.core.make_vcpus(threads, entry)
+    }
+
+    /// Reads a guest word (host-side verification).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Memory`] for invalid addresses.
+    pub fn read_word(&self, vaddr: u32) -> Result<u32, Error> {
+        Ok(self.core.space.load(vaddr, Width::Word)?)
+    }
+
+    /// Writes a guest word (host-side setup).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Memory`] for invalid addresses.
+    pub fn write_word(&self, vaddr: u32, value: u32) -> Result<(), Error> {
+        Ok(self.core.space.store(vaddr, Width::Word, value)?)
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("scheme", &self.kind)
+            .field("image_loaded", &self.image.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_symbols() {
+        let mut machine = MachineBuilder::new(SchemeKind::PicoCas)
+            .memory(1 << 20)
+            .build()
+            .unwrap();
+        assert!(machine.symbol("x").is_err());
+        machine
+            .load_asm("mov r0, #0\nsvc #0\nx: .word 5\n", 0x1000)
+            .unwrap();
+        let x = machine.symbol("x").unwrap();
+        assert_eq!(machine.read_word(x).unwrap(), 5);
+        machine.write_word(x, 9).unwrap();
+        assert_eq!(machine.read_word(x).unwrap(), 9);
+        assert!(matches!(machine.symbol("y"), Err(Error::MissingSymbol(_))));
+    }
+
+    #[test]
+    fn run_executes_program() {
+        let mut machine = MachineBuilder::new(SchemeKind::Hst).build().unwrap();
+        machine.load_asm("mov r0, #7\nsvc #0\n", 0x1000).unwrap();
+        let report = machine.run(2, 0x1000);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| *o == adbt_engine::VcpuOutcome::Exited(7)));
+    }
+
+    #[test]
+    fn bad_memory_config_errors() {
+        assert!(MachineBuilder::new(SchemeKind::Hst)
+            .memory(123)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,656 @@
+//! The machine: shared services, the translation cache, and the threaded
+//! and lockstep execution loops.
+
+use crate::exclusive::ExclusiveBarrier;
+use crate::frontend;
+use crate::interp;
+use crate::runtime::{ExecCtx, HelperFn, HelperRegistry, Trap};
+use crate::scheme::AtomicScheme;
+use crate::state::Vcpu;
+use crate::stats::{Breakdown, SimBreakdown, SimCosts, SimSnapshot, VcpuStats};
+use crate::store_test::StoreTestTable;
+use adbt_htm::{HtmDomain, HtmStats};
+use adbt_ir::Block;
+use adbt_isa::asm::Image;
+use adbt_mmu::AddressSpace;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Machine construction parameters.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Physical guest memory in bytes (page-aligned).
+    pub mem_size: u32,
+    /// Unmapped virtual pages above physical memory (PST-REMAP's window).
+    pub extra_virt_pages: u32,
+    /// Maximum guest instructions per translated block (1 for lockstep
+    /// litmus runs, larger for throughput).
+    pub max_block_insns: u32,
+    /// log2 of the store-test hash-table size.
+    pub htable_bits: u8,
+    /// Track store-test collisions (profiling runs only; adds a shadow
+    /// word per entry).
+    pub track_collisions: bool,
+    /// log2 of the HTM versioned-lock table size.
+    pub htm_index_bits: u8,
+    /// HTM write-set capacity in words.
+    pub htm_write_capacity: usize,
+    /// Page-fault retries per access before declaring livelock.
+    pub fault_retry_limit: u64,
+    /// Consecutive HTM region aborts before declaring livelock — the
+    /// threshold past which PICO-HTM's abort storm is called out.
+    pub htm_retry_limit: u64,
+    /// Per-vCPU guest stack size in bytes.
+    pub stack_size: u32,
+    /// Upper bound on lockstep steps (safety net for scheduled runs).
+    pub max_lockstep_steps: u64,
+    /// Enables the rule-based translation pass (paper §VI): canonical
+    /// compiler-generated LL/SC retry loops are recognized at
+    /// translation time and fused into single host atomic built-ins,
+    /// bypassing the active scheme entirely for those loops (ABA-free by
+    /// construction).
+    pub fuse_atomics: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem_size: 32 << 20,
+            extra_virt_pages: 64,
+            max_block_insns: 32,
+            htable_bits: 16,
+            track_collisions: false,
+            htm_index_bits: 16,
+            htm_write_capacity: 512,
+            fault_retry_limit: 1 << 26,
+            htm_retry_limit: 1 << 14,
+            stack_size: 64 << 10,
+            max_lockstep_steps: 200_000_000,
+            fuse_atomics: false,
+        }
+    }
+}
+
+/// How one vCPU's run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum VcpuOutcome {
+    /// Clean guest exit with the given code.
+    Exited(i32),
+    /// A fatal trap (fault, undefined instruction, bad syscall).
+    Crashed(Trap),
+    /// Forward progress lost (HTM abort storm or fault retry storm).
+    Livelocked {
+        /// The guest PC at detection.
+        pc: u32,
+    },
+}
+
+impl VcpuOutcome {
+    /// Whether the vCPU exited normally with code 0.
+    pub fn is_success(&self) -> bool {
+        matches!(self, VcpuOutcome::Exited(0))
+    }
+}
+
+/// The result of a machine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-vCPU outcomes, in tid order.
+    pub outcomes: Vec<VcpuOutcome>,
+    /// Per-vCPU statistics, in tid order.
+    pub per_cpu: Vec<VcpuStats>,
+    /// All vCPU statistics merged.
+    pub stats: VcpuStats,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// HTM domain statistics (all zero for non-HTM schemes).
+    pub htm: HtmStats,
+    /// Bytes written through the `putc` syscall.
+    pub output: Vec<u8>,
+    /// Store-test collision stats `(collisions, tracked sets)`.
+    pub collisions: (u64, u64),
+}
+
+impl RunReport {
+    /// Whether every vCPU exited with code 0.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(VcpuOutcome::is_success)
+    }
+
+    /// The Fig. 12-style overhead breakdown, attributing total CPU time
+    /// (wall × vCPUs) across the four buckets.
+    pub fn breakdown(&self) -> Breakdown {
+        let cpu_seconds = self.wall.as_secs_f64() * self.outcomes.len() as f64;
+        Breakdown::derive(&self.stats, cpu_seconds)
+    }
+
+    /// The simulated run's makespan in virtual-time units (`None` for
+    /// threaded/lockstep runs). This is the "execution time" all
+    /// performance figures are computed from — see `DESIGN.md` on why
+    /// the reproduction measures virtual rather than wall time.
+    pub fn sim_time(&self) -> Option<u64> {
+        (self.stats.sim_time > 0).then_some(self.stats.sim_time)
+    }
+
+    /// The Fig. 12 breakdown in virtual-time units (simulated runs).
+    pub fn sim_breakdown(&self) -> SimBreakdown {
+        SimBreakdown::derive(&self.stats, self.outcomes.len() as u32)
+    }
+
+    /// The `putc` output as a lossy string.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+/// The lockstep scheduler's policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Rotate through live vCPUs, one block each.
+    RoundRobin,
+    /// Run the listed vCPU indices first (skipping exited ones), then
+    /// fall back to round-robin — how litmus tests pin interleavings.
+    Explicit(Vec<u32>),
+}
+
+/// The shared machine: memory, scheme, services and translation cache.
+///
+/// A `MachineCore` is scheme-specific (the scheme installs its helpers at
+/// construction and its lowering decides the cached code), so comparing
+/// schemes means building one machine per scheme.
+pub struct MachineCore {
+    /// Construction parameters.
+    pub config: MachineConfig,
+    /// The guest address space.
+    pub space: AddressSpace,
+    /// The HTM domain (idle unless the scheme requires HTM).
+    pub htm: HtmDomain,
+    /// The HST store-test hash table.
+    pub store_test: StoreTestTable,
+    /// The stop-the-world exclusive barrier.
+    pub exclusive: ExclusiveBarrier,
+    /// The active atomic-emulation scheme.
+    pub scheme: Arc<dyn AtomicScheme>,
+    /// Registered runtime helpers, indexed by `HelperId`.
+    pub helpers: Vec<HelperFn>,
+    /// Helper diagnostic names, parallel to `helpers`.
+    pub helper_names: Vec<&'static str>,
+    /// Whether plain stores must feed HTM conflict detection.
+    pub htm_enabled: bool,
+    /// Guest `putc` output.
+    pub output: Mutex<Vec<u8>>,
+    cache: RwLock<HashMap<u32, Arc<Block>>>,
+    threaded: AtomicBool,
+}
+
+impl MachineCore {
+    /// Builds a machine around a scheme, installing its helpers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for invalid memory configuration.
+    pub fn new(
+        config: MachineConfig,
+        mut scheme: Box<dyn AtomicScheme>,
+    ) -> Result<MachineCore, String> {
+        let space = AddressSpace::new(config.mem_size, config.extra_virt_pages)?;
+        let mut registry = HelperRegistry::new();
+        scheme.install(&mut registry);
+        let (helper_names, helpers) = registry.into_parts();
+        let scheme: Arc<dyn AtomicScheme> = Arc::from(scheme);
+        let htm_enabled = scheme.requires_htm();
+        Ok(MachineCore {
+            space,
+            htm: HtmDomain::new(config.htm_index_bits, config.htm_write_capacity),
+            store_test: StoreTestTable::new(config.htable_bits, config.track_collisions),
+            exclusive: ExclusiveBarrier::new(),
+            scheme,
+            helpers,
+            helper_names,
+            htm_enabled,
+            output: Mutex::new(Vec::new()),
+            cache: RwLock::new(HashMap::new()),
+            threaded: AtomicBool::new(false),
+            config,
+        })
+    }
+
+    /// Whether the current run uses real OS threads (guest `yield` then
+    /// maps to `std::thread::yield_now`).
+    pub fn is_threaded(&self) -> bool {
+        self.threaded.load(Ordering::Relaxed)
+    }
+
+    /// Copies an assembled image into guest memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in physical memory.
+    pub fn load_image(&self, image: &Image) {
+        self.space.mem().write_slice(image.base, &image.bytes);
+    }
+
+    /// Builds `n` vCPUs entering at `entry` with the launch ABI:
+    /// `r0` = 0-based thread index, `r1` = thread count, `sp` = a private
+    /// stack carved from the top of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stacks would not fit in guest memory.
+    pub fn make_vcpus(&self, n: u32, entry: u32) -> Vec<Vcpu> {
+        assert!(n >= 1, "need at least one vCPU");
+        let total_stack = (n as u64) * (self.config.stack_size as u64);
+        assert!(
+            total_stack < self.config.mem_size as u64,
+            "stacks exceed guest memory"
+        );
+        (0..n)
+            .map(|i| {
+                let mut cpu = Vcpu::new(i + 1, entry);
+                cpu.set_reg(0, i);
+                cpu.set_reg(1, n);
+                cpu.set_reg(
+                    adbt_isa::Reg::SP.index(),
+                    self.config.mem_size - i * self.config.stack_size,
+                );
+                cpu
+            })
+            .collect()
+    }
+
+    fn lookup_or_translate(&self, ctx: &mut ExecCtx<'_>, pc: u32) -> Result<Arc<Block>, Trap> {
+        if let Some(block) = self.cache.read().get(&pc) {
+            return Ok(Arc::clone(block));
+        }
+        // Translation is engine work; inside an open region transaction it
+        // poisons the transaction (QEMU-inside-HTM, the PICO-HTM killer).
+        if let Some(txn) = &mut ctx.txn {
+            txn.poison();
+        }
+        let block = Arc::new(frontend::translate(ctx, pc)?);
+        self.cache.write().insert(pc, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Executes one translated block for `ctx`, absorbing HTM rollbacks.
+    /// Returns `Some(outcome)` when the vCPU is finished.
+    fn step(&self, ctx: &mut ExecCtx<'_>, l1: &mut L1Cache) -> Option<VcpuOutcome> {
+        ctx.stats.exclusive_ns += self.exclusive.safepoint();
+        let pc = ctx.cpu.pc;
+        let block = match l1.get(pc) {
+            Some(block) => block,
+            None => match self.lookup_or_translate(ctx, pc) {
+                Ok(block) => {
+                    l1.put(pc, Arc::clone(&block));
+                    block
+                }
+                Err(trap) => return Some(trap_outcome(ctx, trap)),
+            },
+        };
+        // A region transaction spanning block dispatches reads the
+        // engine's shared dispatcher structures — their conflict tokens
+        // join the read set (the QEMU-inside-the-transaction effect that
+        // dooms PICO-HTM past a few threads; see HtmDomain::engine_token).
+        let dispatch_result = match &mut ctx.txn {
+            Some(txn) => {
+                ctx.stats.txn_dispatches += 1;
+                (0..8)
+                    .try_for_each(|slot| txn.observe(adbt_htm::HtmDomain::engine_token(slot)))
+                    .map_err(Trap::HtmAbort)
+            }
+            None => Ok(()),
+        };
+        let exec_result = match dispatch_result {
+            Ok(()) => interp::run_block(ctx, &block),
+            Err(trap) => {
+                ctx.txn = None;
+                Err(trap)
+            }
+        };
+        match exec_result {
+            Ok(next) => {
+                ctx.cpu.pc = next;
+                None
+            }
+            Err(Trap::Exit(code)) => Some(VcpuOutcome::Exited(code)),
+            Err(Trap::HtmAbort(_reason)) => {
+                ctx.stats.htm_aborts += 1;
+                ctx.txn = None;
+                match ctx.txn_restart.take() {
+                    Some((restart_pc, snapshot)) => {
+                        ctx.cpu.restore(&snapshot);
+                        ctx.cpu.pc = restart_pc;
+                        ctx.txn_retries += 1;
+                        if ctx.txn_retries > self.config.htm_retry_limit {
+                            return Some(VcpuOutcome::Livelocked { pc: restart_pc });
+                        }
+                        // Exponentialish backoff under abort storms keeps
+                        // the threaded engine live on hot regions (real
+                        // RTM users do the same in their retry path).
+                        if self.is_threaded() && ctx.txn_retries > 8 {
+                            if ctx.txn_retries > 64 {
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    (ctx.txn_retries / 64).min(50),
+                                ));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                        None
+                    }
+                    // An abort with no restart point is a scheme bug;
+                    // surface it as a crash rather than spinning.
+                    None => Some(VcpuOutcome::Crashed(Trap::HtmAbort(_reason))),
+                }
+            }
+            Err(Trap::Livelock { pc, .. }) => Some(VcpuOutcome::Livelocked { pc }),
+            Err(trap) => Some(VcpuOutcome::Crashed(trap)),
+        }
+    }
+
+    /// Runs the vCPUs on real OS threads until all exit (or fail); the
+    /// mode every performance experiment uses.
+    pub fn run_threaded(&self, vcpus: Vec<Vcpu>) -> RunReport {
+        self.threaded.store(true, Ordering::Relaxed);
+        let n = vcpus.len() as u32;
+        let start = Instant::now();
+        let mut results: Vec<(VcpuOutcome, VcpuStats)> = Vec::with_capacity(vcpus.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = vcpus
+                .into_iter()
+                .map(|cpu| {
+                    scope.spawn(move || {
+                        let mut ctx = ExecCtx::new(cpu, self, n);
+                        let mut l1 = L1Cache::new();
+                        self.exclusive.register();
+                        let outcome = loop {
+                            if let Some(outcome) = self.step(&mut ctx, &mut l1) {
+                                break outcome;
+                            }
+                        };
+                        self.exclusive.unregister();
+                        (outcome, ctx.stats)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("vCPU thread panicked"));
+            }
+        });
+        let wall = start.elapsed();
+        self.report(results, wall)
+    }
+
+    /// Runs the vCPUs deterministically on the calling thread, one block
+    /// per scheduled step — the mode litmus tests use to pin exact
+    /// interleavings (combine with `max_block_insns: 1` for instruction
+    /// granularity).
+    pub fn run_lockstep(&self, vcpus: Vec<Vcpu>, schedule: Schedule) -> RunReport {
+        self.threaded.store(false, Ordering::Relaxed);
+        let n = vcpus.len() as u32;
+        let start = Instant::now();
+        self.exclusive.register();
+
+        let mut ctxs: Vec<ExecCtx<'_>> = vcpus
+            .into_iter()
+            .map(|cpu| ExecCtx::new(cpu, self, n))
+            .collect();
+        let mut l1s: Vec<L1Cache> = (0..ctxs.len()).map(|_| L1Cache::new()).collect();
+        let mut outcomes: Vec<Option<VcpuOutcome>> = vec![None; ctxs.len()];
+        let mut remaining = ctxs.len();
+
+        let explicit: Vec<u32> = match &schedule {
+            Schedule::RoundRobin => Vec::new(),
+            Schedule::Explicit(steps) => steps.clone(),
+        };
+        let mut explicit_iter = explicit.into_iter();
+        let mut rr_next = 0usize;
+        let mut steps = 0u64;
+
+        while remaining > 0 && steps < self.config.max_lockstep_steps {
+            steps += 1;
+            let idx = match explicit_iter.next() {
+                Some(idx) => {
+                    let idx = idx as usize % outcomes.len();
+                    if outcomes[idx].is_some() {
+                        continue; // scheduled step on an exited vCPU
+                    }
+                    idx
+                }
+                None => {
+                    // Round-robin over live vCPUs.
+                    let mut idx = rr_next % outcomes.len();
+                    while outcomes[idx].is_some() {
+                        idx = (idx + 1) % outcomes.len();
+                    }
+                    rr_next = idx + 1;
+                    idx
+                }
+            };
+            if let Some(outcome) = self.step(&mut ctxs[idx], &mut l1s[idx]) {
+                outcomes[idx] = Some(outcome);
+                remaining -= 1;
+            }
+        }
+        self.exclusive.unregister();
+        let wall = start.elapsed();
+        let results = ctxs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(ctx, outcome)| {
+                (
+                    outcome.unwrap_or(VcpuOutcome::Livelocked { pc: ctx.cpu.pc }),
+                    ctx.stats,
+                )
+            })
+            .collect();
+        self.report(results, wall)
+    }
+
+    /// Runs the vCPUs on a **simulated multicore**: a deterministic
+    /// virtual-time scheduler always advances the vCPU with the smallest
+    /// virtual clock, one translated block at a time, charging each
+    /// block against the [`SimCosts`] model. Stop-the-world sections
+    /// synchronize every clock (which is exactly why exclusive-heavy
+    /// schemes stop scaling — the paper's observation, reproduced
+    /// host-independently).
+    ///
+    /// Interleaving is block-granular, so cross-thread races (SC
+    /// failures, HTM conflicts, ABA interleavings) genuinely occur; the
+    /// schedule is a pure function of the guest and the cost model, so
+    /// runs are exactly reproducible. The run's "execution time" is the
+    /// makespan [`RunReport::sim_time`].
+    pub fn run_sim(&self, vcpus: Vec<Vcpu>, costs: &SimCosts) -> RunReport {
+        self.threaded.store(false, Ordering::Relaxed);
+        let n = vcpus.len() as u32;
+        let start = Instant::now();
+        self.exclusive.register();
+
+        let mut ctxs: Vec<ExecCtx<'_>> = vcpus
+            .into_iter()
+            .map(|cpu| ExecCtx::new(cpu, self, n))
+            .collect();
+        let mut l1s: Vec<L1Cache> = (0..ctxs.len()).map(|_| L1Cache::new()).collect();
+        let mut outcomes: Vec<Option<VcpuOutcome>> = vec![None; ctxs.len()];
+        let mut vtimes: Vec<u64> = vec![0; ctxs.len()];
+        let mut remaining = ctxs.len();
+        let mut steps = 0u64;
+        let mut rng = costs.jitter_seed | 1;
+        // Least-recently-run tie-breaking. Stop-the-world syncs equalize
+        // every clock, and a fixed (lowest-index) tie-break would then
+        // starve everyone but one spinner — a waiter that syncs on every
+        // spin would never let the lock holder run.
+        let mut last_run: Vec<u64> = vec![0; ctxs.len()];
+        let mut run_counter = 0u64;
+        // The shared-resource clock for schemes' global locks: an
+        // acquisition at time t waits until the lock frees, then holds
+        // it for `lock_hold` — a queueing model of lock contention.
+        let mut lock_free_at = 0u64;
+
+        while remaining > 0 && steps < self.config.max_lockstep_steps {
+            // Advance the vCPU with the smallest virtual clock (ties go
+            // to the least recently run — fully deterministic) and keep
+            // it running for one scheduling quantum.
+            let idx = (0..ctxs.len())
+                .filter(|&i| outcomes[i].is_none())
+                .min_by_key(|&i| (vtimes[i], last_run[i], i))
+                .expect("remaining > 0");
+            run_counter += 1;
+            last_run[idx] = run_counter;
+            // Jittered quantum: varied preemption phases are what let
+            // several vCPUs be mid-operation at once (see SimCosts).
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let base = costs.quantum.max(2);
+            let quantum = base / 2 + rng % base;
+            let limit = vtimes[idx].saturating_add(quantum);
+            while vtimes[idx] <= limit && steps < self.config.max_lockstep_steps {
+                steps += 1;
+                let snapshot = SimSnapshot::capture(&ctxs[idx].stats);
+                let done = self.step(&mut ctxs[idx], &mut l1s[idx]);
+                let (units, syncs, locks) = snapshot.charge(&mut ctxs[idx].stats, costs);
+                vtimes[idx] += units;
+                // Global-lock acquisitions queue on one shared resource.
+                for _ in 0..locks {
+                    if lock_free_at > vtimes[idx] {
+                        let wait = lock_free_at - vtimes[idx];
+                        vtimes[idx] += wait;
+                        ctxs[idx].stats.sim_exclusive_units += wait;
+                    }
+                    lock_free_at = vtimes[idx] + costs.lock_hold;
+                    vtimes[idx] += costs.lock_hold;
+                }
+                for _ in 0..syncs {
+                    // A stop-the-world section: the requester waits for
+                    // everyone to reach a safepoint, runs alone, then
+                    // resumes the world; laggard clocks are floored to
+                    // the section's end (they were parked through it).
+                    let t_end = vtimes[idx] + costs.safepoint_wait + costs.exclusive_section;
+                    ctxs[idx].stats.sim_exclusive_units +=
+                        costs.safepoint_wait + costs.exclusive_section;
+                    vtimes[idx] = t_end;
+                    for j in 0..vtimes.len() {
+                        if j != idx && outcomes[j].is_none() && vtimes[j] < t_end {
+                            ctxs[j].stats.sim_exclusive_units += t_end - vtimes[j];
+                            vtimes[j] = t_end;
+                        }
+                    }
+                }
+                if let Some(outcome) = done {
+                    ctxs[idx].stats.sim_time = vtimes[idx];
+                    outcomes[idx] = Some(outcome);
+                    remaining -= 1;
+                    break;
+                }
+            }
+        }
+        self.exclusive.unregister();
+        let wall = start.elapsed();
+        let results = ctxs
+            .into_iter()
+            .zip(outcomes)
+            .zip(vtimes)
+            .map(|((mut ctx, outcome), vtime)| {
+                ctx.stats.sim_time = vtime;
+                (
+                    outcome.unwrap_or(VcpuOutcome::Livelocked { pc: ctx.cpu.pc }),
+                    ctx.stats,
+                )
+            })
+            .collect();
+        self.report(results, wall)
+    }
+
+    fn report(&self, results: Vec<(VcpuOutcome, VcpuStats)>, wall: Duration) -> RunReport {
+        let mut merged = VcpuStats::default();
+        let mut outcomes = Vec::with_capacity(results.len());
+        let mut per_cpu = Vec::with_capacity(results.len());
+        for (outcome, stats) in results {
+            merged.merge(&stats);
+            outcomes.push(outcome);
+            per_cpu.push(stats);
+        }
+        RunReport {
+            outcomes,
+            per_cpu,
+            stats: merged,
+            wall,
+            htm: self.htm.stats(),
+            output: self.output.lock().clone(),
+            collisions: self.store_test.collision_stats(),
+        }
+    }
+
+    /// Number of blocks currently in the shared translation cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Translates (or fetches from cache) the block at `pc` and renders
+    /// it with [`adbt_ir::print_block`] — the debugging view of what the
+    /// active scheme actually emits for a piece of guest code.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap if instruction fetch faults (unmapped `pc`).
+    pub fn dump_block(&self, pc: u32) -> Result<String, Trap> {
+        let mut ctx = ExecCtx::new(Vcpu::new(1, pc), self, 1);
+        let block = self.lookup_or_translate(&mut ctx, pc)?;
+        Ok(adbt_ir::print_block(&block))
+    }
+}
+
+impl std::fmt::Debug for MachineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineCore")
+            .field("scheme", &self.scheme.name())
+            .field("mem_size", &self.config.mem_size)
+            .field("cached_blocks", &self.cached_blocks())
+            .finish()
+    }
+}
+
+fn trap_outcome(ctx: &ExecCtx<'_>, trap: Trap) -> VcpuOutcome {
+    match trap {
+        Trap::Exit(code) => VcpuOutcome::Exited(code),
+        Trap::Livelock { pc, .. } => VcpuOutcome::Livelocked { pc },
+        other => {
+            let _ = ctx;
+            VcpuOutcome::Crashed(other)
+        }
+    }
+}
+
+/// A per-vCPU direct-mapped block cache in front of the shared
+/// `RwLock`-protected map, so steady-state dispatch takes no lock.
+struct L1Cache {
+    slots: Vec<Option<(u32, Arc<Block>)>>,
+}
+
+const L1_SIZE: usize = 1024;
+
+impl L1Cache {
+    fn new() -> L1Cache {
+        L1Cache {
+            slots: vec![None; L1_SIZE],
+        }
+    }
+
+    #[inline]
+    fn get(&self, pc: u32) -> Option<Arc<Block>> {
+        match &self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] {
+            Some((tag, block)) if *tag == pc => Some(Arc::clone(block)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, pc: u32, block: Arc<Block>) {
+        self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] = Some((pc, block));
+    }
+}

@@ -1,0 +1,497 @@
+//! The runtime layer translated code interacts with: traps, the helper
+//! registry, and the per-thread execution context.
+
+use crate::machine::MachineCore;
+use crate::state::{Vcpu, VcpuSnapshot};
+use crate::stats::VcpuStats;
+use adbt_htm::{AbortReason, Txn};
+use adbt_ir::HelperId;
+use adbt_mmu::{Access, PageFault, Width};
+use std::fmt;
+use std::sync::Arc;
+
+/// An event that aborts normal translated-code execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum Trap {
+    /// The vCPU executed the exit syscall.
+    Exit(i32),
+    /// An unhandled page fault (guest bug or fatal scheme decision).
+    Fault(PageFault),
+    /// An undefined instruction (`udf` or a decode failure).
+    Undefined {
+        /// The faulting guest PC.
+        addr: u32,
+        /// The payload / raw word.
+        info: u32,
+    },
+    /// An HTM transaction aborted; the run loop rolls back to the
+    /// transaction's restart point.
+    HtmAbort(AbortReason),
+    /// Forward progress was lost (abort storms, unbounded fault retries —
+    /// how PICO-HTM's livelock manifests here).
+    Livelock {
+        /// The guest PC at detection.
+        pc: u32,
+        /// What kind of loop was detected.
+        what: &'static str,
+    },
+    /// An unknown supervisor-call number.
+    BadSyscall {
+        /// The offending number.
+        num: u16,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Exit(code) => write!(f, "guest exit with code {code}"),
+            Trap::Fault(fault) => write!(f, "unhandled {fault}"),
+            Trap::Undefined { addr, info } => {
+                write!(f, "undefined instruction at {addr:#010x} (info {info:#x})")
+            }
+            Trap::HtmAbort(reason) => write!(f, "HTM abort: {reason}"),
+            Trap::Livelock { pc, what } => write!(f, "livelock at {pc:#010x}: {what}"),
+            Trap::BadSyscall { num } => write!(f, "unknown syscall #{num}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// A runtime helper: receives the execution context plus evaluated
+/// arguments, returns a word (or a trap).
+pub type HelperFn =
+    Box<dyn for<'m> Fn(&mut ExecCtx<'m>, &[u32]) -> Result<u32, Trap> + Send + Sync>;
+
+/// Collects helpers during scheme installation and assigns them ids for
+/// embedding into translated IR.
+#[derive(Default)]
+pub struct HelperRegistry {
+    names: Vec<&'static str>,
+    helpers: Vec<HelperFn>,
+}
+
+impl HelperRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> HelperRegistry {
+        HelperRegistry::default()
+    }
+
+    /// Registers a helper under a diagnostic name, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 65 536 registrations (ids are 16-bit).
+    pub fn register(&mut self, name: &'static str, helper: HelperFn) -> HelperId {
+        let id = u16::try_from(self.helpers.len()).expect("helper registry full");
+        self.names.push(name);
+        self.helpers.push(helper);
+        HelperId(id)
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<&'static str>, Vec<HelperFn>) {
+        (self.names, self.helpers)
+    }
+}
+
+impl fmt::Debug for HelperRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HelperRegistry")
+            .field("helpers", &self.names)
+            .finish()
+    }
+}
+
+/// What a faulting access was trying to do, given to the scheme's
+/// page-fault handler so it can complete the access itself if it wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAccess {
+    /// A data load.
+    Load,
+    /// A data store of `value` at the given width.
+    Store {
+        /// The value being stored.
+        value: u32,
+        /// The access width.
+        width: Width,
+    },
+    /// An instruction fetch (translation-time).
+    Fetch,
+}
+
+/// The scheme handler's verdict on a page fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Conditions changed (permissions restored, page remapped back, …):
+    /// re-execute the faulting access.
+    Retry,
+    /// The handler performed the access itself; skip it.
+    Done,
+    /// Not a fault this scheme handles — report a guest crash.
+    Fatal,
+}
+
+/// Everything a running vCPU thread carries: architectural state, local
+/// statistics, machine services, and (for PICO-HTM) the open transaction
+/// spanning the LL→SC window.
+pub struct ExecCtx<'m> {
+    /// The vCPU's architectural state.
+    pub cpu: Vcpu,
+    /// This thread's statistics (merged into the run report at exit).
+    pub stats: VcpuStats,
+    /// The shared machine.
+    pub machine: &'m MachineCore,
+    /// Total vCPUs in this run (guest-visible via a syscall).
+    pub num_threads: u32,
+    /// The open cross-block HTM transaction, if the scheme keeps one.
+    pub txn: Option<Txn<'m>>,
+    /// Rollback point for the open transaction: restart PC + register
+    /// snapshot (RTM semantics: aborts restore everything).
+    pub txn_restart: Option<(u32, VcpuSnapshot)>,
+    /// Consecutive aborts of the current transactional region, for
+    /// livelock detection.
+    pub txn_retries: u64,
+}
+
+impl<'m> ExecCtx<'m> {
+    /// Creates a context for `cpu` on `machine`.
+    pub fn new(cpu: Vcpu, machine: &'m MachineCore, num_threads: u32) -> ExecCtx<'m> {
+        ExecCtx {
+            cpu,
+            stats: VcpuStats::default(),
+            machine,
+            num_threads,
+            txn: None,
+            txn_restart: None,
+            txn_retries: 0,
+        }
+    }
+
+    /// Performs a guest load, routing faults to the scheme handler and
+    /// transactional reads through the open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Traps on unhandled faults, fault-retry livelock, or HTM abort.
+    pub fn load(&mut self, vaddr: u32, width: Width) -> Result<u32, Trap> {
+        let mut retries = 0u64;
+        loop {
+            match self.machine.space.translate(vaddr, Access::Load, width) {
+                Ok(paddr) => {
+                    return match &mut self.txn {
+                        Some(txn) => match txn.load(self.machine.space.mem(), paddr, width) {
+                            Ok(v) => Ok(v),
+                            Err(reason) => {
+                                self.txn = None;
+                                Err(Trap::HtmAbort(reason))
+                            }
+                        },
+                        // Under an HTM scheme, plain loads must be atomic
+                        // with respect to commits (as on real HTM); the
+                        // consistent read prevents an LL from observing a
+                        // half-committed SC and re-committing stale data.
+                        None if self.machine.htm_enabled => Ok(self.machine.htm.consistent_load(
+                            self.machine.space.mem(),
+                            paddr,
+                            width,
+                        )),
+                        None => Ok(self.machine.space.mem().load(paddr, width)),
+                    };
+                }
+                Err(fault) => {
+                    // A handler cannot "perform" a load (`Done` carries no
+                    // value), so both resolutions mean "try again".
+                    let _ = self.handle_fault(fault, FaultAccess::Load, &mut retries)?;
+                }
+            }
+        }
+    }
+
+    /// Fetches one instruction word for translation, routing faults to
+    /// the scheme handler (a page can be transiently unmapped while
+    /// PST-REMAP holds it moved).
+    ///
+    /// # Errors
+    ///
+    /// Traps on unhandled faults or fault-retry livelock.
+    pub fn fetch_word(&mut self, vaddr: u32) -> Result<u32, Trap> {
+        let mut retries = 0u64;
+        loop {
+            match self
+                .machine
+                .space
+                .translate(vaddr, Access::Fetch, Width::Word)
+            {
+                Ok(paddr) => return Ok(self.machine.space.mem().load(paddr, Width::Word)),
+                Err(fault) => {
+                    let _ = self.handle_fault(fault, FaultAccess::Fetch, &mut retries)?;
+                }
+            }
+        }
+    }
+
+    /// Performs a guest store; `guest_store` marks architectural stores
+    /// (which HTM conflict detection must observe).
+    ///
+    /// # Errors
+    ///
+    /// Traps on unhandled faults, fault-retry livelock, or HTM abort.
+    pub fn store(
+        &mut self,
+        vaddr: u32,
+        width: Width,
+        value: u32,
+        guest_store: bool,
+    ) -> Result<(), Trap> {
+        let mut retries = 0u64;
+        loop {
+            match self.machine.space.translate(vaddr, Access::Store, width) {
+                Ok(paddr) => {
+                    match &mut self.txn {
+                        Some(txn) => {
+                            if let Err(reason) =
+                                txn.store(self.machine.space.mem(), paddr, width, value)
+                            {
+                                self.txn = None;
+                                return Err(Trap::HtmAbort(reason));
+                            }
+                        }
+                        None => {
+                            self.machine.space.mem().store(paddr, width, value);
+                            if guest_store && self.machine.htm_enabled {
+                                self.machine.htm.notify_plain_store(paddr);
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                Err(fault) => {
+                    match self.handle_fault(
+                        fault,
+                        FaultAccess::Store { value, width },
+                        &mut retries,
+                    )? {
+                        FaultOutcome::Done => return Ok(()), // handler stored it
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// A fused host atomic read-modify-write on a guest word (the §VI
+    /// rule-based translation primitive). Returns the *old* value.
+    ///
+    /// Inherently ABA-free: no monitor, no instrumentation, no exclusion
+    /// needed. If a region transaction is open (PICO-HTM), the fused op
+    /// is still performed directly and the transaction is poisoned —
+    /// mixing the two on one address is a pattern the pass does not
+    /// claim to optimize.
+    ///
+    /// # Errors
+    ///
+    /// Traps on unhandled faults or fault-retry livelock.
+    pub fn atomic_rmw(
+        &mut self,
+        vaddr: u32,
+        op: adbt_mmu::RmwKind,
+        operand: u32,
+    ) -> Result<u32, Trap> {
+        if let Some(txn) = &mut self.txn {
+            txn.poison();
+        }
+        let mut retries = 0u64;
+        loop {
+            match self
+                .machine
+                .space
+                .translate(vaddr, Access::Store, Width::Word)
+            {
+                Ok(paddr) => {
+                    let old = self.machine.space.mem().fetch_rmw_word(paddr, op, operand);
+                    if self.machine.htm_enabled {
+                        self.machine.htm.notify_plain_store(paddr);
+                    }
+                    return Ok(old);
+                }
+                Err(fault) => {
+                    match self.handle_fault(
+                        fault,
+                        FaultAccess::Store {
+                            value: operand,
+                            width: Width::Word,
+                        },
+                        &mut retries,
+                    )? {
+                        // `Done` cannot express an RMW; retry.
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Host CAS on a guest word (the PICO-CAS `strex` primitive).
+    /// Returns `true` on success. Faults route to the scheme handler;
+    /// a fault resolved as [`FaultOutcome::Done`] counts as failure.
+    ///
+    /// # Errors
+    ///
+    /// Traps on unhandled faults or fault-retry livelock.
+    pub fn cas_word(&mut self, vaddr: u32, expected: u32, new: u32) -> Result<bool, Trap> {
+        let mut retries = 0u64;
+        loop {
+            match self
+                .machine
+                .space
+                .translate(vaddr, Access::Store, Width::Word)
+            {
+                Ok(paddr) => {
+                    let ok = self
+                        .machine
+                        .space
+                        .mem()
+                        .cas_word(paddr, expected, new)
+                        .is_ok();
+                    if ok && self.machine.htm_enabled {
+                        self.machine.htm.notify_plain_store(paddr);
+                    }
+                    return Ok(ok);
+                }
+                Err(fault) => {
+                    match self.handle_fault(
+                        fault,
+                        FaultAccess::Store {
+                            value: new,
+                            width: Width::Word,
+                        },
+                        &mut retries,
+                    )? {
+                        // `Done` (handler performed a plain store) cannot
+                        // express CAS; report failure so the guest retries.
+                        FaultOutcome::Done => return Ok(false),
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes one fault to the scheme handler. Non-fatal outcomes bump
+    /// `retries` (so even a misbehaving handler cannot loop the engine
+    /// forever) and are returned for the caller to act on.
+    fn handle_fault(
+        &mut self,
+        fault: PageFault,
+        access: FaultAccess,
+        retries: &mut u64,
+    ) -> Result<FaultOutcome, Trap> {
+        self.stats.page_faults += 1;
+        let scheme = Arc::clone(&self.machine.scheme);
+        match scheme.on_page_fault(self, fault, access) {
+            FaultOutcome::Fatal => Err(Trap::Fault(fault)),
+            outcome => {
+                *retries += 1;
+                if *retries > self.machine.config.fault_retry_limit {
+                    return Err(Trap::Livelock {
+                        pc: self.cpu.pc,
+                        what: "page-fault retry storm",
+                    });
+                }
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Enters the machine's stop-the-world exclusive section, charging
+    /// the wait to the exclusive profile bucket.
+    pub fn start_exclusive(&mut self) {
+        self.stats.exclusive_entries += 1;
+        self.stats.exclusive_ns += self.machine.exclusive.start_exclusive();
+    }
+
+    /// Leaves the exclusive section.
+    pub fn end_exclusive(&mut self) {
+        self.machine.exclusive.end_exclusive();
+    }
+
+    /// Opens a cross-block HTM transaction whose abort rolls execution
+    /// back to `restart_pc` with the current register state (PICO-HTM's
+    /// `xbegin` at LL).
+    pub fn begin_region_txn(&mut self, restart_pc: u32) {
+        self.stats.htm_txns += 1;
+        self.txn_restart = Some((restart_pc, self.cpu.snapshot()));
+        self.txn = Some(self.machine.htm.begin());
+    }
+
+    /// Commits the open region transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::HtmAbort`] if validation fails; the run loop rolls back.
+    pub fn commit_region_txn(&mut self) -> Result<(), Trap> {
+        match self.txn.take() {
+            Some(txn) => match txn.commit(self.machine.space.mem()) {
+                Ok(()) => {
+                    // Committing runs engine code that touches the shared
+                    // dispatcher structures — the write half of the
+                    // QEMU-inside-the-transaction conflict (see
+                    // `HtmDomain::engine_token`).
+                    self.machine
+                        .htm
+                        .notify_plain_store(adbt_htm::HtmDomain::engine_token(
+                            self.stats.htm_txns as usize,
+                        ));
+                    self.txn_restart = None;
+                    self.txn_retries = 0;
+                    Ok(())
+                }
+                Err(reason) => Err(Trap::HtmAbort(reason)),
+            },
+            None => Ok(()), // SC without LL: scheme already failed it.
+        }
+    }
+
+    /// Executes a supervisor call. Syscall ABI:
+    ///
+    /// | num | name | effect |
+    /// |---|---|---|
+    /// | 0 | `exit` | terminate this vCPU with code `r0` |
+    /// | 1 | `putc` | append `r0 as u8` to the machine's output buffer |
+    /// | 2 | `gettid` | `r0` = this vCPU's 1-based tid |
+    /// | 3 | `nthreads` | `r0` = number of vCPUs in the run |
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Exit`] for `exit`, [`Trap::BadSyscall`] for unknown numbers.
+    pub fn syscall(&mut self, num: u16) -> Result<(), Trap> {
+        match num {
+            0 => Err(Trap::Exit(self.cpu.reg(0) as i32)),
+            1 => {
+                self.machine.output.lock().push(self.cpu.reg(0) as u8);
+                Ok(())
+            }
+            2 => {
+                self.cpu.set_reg(0, self.cpu.tid);
+                Ok(())
+            }
+            3 => {
+                self.cpu.set_reg(0, self.num_threads);
+                Ok(())
+            }
+            num => Err(Trap::BadSyscall { num }),
+        }
+    }
+}
+
+impl fmt::Debug for ExecCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("tid", &self.cpu.tid)
+            .field("pc", &self.cpu.pc)
+            .field("txn_open", &self.txn.is_some())
+            .finish()
+    }
+}

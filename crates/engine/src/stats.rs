@@ -1,0 +1,563 @@
+//! Execution statistics and the profiling buckets behind the paper's
+//! Fig. 12 overhead breakdown and Table I instruction profile.
+//!
+//! Counters are plain `u64` fields updated by the owning vCPU thread and
+//! merged after the run, so collection adds no synchronization to the
+//! hot path. Wall-time is split into four buckets following §IV-B2:
+//!
+//! * **exclusive** — waiting for / holding the stop-the-world section,
+//!   time parked at safepoints, and contended store-test entry locks;
+//! * **mprotect** — page-permission and remap system-call analogues;
+//! * **instrument** — store/LL/SC instrumentation, *estimated* as event
+//!   counts × per-event costs calibrated once per process (timing every
+//!   inlined hash-table store would cost more than the store itself and
+//!   distort exactly the effect being measured);
+//! * **native** — everything else (the remainder of wall time).
+
+use std::time::{Duration, Instant};
+
+/// Per-vCPU event counters and timed buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VcpuStats {
+    /// Guest instructions executed.
+    pub insns: u64,
+    /// Translated blocks executed.
+    pub blocks: u64,
+    /// Blocks translated (translation-cache misses).
+    pub translations: u64,
+    /// Architectural guest loads executed.
+    pub loads: u64,
+    /// Architectural guest stores executed.
+    pub stores: u64,
+    /// LL (`ldrex`) instructions executed.
+    pub ll: u64,
+    /// SC (`strex`) instructions executed.
+    pub sc: u64,
+    /// SC attempts that failed (monitor lost, hash entry stolen, CAS
+    /// mismatch — per the active scheme's semantics).
+    pub sc_failures: u64,
+    /// Runtime helper invocations.
+    pub helper_calls: u64,
+    /// Inline store-test table updates (`Op::HtableSet`).
+    pub htable_sets: u64,
+    /// Page faults routed to the scheme handler.
+    pub page_faults: u64,
+    /// Of those, faults on the monitored page but a *different* address —
+    /// the false-sharing faults of §IV-B2.
+    pub false_sharing_faults: u64,
+    /// Stop-the-world exclusive sections entered by this vCPU.
+    pub exclusive_entries: u64,
+    /// Page-permission changes (`mprotect` analogue calls).
+    pub mprotect_calls: u64,
+    /// Page remaps (`mremap` analogue calls).
+    pub remap_calls: u64,
+    /// HTM transactions begun by this vCPU.
+    pub htm_txns: u64,
+    /// HTM aborts observed by this vCPU.
+    pub htm_aborts: u64,
+    /// Guest `yield`s executed.
+    pub yields: u64,
+    /// Global-lock acquisitions by scheme helpers (PICO-ST's store/LL/SC
+    /// lock, PST's monitor registry). The simulator queues these on one
+    /// shared resource, which is how lock contention — invisible to a
+    /// single-threaded simulation — re-enters the model.
+    pub lock_acquisitions: u64,
+    /// Translated-block dispatches executed while a region transaction
+    /// was open (PICO-HTM): each one runs engine code *inside* the
+    /// transaction, the paper's "QEMU becomes part of the transaction".
+    pub txn_dispatches: u64,
+    /// LL/SC retry loops fused into single host atomics by the
+    /// rule-based translation pass (paper §VI).
+    pub fused_rmws: u64,
+
+    /// Nanoseconds spent waiting for + holding exclusive sections and
+    /// parked at safepoints.
+    pub exclusive_ns: u64,
+    /// Nanoseconds spent in permission/remap work (including its
+    /// stop-the-world component, which is *not* double-counted into
+    /// `exclusive_ns` — the scheme owns the attribution).
+    pub mprotect_ns: u64,
+    /// Nanoseconds spent in contended store-test entry locks.
+    pub lock_wait_ns: u64,
+
+    /// Simulated-mode only: this vCPU's final virtual clock, in cost
+    /// units (see [`SimCosts`]).
+    pub sim_time: u64,
+    /// Simulated-mode only: units spent parked by stop-the-world
+    /// synchronizations (the "exclusive" bucket of Fig. 12).
+    pub sim_exclusive_units: u64,
+    /// Simulated-mode only: units charged to permission/remap work.
+    pub sim_mprotect_units: u64,
+    /// Simulated-mode only: units charged to instrumentation (helper
+    /// dispatch + inline table updates).
+    pub sim_instrument_units: u64,
+    /// Simulated-mode only: units charged to page faults and HTM
+    /// transaction management.
+    pub sim_event_units: u64,
+}
+
+impl VcpuStats {
+    /// Merges another vCPU's counters into this one.
+    pub fn merge(&mut self, other: &VcpuStats) {
+        let VcpuStats {
+            insns,
+            blocks,
+            translations,
+            loads,
+            stores,
+            ll,
+            sc,
+            sc_failures,
+            helper_calls,
+            htable_sets,
+            page_faults,
+            false_sharing_faults,
+            exclusive_entries,
+            mprotect_calls,
+            remap_calls,
+            htm_txns,
+            htm_aborts,
+            yields,
+            lock_acquisitions,
+            txn_dispatches,
+            fused_rmws,
+            exclusive_ns,
+            mprotect_ns,
+            lock_wait_ns,
+            sim_time,
+            sim_exclusive_units,
+            sim_mprotect_units,
+            sim_instrument_units,
+            sim_event_units,
+        } = other;
+        self.insns += insns;
+        self.blocks += blocks;
+        self.translations += translations;
+        self.loads += loads;
+        self.stores += stores;
+        self.ll += ll;
+        self.sc += sc;
+        self.sc_failures += sc_failures;
+        self.helper_calls += helper_calls;
+        self.htable_sets += htable_sets;
+        self.page_faults += page_faults;
+        self.false_sharing_faults += false_sharing_faults;
+        self.exclusive_entries += exclusive_entries;
+        self.mprotect_calls += mprotect_calls;
+        self.remap_calls += remap_calls;
+        self.htm_txns += htm_txns;
+        self.htm_aborts += htm_aborts;
+        self.yields += yields;
+        self.lock_acquisitions += lock_acquisitions;
+        self.txn_dispatches += txn_dispatches;
+        self.fused_rmws += fused_rmws;
+        self.exclusive_ns += exclusive_ns;
+        self.mprotect_ns += mprotect_ns;
+        self.lock_wait_ns += lock_wait_ns;
+        self.sim_time = self.sim_time.max(*sim_time);
+        self.sim_exclusive_units += sim_exclusive_units;
+        self.sim_mprotect_units += sim_mprotect_units;
+        self.sim_instrument_units += sim_instrument_units;
+        self.sim_event_units += sim_event_units;
+    }
+}
+
+/// The virtual-time cost model used by the simulated-multicore mode
+/// (`MachineCore::run_sim`).
+///
+/// Units are abstract "cycles"; only *ratios* matter. Defaults are
+/// calibrated from the cost structure the paper describes for QEMU on
+/// x86: a helper call costs tens of instructions of spill/dispatch
+/// overhead, an inline hash-table update costs about one store, a page
+/// fault costs a signal delivery (~microseconds ≈ thousands of
+/// instruction-units), and an `mprotect` costs a syscall plus bringing
+/// every other thread to a safepoint (the clock synchronization is
+/// applied by the scheduler on top of these per-event charges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimCosts {
+    /// Per guest instruction.
+    pub insn: u64,
+    /// Extra per guest load or store (memory access path).
+    pub memory_access: u64,
+    /// Per runtime-helper dispatch (PICO-ST's per-store penalty).
+    pub helper_call: u64,
+    /// Per inline store-test table update (HST's per-store penalty).
+    pub htable_set: u64,
+    /// Per LL and per SC base emulation work.
+    pub llsc: u64,
+    /// Per guest `yield` (spin-wait hint).
+    pub yield_hint: u64,
+    /// Per page fault delivered to a scheme handler.
+    pub page_fault: u64,
+    /// Per `mprotect` permission change (syscall analogue).
+    pub mprotect: u64,
+    /// Per `mremap` page move (PST-REMAP's syscall analogue).
+    pub remap: u64,
+    /// Per HTM transaction begin+commit pair.
+    pub htm_txn: u64,
+    /// Extra per HTM abort (rollback + restart).
+    pub htm_abort: u64,
+    /// Extra per block dispatched inside an open region transaction —
+    /// the inflated emulator code running transactionally (PICO-HTM).
+    pub txn_dispatch: u64,
+    /// Flat cost of a stop-the-world section (the work done alone plus
+    /// resuming everyone), paid by the requester.
+    pub exclusive_section: u64,
+    /// How long the requester waits for every other vCPU to reach its
+    /// next safepoint (block boundary) — the entry latency of a
+    /// stop-the-world section.
+    pub safepoint_wait: u64,
+    /// How long a scheme's *global* lock (PICO-ST registry, PST monitor
+    /// table) is held per acquisition; acquisitions queue on one shared
+    /// resource, so past saturation the lock serializes all comers.
+    pub lock_hold: u64,
+    /// Per block translation (cold code only).
+    pub translation: u64,
+    /// The mean scheduling quantum, in units: a vCPU keeps running while
+    /// its clock is within this bound of the furthest-behind peer. Small
+    /// values over-interleave (every LL/SC pair gets preempted mid-window
+    /// — unphysical retry storms); large values under-interleave (races
+    /// disappear). The default corresponds to a few dozen guest
+    /// instructions, the scale of real cache-contention windows.
+    pub quantum: u64,
+    /// Seed for the deterministic quantum jitter. Each quantum's length
+    /// is drawn from `[quantum/2, 3*quantum/2)` by a seeded xorshift, so
+    /// preemption points land at varied phases of the guest's loops —
+    /// without jitter, every preemption aligns with whole synchronization
+    /// operations and cross-thread races (including ABA) artificially
+    /// vanish. Same seed ⇒ same schedule ⇒ bit-identical results.
+    pub jitter_seed: u64,
+}
+
+impl Default for SimCosts {
+    fn default() -> SimCosts {
+        SimCosts {
+            insn: 1,
+            memory_access: 1,
+            helper_call: 12,
+            htable_set: 1,
+            llsc: 3,
+            yield_hint: 10,
+            page_fault: 2_000,
+            mprotect: 3_000,
+            remap: 1_500,
+            htm_txn: 40,
+            htm_abort: 60,
+            txn_dispatch: 50,
+            exclusive_section: 60,
+            safepoint_wait: 20,
+            lock_hold: 30,
+            translation: 300,
+            quantum: 120,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// A snapshot of the counters the simulator charges for; the per-block
+/// delta is converted to virtual-time units.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SimSnapshot {
+    insns: u64,
+    loads: u64,
+    stores: u64,
+    ll: u64,
+    sc: u64,
+    helper_calls: u64,
+    htable_sets: u64,
+    page_faults: u64,
+    mprotect_calls: u64,
+    remap_calls: u64,
+    htm_txns: u64,
+    htm_aborts: u64,
+    yields: u64,
+    exclusive_entries: u64,
+    translations: u64,
+    lock_acquisitions: u64,
+    txn_dispatches: u64,
+}
+
+impl SimSnapshot {
+    pub(crate) fn capture(stats: &VcpuStats) -> SimSnapshot {
+        SimSnapshot {
+            insns: stats.insns,
+            loads: stats.loads,
+            stores: stats.stores,
+            ll: stats.ll,
+            sc: stats.sc,
+            helper_calls: stats.helper_calls,
+            htable_sets: stats.htable_sets,
+            page_faults: stats.page_faults,
+            mprotect_calls: stats.mprotect_calls,
+            remap_calls: stats.remap_calls,
+            htm_txns: stats.htm_txns,
+            htm_aborts: stats.htm_aborts,
+            yields: stats.yields,
+            exclusive_entries: stats.exclusive_entries,
+            translations: stats.translations,
+            lock_acquisitions: stats.lock_acquisitions,
+            txn_dispatches: stats.txn_dispatches,
+        }
+    }
+
+    /// Charges the delta since this snapshot against `costs`, updating
+    /// the per-bucket unit counters, and returns
+    /// `(total units, stop-the-world sections, global-lock acquisitions)`.
+    pub(crate) fn charge(&self, stats: &mut VcpuStats, costs: &SimCosts) -> (u64, u64, u64) {
+        let instrument = (stats.helper_calls - self.helper_calls) * costs.helper_call
+            + (stats.htable_sets - self.htable_sets) * costs.htable_set;
+        let mprotect = (stats.mprotect_calls - self.mprotect_calls) * costs.mprotect
+            + (stats.remap_calls - self.remap_calls) * costs.remap;
+        let events = (stats.page_faults - self.page_faults) * costs.page_fault
+            + (stats.htm_txns - self.htm_txns) * costs.htm_txn
+            + (stats.htm_aborts - self.htm_aborts) * costs.htm_abort
+            + (stats.txn_dispatches - self.txn_dispatches) * costs.txn_dispatch
+            + (stats.translations - self.translations) * costs.translation;
+        let native = (stats.insns - self.insns) * costs.insn
+            + (stats.loads - self.loads + stats.stores - self.stores) * costs.memory_access
+            + (stats.ll - self.ll + stats.sc - self.sc) * costs.llsc
+            + (stats.yields - self.yields) * costs.yield_hint;
+        stats.sim_instrument_units += instrument;
+        stats.sim_mprotect_units += mprotect;
+        stats.sim_event_units += events;
+        let total = instrument + mprotect + events + native;
+        let syncs = stats.exclusive_entries - self.exclusive_entries;
+        let locks = stats.lock_acquisitions - self.lock_acquisitions;
+        (total, syncs, locks)
+    }
+}
+
+/// Per-event costs measured once per process, used to *estimate* the
+/// instrumentation bucket (see module docs for why estimation beats
+/// direct timing here).
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// Cost of one inline store-test table update, in nanoseconds.
+    pub htable_set_ns: f64,
+    /// Cost of one helper dispatch (dynamic call + argument marshalling),
+    /// in nanoseconds.
+    pub helper_dispatch_ns: f64,
+}
+
+impl Calibration {
+    /// Measures per-event costs on the current host. Called lazily once
+    /// per process via [`calibration`].
+    fn measure() -> Calibration {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        const ROUNDS: u32 = 200_000;
+
+        // Inline hash-table set: one index computation + one atomic store.
+        let table: Vec<AtomicU32> = (0..1024).map(|_| AtomicU32::new(0)).collect();
+        let start = Instant::now();
+        for i in 0..ROUNDS {
+            let idx = ((i.wrapping_mul(2654435761)) >> 2) as usize & 1023;
+            table[idx].store(1, Ordering::Release);
+        }
+        let htable_set_ns = start.elapsed().as_nanos() as f64 / ROUNDS as f64;
+
+        // Helper dispatch: boxed dynamic call with argument slice.
+        type Dyn = Box<dyn Fn(&[u32]) -> u32 + Send + Sync>;
+        let f: Dyn = Box::new(|args| args.iter().sum());
+        let args = [1u32, 2, 3];
+        let start = Instant::now();
+        let mut acc = 0u32;
+        for _ in 0..ROUNDS {
+            acc = acc.wrapping_add(std::hint::black_box(&f)(std::hint::black_box(&args)));
+        }
+        std::hint::black_box(acc);
+        let helper_dispatch_ns = start.elapsed().as_nanos() as f64 / ROUNDS as f64;
+
+        Calibration {
+            htable_set_ns: htable_set_ns.max(0.1),
+            helper_dispatch_ns: helper_dispatch_ns.max(0.5),
+        }
+    }
+}
+
+/// Returns the process-wide calibration, measuring it on first use.
+pub fn calibration() -> Calibration {
+    use std::sync::OnceLock;
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    *CAL.get_or_init(Calibration::measure)
+}
+
+/// The Fig. 12 overhead breakdown derived from merged stats and the run's
+/// wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Breakdown {
+    /// Seconds attributable to plain emulation.
+    pub native_s: f64,
+    /// Seconds in exclusive sections / parked at safepoints / entry locks.
+    pub exclusive_s: f64,
+    /// Seconds in instrumentation (estimated; see module docs).
+    pub instrument_s: f64,
+    /// Seconds in permission/remap work.
+    pub mprotect_s: f64,
+}
+
+impl Breakdown {
+    /// Derives the breakdown from merged per-vCPU stats and total CPU
+    /// seconds (wall time × threads).
+    pub fn derive(stats: &VcpuStats, cpu_seconds: f64) -> Breakdown {
+        let cal = calibration();
+        let instrument_s = (stats.htable_sets as f64 * cal.htable_set_ns
+            + stats.helper_calls as f64 * cal.helper_dispatch_ns)
+            / 1e9;
+        let exclusive_s =
+            Duration::from_nanos(stats.exclusive_ns + stats.lock_wait_ns).as_secs_f64();
+        let mprotect_s = Duration::from_nanos(stats.mprotect_ns).as_secs_f64();
+        let native_s = (cpu_seconds - instrument_s - exclusive_s - mprotect_s).max(0.0);
+        Breakdown {
+            native_s,
+            exclusive_s,
+            instrument_s,
+            mprotect_s,
+        }
+    }
+
+    /// Total accounted seconds.
+    pub fn total_s(&self) -> f64 {
+        self.native_s + self.exclusive_s + self.instrument_s + self.mprotect_s
+    }
+}
+
+/// The Fig. 12 overhead breakdown in virtual-time units (simulated-mode
+/// analogue of [`Breakdown`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimBreakdown {
+    /// Units of plain emulation (remainder).
+    pub native: u64,
+    /// Units parked by stop-the-world synchronizations.
+    pub exclusive: u64,
+    /// Units of store/LL/SC instrumentation.
+    pub instrument: u64,
+    /// Units of permission/remap work.
+    pub mprotect: u64,
+}
+
+impl SimBreakdown {
+    /// Derives the breakdown from merged stats. Total CPU units are
+    /// `sim_time × threads` (every clock ends at the run's makespan in a
+    /// balanced run; stragglers' idle tails count as native headroom).
+    pub fn derive(stats: &VcpuStats, threads: u32) -> SimBreakdown {
+        let total = stats.sim_time.saturating_mul(threads as u64);
+        let exclusive = stats.sim_exclusive_units;
+        let instrument = stats.sim_instrument_units;
+        let mprotect = stats.sim_mprotect_units;
+        let native = total
+            .saturating_sub(exclusive)
+            .saturating_sub(instrument)
+            .saturating_sub(mprotect);
+        SimBreakdown {
+            native,
+            exclusive,
+            instrument,
+            mprotect,
+        }
+    }
+
+    /// Total accounted units.
+    pub fn total(&self) -> u64 {
+        self.native + self.exclusive + self.instrument + self.mprotect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_snapshot_charges_deltas() {
+        let costs = SimCosts::default();
+        let mut stats = VcpuStats::default();
+        let snap = SimSnapshot::capture(&stats);
+        stats.insns = 10;
+        stats.stores = 2;
+        stats.helper_calls = 1;
+        stats.exclusive_entries = 1;
+        let (units, syncs, locks) = snap.charge(&mut stats, &costs);
+        assert_eq!(syncs, 1);
+        assert_eq!(locks, 0);
+        assert_eq!(
+            units,
+            10 * costs.insn + 2 * costs.memory_access + costs.helper_call
+        );
+        assert_eq!(stats.sim_instrument_units, costs.helper_call);
+    }
+
+    #[test]
+    fn sim_breakdown_accounts_all_units() {
+        let stats = VcpuStats {
+            sim_time: 1_000,
+            sim_exclusive_units: 100,
+            sim_instrument_units: 200,
+            sim_mprotect_units: 50,
+            ..VcpuStats::default()
+        };
+        let b = SimBreakdown::derive(&stats, 4);
+        assert_eq!(b.total(), 4_000);
+        assert_eq!(b.exclusive, 100);
+        assert_eq!(b.native, 4_000 - 350);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = VcpuStats {
+            insns: 10,
+            stores: 3,
+            exclusive_ns: 100,
+            ..VcpuStats::default()
+        };
+        let b = VcpuStats {
+            insns: 5,
+            stores: 4,
+            exclusive_ns: 50,
+            sc_failures: 2,
+            ..VcpuStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.insns, 15);
+        assert_eq!(a.stores, 7);
+        assert_eq!(a.exclusive_ns, 150);
+        assert_eq!(a.sc_failures, 2);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_cached() {
+        let c1 = calibration();
+        let c2 = calibration();
+        assert!(c1.htable_set_ns > 0.0);
+        assert!(c1.helper_dispatch_ns > 0.0);
+        assert_eq!(c1.htable_set_ns.to_bits(), c2.htable_set_ns.to_bits());
+    }
+
+    #[test]
+    fn breakdown_accounts_all_time() {
+        let stats = VcpuStats {
+            htable_sets: 1_000_000,
+            helper_calls: 1_000,
+            exclusive_ns: 500_000_000,
+            mprotect_ns: 250_000_000,
+            ..VcpuStats::default()
+        };
+        let b = Breakdown::derive(&stats, 2.0);
+        assert!(b.native_s > 0.0);
+        assert!((b.total_s() - 2.0).abs() < 1e-9);
+        assert!((b.exclusive_s - 0.5).abs() < 1e-9);
+        assert!((b.mprotect_s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_clamps_native_at_zero() {
+        let stats = VcpuStats {
+            exclusive_ns: u64::MAX / 2,
+            ..VcpuStats::default()
+        };
+        let b = Breakdown::derive(&stats, 0.001);
+        assert_eq!(b.native_s, 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The non-blocking store-test hash table at the heart of the HST scheme.
+//!
+//! Faithful to the paper's Fig. 4 design: a power-of-two array of
+//! single-word entries, indexed by dropping the low two address bits and
+//! masking (4-byte-aligned entries, index embedded in the address). The
+//! entry value is the id of the last thread that touched the hashed
+//! address via an LL or an instrumented store — so both `Htable_set` and
+//! `Htable_check` are one atomic access, cheap enough to inline at the IR
+//! level with no helper call and no locking.
+//!
+//! Hash collisions are benign: a colliding store flips the entry to a
+//! different tid, the victim's SC fails, and the guest's LL/SC retry loop
+//! recovers — the scheme stays conservative. The table can optionally
+//! track collision statistics (a shadow address array) to reproduce the
+//! paper's "only 2.4% conflicts in PARSEC" measurement.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The lock bit used by HST-WEAK's fine-grained SC serialization.
+const LOCK_BIT: u32 = 1 << 31;
+
+/// The store-test hash table; one per machine, shared by all vCPUs.
+pub struct StoreTestTable {
+    entries: Box<[AtomicU32]>,
+    mask: usize,
+    shadow: Option<Box<[AtomicU32]>>,
+    collisions: AtomicU64,
+    sets: AtomicU64,
+}
+
+impl StoreTestTable {
+    /// Creates a table with `2^index_bits` entries; collision tracking
+    /// (an extra shadow word per entry plus two counters) is for
+    /// profiling runs only.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index_bits <= 24`.
+    pub fn new(index_bits: u8, track_collisions: bool) -> StoreTestTable {
+        assert!((1..=24).contains(&index_bits), "index_bits must be 1..=24");
+        let size = 1usize << index_bits;
+        let mut entries = Vec::with_capacity(size);
+        entries.resize_with(size, || AtomicU32::new(0));
+        let shadow = track_collisions.then(|| {
+            let mut s = Vec::with_capacity(size);
+            s.resize_with(size, || AtomicU32::new(0));
+            s.into_boxed_slice()
+        });
+        StoreTestTable {
+            entries: entries.into_boxed_slice(),
+            mask: size - 1,
+            shadow,
+            collisions: AtomicU64::new(0),
+            sets: AtomicU64::new(0),
+        }
+    }
+
+    /// The paper's hash: drop the two alignment bits, mask to table size.
+    #[inline]
+    pub fn index(&self, addr: u32) -> usize {
+        ((addr >> 2) as usize) & self.mask
+    }
+
+    /// `Htable_set`: claim the entry for `tid` — one release store.
+    ///
+    /// Emitted inline (IR-level) for every guest store and LL under HST;
+    /// this function *is* the hot path the paper optimizes, so the
+    /// non-tracking configuration does nothing but the store.
+    #[inline]
+    pub fn set(&self, addr: u32, tid: u32) {
+        let idx = self.index(addr);
+        if let Some(shadow) = &self.shadow {
+            self.sets.fetch_add(1, Ordering::Relaxed);
+            let prev_addr = shadow[idx].swap(addr, Ordering::Relaxed);
+            let prev_tid = self.entries[idx].load(Ordering::Relaxed);
+            if prev_tid != 0 && prev_tid & !LOCK_BIT != tid && prev_addr != addr {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.entries[idx].store(tid, Ordering::SeqCst);
+    }
+
+    /// `Htable_check`: read the entry's current owner — one acquire load.
+    /// The lock bit is masked off.
+    #[inline]
+    pub fn get(&self, addr: u32) -> u32 {
+        self.entries[self.index(addr)].load(Ordering::SeqCst) & !LOCK_BIT
+    }
+
+    /// HST-WEAK's LL entry claim: like [`StoreTestTable::set`] but never
+    /// clobbers a *locked* entry — it CAS-loops until the holding SC
+    /// releases.
+    ///
+    /// HST-WEAK has no stop-the-world section, so its SC's critical
+    /// window is guarded only by the entry's lock bit; a plain-store
+    /// claim racing into that window would hand the claimant a lock on
+    /// an entry whose previous SC is still writing (a lost-update bug).
+    /// Strong HST keeps the plain [`StoreTestTable::set`] because its SC
+    /// runs with the world stopped. The closure `wait` runs on each
+    /// failed attempt (schemes pass a safepoint-servicing yield).
+    #[inline]
+    pub fn claim_unlocked(&self, addr: u32, tid: u32, mut wait: impl FnMut()) {
+        let entry = &self.entries[self.index(addr)];
+        loop {
+            let current = entry.load(Ordering::SeqCst);
+            if current & LOCK_BIT == 0
+                && entry
+                    .compare_exchange(current, tid, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return;
+            }
+            wait();
+        }
+    }
+
+    /// HST-WEAK's SC entry lock: succeed only if the entry still belongs
+    /// to `tid` and is unlocked, atomically setting the lock bit.
+    ///
+    /// A failure means another LL/SC pair claimed the entry (or holds the
+    /// lock mid-SC), so the caller's SC must fail — this single CAS is
+    /// "the lock in the hash table" that gives HST-WEAK its weak
+    /// atomicity without any stop-the-world section.
+    #[inline]
+    pub fn try_lock(&self, addr: u32, tid: u32) -> bool {
+        self.entries[self.index(addr)]
+            .compare_exchange(tid, tid | LOCK_BIT, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Releases an entry locked by [`StoreTestTable::try_lock`], leaving
+    /// the caller's ownership in place.
+    #[inline]
+    pub fn unlock(&self, addr: u32, tid: u32) {
+        self.entries[self.index(addr)].store(tid, Ordering::SeqCst);
+    }
+
+    /// The synthetic HTM-conflict token for an entry: HTM-backed schemes
+    /// `observe` this token inside SC transactions, and the engine bumps
+    /// it on every `HtableSet` while HTM is enabled — standing in for
+    /// the entry's cache line that real HTM would track. Tokens are
+    /// tagged into high address space; hash collisions with guest words
+    /// only ever cause spurious aborts, never missed conflicts.
+    #[inline]
+    pub fn htm_token(&self, addr: u32) -> u32 {
+        0x8000_0000 ^ ((self.index(addr) as u32) << 2)
+    }
+
+    /// Collision statistics: `(collisions, total tracked sets)`. Both are
+    /// zero unless the table was built with tracking.
+    pub fn collision_stats(&self) -> (u64, u64) {
+        (
+            self.collisions.load(Ordering::Relaxed),
+            self.sets.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false — the table has a fixed power-of-two size.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Debug for StoreTestTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreTestTable")
+            .field("entries", &self.entries.len())
+            .field("tracking", &self.shadow.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get() {
+        let t = StoreTestTable::new(8, false);
+        t.set(0x1000, 3);
+        assert_eq!(t.get(0x1000), 3);
+        // Different address, same entry (table has 256 entries → addresses
+        // 0x1000 and 0x1000 + 256*4 collide).
+        let colliding = 0x1000 + 256 * 4;
+        assert_eq!(t.index(0x1000), t.index(colliding));
+        t.set(colliding, 7);
+        assert_eq!(t.get(0x1000), 7);
+    }
+
+    #[test]
+    fn aligned_words_spread_across_entries() {
+        let t = StoreTestTable::new(8, false);
+        assert_ne!(t.index(0x0), t.index(0x4));
+        // Bytes within one word share an entry (4-byte alignment).
+        assert_eq!(t.index(0x101), t.index(0x102));
+    }
+
+    #[test]
+    fn lock_protocol() {
+        let t = StoreTestTable::new(8, false);
+        t.set(0x20, 5);
+        assert!(t.try_lock(0x20, 5));
+        // Locked: a second lock attempt fails even for the owner.
+        assert!(!t.try_lock(0x20, 5));
+        // get masks the lock bit.
+        assert_eq!(t.get(0x20), 5);
+        t.unlock(0x20, 5);
+        assert!(t.try_lock(0x20, 5));
+    }
+
+    #[test]
+    fn lock_fails_for_non_owner() {
+        let t = StoreTestTable::new(8, false);
+        t.set(0x20, 5);
+        assert!(!t.try_lock(0x20, 6));
+        assert_eq!(t.get(0x20), 5);
+    }
+
+    #[test]
+    fn collision_tracking_counts_cross_address_overwrites() {
+        let t = StoreTestTable::new(4, true); // 16 entries: collisions likely
+        t.set(0x0, 1);
+        t.set(0x0, 2); // same address: not a collision
+        let colliding = 16 * 4;
+        assert_eq!(t.index(0), t.index(colliding));
+        t.set(colliding, 3); // different address, same entry: collision
+        let (collisions, sets) = t.collision_stats();
+        assert_eq!(sets, 3);
+        assert_eq!(collisions, 1);
+    }
+
+    #[test]
+    fn untracked_table_reports_zero() {
+        let t = StoreTestTable::new(4, false);
+        t.set(0, 1);
+        assert_eq!(t.collision_stats(), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_lock_excludes() {
+        let t = StoreTestTable::new(8, false);
+        t.set(0x40, 1);
+        // Only the thread whose tid matches the entry can ever lock it.
+        std::thread::scope(|s| {
+            let t = &t;
+            let winner = s.spawn(move || {
+                let mut wins = 0;
+                for _ in 0..1000 {
+                    if t.try_lock(0x40, 1) {
+                        wins += 1;
+                        t.unlock(0x40, 1);
+                    }
+                }
+                wins
+            });
+            let loser = s.spawn(move || {
+                let mut wins = 0;
+                for _ in 0..1000 {
+                    if t.try_lock(0x40, 2) {
+                        wins += 1;
+                        t.unlock(0x40, 2);
+                    }
+                }
+                wins
+            });
+            assert!(winner.join().unwrap() > 0);
+            assert_eq!(loser.join().unwrap(), 0);
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the interpreter's ALU against an independent
+//! reference implementation of ARM's flag semantics.
+
+use adbt_engine::{interp::alu, Flags};
+use adbt_isa::AluOp;
+use proptest::prelude::*;
+
+/// An independent (wide-arithmetic) reference for the arithmetic family.
+fn reference(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
+    let c_in = flags.c as u64;
+    let wide_result = |wide: i128, unsigned: u128| -> (u32, bool, bool) {
+        let r = wide as u32;
+        // Carry: unsigned result does not fit in 32 bits (for adds) /
+        // no borrow (for subs, computed by the caller).
+        let carry = unsigned > u32::MAX as u128;
+        // Overflow: signed result does not fit in i32.
+        let signed: i128 = wide;
+        let v = signed < i32::MIN as i128 || signed > i32::MAX as i128;
+        (r, carry, v)
+    };
+    let (result, c, v) = match op {
+        AluOp::Add => {
+            let (r, carry, v) =
+                wide_result(a as i32 as i128 + b as i32 as i128, a as u128 + b as u128);
+            (r, carry, v)
+        }
+        AluOp::Adc => {
+            let (r, carry, v) = wide_result(
+                a as i32 as i128 + b as i32 as i128 + c_in as i128,
+                a as u128 + b as u128 + c_in as u128,
+            );
+            (r, carry, v)
+        }
+        AluOp::Sub => {
+            let r = a.wrapping_sub(b);
+            let signed = a as i32 as i128 - b as i32 as i128;
+            (
+                r,
+                (a as u64) >= (b as u64),
+                signed < i32::MIN as i128 || signed > i32::MAX as i128,
+            )
+        }
+        AluOp::Sbc => {
+            let borrow = 1 - c_in;
+            let r = a.wrapping_sub(b).wrapping_sub(borrow as u32);
+            let signed = a as i32 as i128 - b as i32 as i128 - borrow as i128;
+            (
+                r,
+                (a as u64) >= (b as u64 + borrow),
+                signed < i32::MIN as i128 || signed > i32::MAX as i128,
+            )
+        }
+        AluOp::Rsb => {
+            let r = b.wrapping_sub(a);
+            let signed = b as i32 as i128 - a as i32 as i128;
+            (
+                r,
+                (b as u64) >= (a as u64),
+                signed < i32::MIN as i128 || signed > i32::MAX as i128,
+            )
+        }
+        AluOp::And => (a & b, flags.c, flags.v),
+        AluOp::Orr => (a | b, flags.c, flags.v),
+        AluOp::Eor => (a ^ b, flags.c, flags.v),
+        AluOp::Bic => (a & !b, flags.c, flags.v),
+        AluOp::Mul => (a.wrapping_mul(b), flags.c, flags.v),
+        AluOp::Lsl => (a << (b % 32), flags.c, flags.v),
+        AluOp::Lsr => (a >> (b % 32), flags.c, flags.v),
+        AluOp::Asr => (((a as i32) >> (b % 32)) as u32, flags.c, flags.v),
+        AluOp::Ror => (a.rotate_right(b % 32), flags.c, flags.v),
+    };
+    (
+        result,
+        Flags {
+            n: (result as i32) < 0,
+            z: result == 0,
+            c,
+            v,
+        },
+    )
+}
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(n, z, c, v)| Flags {
+        n,
+        z,
+        c,
+        v,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn alu_matches_reference(
+        op in proptest::sample::select(AluOp::ALL.to_vec()),
+        a in any::<u32>(),
+        b in any::<u32>(),
+        flags in arb_flags(),
+    ) {
+        let (got, got_flags) = alu(op, a, b, flags);
+        let (want, want_flags) = reference(op, a, b, flags);
+        prop_assert_eq!(got, want, "{:?} result", op);
+        prop_assert_eq!(got_flags, want_flags, "{:?} flags for a={:#x} b={:#x}", op, a, b);
+    }
+
+    /// Differential identities the ARM manual implies.
+    #[test]
+    fn arithmetic_identities(a in any::<u32>(), b in any::<u32>(), flags in arb_flags()) {
+        // SUB a,b == ADD a,(-b) for the result (not for C, which is
+        // borrow-inverted).
+        let (sub, _) = alu(AluOp::Sub, a, b, flags);
+        let (add_neg, _) = alu(AluOp::Add, a, b.wrapping_neg(), flags);
+        prop_assert_eq!(sub, add_neg);
+
+        // RSB a,b == SUB b,a entirely.
+        let (rsb, rsb_flags) = alu(AluOp::Rsb, a, b, flags);
+        let (sub_swapped, sub_flags) = alu(AluOp::Sub, b, a, flags);
+        prop_assert_eq!(rsb, sub_swapped);
+        prop_assert_eq!(rsb_flags, sub_flags);
+
+        // ADC with carry clear == ADD; SBC with carry set == SUB.
+        let clear = Flags { c: false, ..flags };
+        let set = Flags { c: true, ..flags };
+        prop_assert_eq!(alu(AluOp::Adc, a, b, clear).0, alu(AluOp::Add, a, b, clear).0);
+        prop_assert_eq!(alu(AluOp::Sbc, a, b, set).0, alu(AluOp::Sub, a, b, set).0);
+    }
+
+    /// CMP-then-branch is how all guest control flow works; the condition
+    /// predicates must agree with integer comparisons.
+    #[test]
+    fn cmp_flags_order_integers(a in any::<u32>(), b in any::<u32>()) {
+        let (_, f) = alu(AluOp::Sub, a, b, Flags::default());
+        use adbt_isa::Cond;
+        prop_assert_eq!(f.holds(Cond::Eq), a == b);
+        prop_assert_eq!(f.holds(Cond::Ne), a != b);
+        prop_assert_eq!(f.holds(Cond::Cs), a >= b);            // unsigned >=
+        prop_assert_eq!(f.holds(Cond::Cc), a < b);             // unsigned <
+        prop_assert_eq!(f.holds(Cond::Hi), a > b);             // unsigned >
+        prop_assert_eq!(f.holds(Cond::Ls), a <= b);            // unsigned <=
+        prop_assert_eq!(f.holds(Cond::Ge), (a as i32) >= (b as i32));
+        prop_assert_eq!(f.holds(Cond::Lt), (a as i32) < (b as i32));
+        prop_assert_eq!(f.holds(Cond::Gt), (a as i32) > (b as i32));
+        prop_assert_eq!(f.holds(Cond::Le), (a as i32) <= (b as i32));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property and stress tests for the software HTM: committed
+//! transactions must be serializable, aborted ones invisible, and
+//! non-transactional stores must conflict.
+
+use adbt_htm::{AbortReason, HtmDomain};
+use adbt_mmu::{GuestMemory, Width};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum TxnOp {
+    Load(u32),
+    Store(u32, u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<TxnOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..64).prop_map(|w| TxnOp::Load(w * 4)),
+            (0u32..64, any::<u32>()).prop_map(|(w, v)| TxnOp::Store(w * 4, v)),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A committed transaction equals the same ops applied directly.
+    #[test]
+    fn sequential_commit_equals_direct_execution(ops in arb_ops(), seed in any::<u32>()) {
+        let mem_txn = GuestMemory::new(4096);
+        let mem_direct = GuestMemory::new(4096);
+        for i in 0..64u32 {
+            let v = seed.wrapping_mul(i + 1);
+            mem_txn.store(i * 4, Width::Word, v);
+            mem_direct.store(i * 4, Width::Word, v);
+        }
+        let domain = HtmDomain::default();
+        let mut txn = domain.begin();
+        let mut txn_reads = Vec::new();
+        let mut direct_reads = Vec::new();
+        for op in &ops {
+            match *op {
+                TxnOp::Load(addr) => {
+                    txn_reads.push(txn.load_word(&mem_txn, addr).unwrap());
+                    direct_reads.push(mem_direct.load(addr, Width::Word));
+                }
+                TxnOp::Store(addr, value) => {
+                    txn.store_word(addr, value).unwrap();
+                    mem_direct.store(addr, Width::Word, value);
+                }
+            }
+        }
+        txn.commit(&mem_txn).unwrap();
+        prop_assert_eq!(txn_reads, direct_reads);
+        for i in 0..64u32 {
+            prop_assert_eq!(
+                mem_txn.load(i * 4, Width::Word),
+                mem_direct.load(i * 4, Width::Word),
+                "word {}", i
+            );
+        }
+    }
+
+    /// A dropped (aborted) transaction leaves memory untouched.
+    #[test]
+    fn aborted_transaction_is_invisible(ops in arb_ops()) {
+        let mem = GuestMemory::new(4096);
+        let domain = HtmDomain::default();
+        let before: Vec<u32> = (0..64).map(|i| mem.load(i * 4, Width::Word)).collect();
+        {
+            let mut txn = domain.begin();
+            for op in &ops {
+                match *op {
+                    TxnOp::Load(addr) => {
+                        let _ = txn.load_word(&mem, addr);
+                    }
+                    TxnOp::Store(addr, value) => {
+                        let _ = txn.store_word(addr, value);
+                    }
+                }
+            }
+            // Dropped without commit.
+        }
+        let after: Vec<u32> = (0..64).map(|i| mem.load(i * 4, Width::Word)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// A plain store to any address in the read set kills the commit.
+    #[test]
+    fn read_set_conflicts_always_detected(
+        reads in proptest::collection::vec(0u32..64, 1..10),
+        victim_index in any::<prop::sample::Index>(),
+    ) {
+        let mem = GuestMemory::new(4096);
+        let domain = HtmDomain::default();
+        let mut txn = domain.begin();
+        for &w in &reads {
+            txn.load_word(&mem, w * 4).unwrap();
+        }
+        let victim = reads[victim_index.index(reads.len())] * 4;
+        mem.store(victim, Width::Word, 0xdead);
+        domain.notify_plain_store(victim);
+        txn.store_word(0x900, 1).unwrap();
+        prop_assert_eq!(txn.commit(&mem), Err(AbortReason::Conflict));
+        prop_assert_eq!(mem.load(0x900, Width::Word), 0);
+    }
+}
+
+/// Multi-threaded linearizability stress: transactional increments of
+/// several counters plus concurrent consistent loads; totals must be
+/// exact and every consistent load must see a valid monotone value.
+#[test]
+fn concurrent_counters_and_consistent_loads() {
+    const THREADS: u32 = 4;
+    const ITERS: u32 = 3_000;
+    const COUNTERS: u32 = 4;
+    let mem = GuestMemory::new(4096);
+    let domain = HtmDomain::default();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (mem, domain) = (&mem, &domain);
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let addr = ((t + i) % COUNTERS) * 4;
+                    loop {
+                        let mut txn = domain.begin();
+                        let ok = txn
+                            .load_word(mem, addr)
+                            .and_then(|v| txn.store_word(addr, v + 1))
+                            .is_ok();
+                        if ok && txn.commit(mem).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        // A reader thread doing consistent loads must never observe a
+        // torn/backwards value (monotone per counter).
+        let (mem, domain) = (&mem, &domain);
+        s.spawn(move || {
+            let mut last = [0u32; COUNTERS as usize];
+            for _ in 0..20_000 {
+                for c in 0..COUNTERS {
+                    let v = domain.consistent_load(mem, c * 4, Width::Word);
+                    assert!(v >= last[c as usize], "counter went backwards");
+                    last[c as usize] = v;
+                }
+            }
+        });
+    });
+    let total: u32 = (0..COUNTERS).map(|c| mem.load(c * 4, Width::Word)).sum();
+    assert_eq!(total, THREADS * ITERS);
+}

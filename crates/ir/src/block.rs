@@ -1,0 +1,223 @@
+use crate::{Cond, Op, Slot, Src};
+
+/// How control leaves a translated block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Unconditional jump to a static guest address.
+    Jump(u32),
+    /// Conditional jump: `taken` if `cond` holds on the current flags,
+    /// `fallthrough` otherwise.
+    CondJump {
+        /// The predicate, evaluated against NZCV at exit.
+        cond: Cond,
+        /// Target when the predicate holds.
+        taken: u32,
+        /// Target when it does not.
+        fallthrough: u32,
+    },
+    /// Indirect jump to the address held in a slot (guest `bx`).
+    Indirect {
+        /// Slot holding the target address.
+        target: Src,
+    },
+    /// Supervisor call into the emulation runtime, continuing at
+    /// `ret_addr` unless the call terminates the vCPU.
+    Svc {
+        /// The service number.
+        num: u16,
+        /// The guest address of the next instruction.
+        ret_addr: u32,
+    },
+    /// An undefined instruction: terminate the vCPU with a fault report.
+    Undefined {
+        /// The faulting guest address.
+        addr: u32,
+        /// The `udf` payload, or the raw word for decode failures.
+        info: u32,
+    },
+}
+
+/// A translated basic block: straight-line ops plus one exit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The guest address of the block's first instruction.
+    pub guest_pc: u32,
+    /// The number of guest instructions covered.
+    pub guest_len: u32,
+    /// The ops, executed in order.
+    pub ops: Vec<Op>,
+    /// The exit.
+    pub exit: BlockExit,
+    /// Number of temporaries used (the interpreter sizes its temp file
+    /// from this).
+    pub temps: u16,
+    /// Dynamic count of architectural guest stores in `ops` (profile
+    /// metadata for the Table I experiment).
+    pub guest_stores: u32,
+    /// Whether the block contains an LL or SC (profile metadata).
+    pub has_llsc: bool,
+}
+
+/// Incremental builder used by the frontend and by scheme lowering hooks.
+///
+/// # Example
+///
+/// ```
+/// use adbt_ir::{BlockBuilder, BlockExit, Op, Slot, Src, Width};
+///
+/// let mut b = BlockBuilder::new(0x1000);
+/// let t = b.temp();
+/// b.push(Op::Mov { dst: t, src: Src::Imm(5), set_flags: false });
+/// b.push(Op::Store { src: t.into(), addr: Src::Slot(Slot::Reg(0)), width: Width::Word, guest_store: true });
+/// let block = b.finish(BlockExit::Jump(0x1004), 1);
+/// assert_eq!(block.temps, 1);
+/// assert_eq!(block.guest_stores, 1);
+/// ```
+#[derive(Debug)]
+pub struct BlockBuilder {
+    guest_pc: u32,
+    current_pc: u32,
+    ops: Vec<Op>,
+    next_temp: u16,
+    has_llsc: bool,
+}
+
+impl BlockBuilder {
+    /// Starts a builder for the block at `guest_pc`.
+    pub fn new(guest_pc: u32) -> BlockBuilder {
+        BlockBuilder {
+            guest_pc,
+            current_pc: guest_pc,
+            ops: Vec::new(),
+            next_temp: 0,
+            has_llsc: false,
+        }
+    }
+
+    /// The guest address this block starts at.
+    pub fn guest_pc(&self) -> u32 {
+        self.guest_pc
+    }
+
+    /// The guest address of the instruction currently being lowered
+    /// (maintained by the frontend; scheme hooks read it to embed restart
+    /// points, e.g. PICO-HTM's transaction rollback PC).
+    pub fn current_pc(&self) -> u32 {
+        self.current_pc
+    }
+
+    /// Updates the current instruction address; called by the frontend
+    /// before lowering each guest instruction.
+    pub fn set_current_pc(&mut self, pc: u32) {
+        self.current_pc = pc;
+    }
+
+    /// Allocates a fresh temporary slot.
+    pub fn temp(&mut self) -> Slot {
+        let t = Slot::Temp(self.next_temp);
+        self.next_temp = self
+            .next_temp
+            .checked_add(1)
+            .expect("more than 65535 temps in one block");
+        t
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Marks the block as containing an LL or SC (set by scheme lowering;
+    /// feeds the Table I instruction profile).
+    pub fn mark_llsc(&mut self) {
+        self.has_llsc = true;
+    }
+
+    /// Number of ops appended so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalizes the block with its exit and guest instruction count.
+    pub fn finish(self, exit: BlockExit, guest_len: u32) -> Block {
+        let guest_stores = self
+            .ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Store {
+                        guest_store: true,
+                        ..
+                    }
+                )
+            })
+            .count() as u32;
+        Block {
+            guest_pc: self.guest_pc,
+            guest_len,
+            ops: self.ops,
+            exit,
+            temps: self.next_temp,
+            guest_stores,
+            has_llsc: self.has_llsc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Width;
+
+    #[test]
+    fn builder_counts_guest_stores_only() {
+        let mut b = BlockBuilder::new(0);
+        let t = b.temp();
+        b.push(Op::Store {
+            src: Src::Imm(1),
+            addr: t.into(),
+            width: Width::Word,
+            guest_store: true,
+        });
+        b.push(Op::Store {
+            src: Src::Imm(2),
+            addr: t.into(),
+            width: Width::Word,
+            guest_store: false,
+        });
+        let block = b.finish(BlockExit::Jump(8), 2);
+        assert_eq!(block.guest_stores, 1);
+        assert!(!block.has_llsc);
+    }
+
+    #[test]
+    fn temps_are_unique_and_counted() {
+        let mut b = BlockBuilder::new(0);
+        let t0 = b.temp();
+        let t1 = b.temp();
+        assert_ne!(t0, t1);
+        let block = b.finish(BlockExit::Jump(4), 1);
+        assert_eq!(block.temps, 2);
+    }
+
+    #[test]
+    fn mark_llsc_propagates() {
+        let mut b = BlockBuilder::new(0x100);
+        b.mark_llsc();
+        let block = b.finish(
+            BlockExit::CondJump {
+                cond: Cond::Ne,
+                taken: 0x100,
+                fallthrough: 0x104,
+            },
+            1,
+        );
+        assert!(block.has_llsc);
+    }
+}

@@ -1,0 +1,1114 @@
+//! A two-pass text assembler for the guest ISA.
+//!
+//! The assembler exists so that tests, examples and the workload
+//! generators can express guest programs readably instead of hand-encoding
+//! words. Syntax follows ARM unified assembly where the ISAs overlap:
+//!
+//! ```text
+//! ; comments start with ';', '@' or '//'
+//! .equ ITERS, 100
+//!
+//! spin_lock:                     ; label definitions end with ':'
+//!     ldrex  r1, [r0]
+//!     cmp    r1, #0
+//!     bne    spin_lock           ; conditional branches take a label
+//!     mov    r1, #1
+//!     strex  r2, r1, [r0]
+//!     cmp    r2, #0
+//!     bne    spin_lock
+//!     bx     lr
+//!
+//! counter:
+//!     .word  0                   ; literal data
+//!     .space 60                  ; zero padding (cache-line separation)
+//! ```
+//!
+//! Supported directives: `.word expr`, `.space n`, `.align n` (power of
+//! two), `.equ name, expr`. The `mov32 rd, #expr` pseudo-instruction
+//! expands to a `movw`/`movt` pair and accepts label operands, which is
+//! how guest code materializes data addresses.
+//!
+//! Expressions are an integer literal (decimal, `0x`, `0b`), a symbol
+//! (label or `.equ` constant), or `symbol +/- literal`.
+
+use crate::encode::{MAX_BRANCH_OFFSET, MIN_BRANCH_OFFSET};
+use crate::insn::{Address, AluOp, Insn, Operand2, Width};
+use crate::{encode, AsmError, Cond, Reg, ShiftOp};
+use std::collections::HashMap;
+
+/// The output of [`assemble`]: a flat binary image plus its symbol table.
+#[derive(Clone, Debug)]
+pub struct Image {
+    /// The guest virtual address of `bytes[0]`.
+    pub base: u32,
+    /// Little-endian instruction words and data.
+    pub bytes: Vec<u8>,
+    /// Every label and `.equ` constant, by name.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Looks up a symbol's value (for labels, its guest address).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use adbt_isa::asm::assemble;
+    ///
+    /// let img = assemble("start: nop\nend: nop\n", 0x1000).unwrap();
+    /// assert_eq!(img.symbol("end"), Some(0x1004));
+    /// assert_eq!(img.symbol("missing"), None);
+    /// ```
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The guest address one past the image's last byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// Assembles a program into an [`Image`] whose first byte lives at `base`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based source line for syntax
+/// errors, unknown mnemonics, out-of-range immediates, duplicate or
+/// undefined symbols, and branch targets beyond the ±32 MiB direct-branch
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::asm::assemble;
+///
+/// let img = assemble("mov r0, #1\nsvc #0\n", 0x8000)?;
+/// assert_eq!(img.bytes.len(), 8);
+/// # Ok::<(), adbt_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str, base: u32) -> Result<Image, AsmError> {
+    let lines = parse_lines(source)?;
+    let symbols = layout(&lines, base)?;
+    emit(&lines, base, symbols)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Item {
+    Insn { mnemonic: String, operands: String },
+    Word(Expr),
+    Space(u32),
+    Align(u32),
+    Equ { name: String, value: Expr },
+    Label(String),
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    number: usize,
+    items: Vec<Item>,
+}
+
+#[derive(Clone, Debug)]
+enum Expr {
+    Literal(i64),
+    Symbol { name: String, addend: i64 },
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, ch) in line.char_indices() {
+        if ch == ';' || ch == '@' {
+            end = i;
+            break;
+        }
+        if ch == '/' && line[i + ch.len_utf8()..].starts_with('/') {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        let mut items = Vec::new();
+        // Leading labels: `foo:` or `foo: bar: insn`.
+        while let Some(colon) = text.find(':') {
+            let candidate = text[..colon].trim();
+            if !candidate.is_empty() && is_symbol(candidate) {
+                items.push(Item::Label(candidate.to_string()));
+                text = text[colon + 1..].trim();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            if !items.is_empty() {
+                lines.push(Line { number, items });
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('.') {
+            items.push(parse_directive(number, rest)?);
+        } else {
+            let (mnemonic, operands) = match text.split_once(char::is_whitespace) {
+                Some((m, ops)) => (m, ops.trim()),
+                None => (text, ""),
+            };
+            items.push(Item::Insn {
+                mnemonic: mnemonic.to_ascii_lowercase(),
+                operands: operands.to_string(),
+            });
+        }
+        lines.push(Line { number, items });
+    }
+    Ok(lines)
+}
+
+fn is_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_directive(number: usize, rest: &str) -> Result<Item, AsmError> {
+    let (name, args) = match rest.split_once(char::is_whitespace) {
+        Some((n, a)) => (n, a.trim()),
+        None => (rest, ""),
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "word" => Ok(Item::Word(parse_expr(number, args)?)),
+        "space" => {
+            let n = parse_int(args)
+                .ok_or_else(|| AsmError::new(number, format!("invalid .space size `{args}`")))?;
+            if n < 0 {
+                return Err(AsmError::new(number, ".space size must be non-negative"));
+            }
+            Ok(Item::Space(n as u32))
+        }
+        "align" => {
+            let n = parse_int(args)
+                .ok_or_else(|| AsmError::new(number, format!("invalid .align `{args}`")))?;
+            if n <= 0 || (n & (n - 1)) != 0 {
+                return Err(AsmError::new(number, ".align must be a power of two"));
+            }
+            Ok(Item::Align(n as u32))
+        }
+        "equ" => {
+            let (sym, value) = args
+                .split_once(',')
+                .ok_or_else(|| AsmError::new(number, ".equ needs `name, value`"))?;
+            let sym = sym.trim();
+            if !is_symbol(sym) {
+                return Err(AsmError::new(number, format!("invalid .equ name `{sym}`")));
+            }
+            Ok(Item::Equ {
+                name: sym.to_string(),
+                value: parse_expr(number, value.trim())?,
+            })
+        }
+        other => Err(AsmError::new(number, format!("unknown directive .{other}"))),
+    }
+}
+
+fn parse_int(text: &str) -> Option<i64> {
+    let text = text.trim();
+    let (neg, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text.strip_prefix('+').unwrap_or(text)),
+    };
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = digits
+        .strip_prefix("0b")
+        .or_else(|| digits.strip_prefix("0B"))
+    {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        digits.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+fn parse_expr(number: usize, text: &str) -> Result<Expr, AsmError> {
+    let text = text.trim().trim_start_matches('#').trim();
+    if let Some(v) = parse_int(text) {
+        return Ok(Expr::Literal(v));
+    }
+    // symbol [+|- literal]
+    for (i, ch) in text.char_indices().skip(1) {
+        if ch == '+' || ch == '-' {
+            let (sym, rest) = text.split_at(i);
+            let sym = sym.trim();
+            if is_symbol(sym) {
+                let addend = parse_int(rest)
+                    .ok_or_else(|| AsmError::new(number, format!("invalid addend in `{text}`")))?;
+                return Ok(Expr::Symbol {
+                    name: sym.to_string(),
+                    addend,
+                });
+            }
+        }
+    }
+    if is_symbol(text) {
+        return Ok(Expr::Symbol {
+            name: text.to_string(),
+            addend: 0,
+        });
+    }
+    Err(AsmError::new(
+        number,
+        format!("invalid expression `{text}`"),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: layout
+// ---------------------------------------------------------------------------
+
+fn item_size(item: &Item, pc: u32, mnemonic_table: impl Fn(&str) -> bool) -> Option<u32> {
+    match item {
+        Item::Insn { mnemonic, .. } => {
+            if mnemonic == "mov32" {
+                Some(8)
+            } else if mnemonic_table(mnemonic) {
+                Some(4)
+            } else {
+                None
+            }
+        }
+        Item::Word(_) => Some(4),
+        Item::Space(n) => Some(*n),
+        Item::Align(n) => Some(pc.next_multiple_of(*n) - pc),
+        Item::Equ { .. } | Item::Label(_) => Some(0),
+    }
+}
+
+fn layout(lines: &[Line], base: u32) -> Result<HashMap<String, u32>, AsmError> {
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut pc = base;
+    // `.equ` referencing labels requires resolving after layout; we allow
+    // forward references by deferring equ evaluation to pass 2, but record
+    // literal equs now so sizes stay deterministic.
+    for line in lines {
+        for item in &line.items {
+            match item {
+                Item::Label(name) => {
+                    if symbols.insert(name.clone(), pc).is_some() {
+                        return Err(AsmError::new(
+                            line.number,
+                            format!("duplicate symbol `{name}`"),
+                        ));
+                    }
+                }
+                Item::Equ { name, value } => {
+                    let v = match value {
+                        Expr::Literal(v) => *v,
+                        Expr::Symbol { name: sym, addend } => {
+                            let base = *symbols.get(sym).ok_or_else(|| {
+                                AsmError::new(
+                                    line.number,
+                                    format!(".equ may only reference earlier symbols (`{sym}`)"),
+                                )
+                            })?;
+                            base as i64 + addend
+                        }
+                    };
+                    if symbols.insert(name.clone(), v as u32).is_some() {
+                        return Err(AsmError::new(
+                            line.number,
+                            format!("duplicate symbol `{name}`"),
+                        ));
+                    }
+                }
+                other => {
+                    let size = item_size(other, pc, known_mnemonic).ok_or_else(|| {
+                        AsmError::new(
+                            line.number,
+                            match other {
+                                Item::Insn { mnemonic, .. } => {
+                                    format!("unknown mnemonic `{mnemonic}`")
+                                }
+                                _ => "unsupported item".to_string(),
+                            },
+                        )
+                    })?;
+                    pc = pc.checked_add(size).ok_or_else(|| {
+                        AsmError::new(line.number, "image exceeds the 32-bit address space")
+                    })?;
+                }
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: emission
+// ---------------------------------------------------------------------------
+
+struct Emitter {
+    base: u32,
+    bytes: Vec<u8>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Emitter {
+    fn pc(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    fn push_word(&mut self, word: u32) {
+        self.bytes.extend_from_slice(&word.to_le_bytes());
+    }
+
+    fn push_insn(&mut self, insn: &Insn) {
+        self.push_word(encode(insn));
+    }
+
+    fn resolve(&self, line: usize, expr: &Expr) -> Result<i64, AsmError> {
+        match expr {
+            Expr::Literal(v) => Ok(*v),
+            Expr::Symbol { name, addend } => self
+                .symbols
+                .get(name)
+                .map(|&v| v as i64 + addend)
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{name}`"))),
+        }
+    }
+}
+
+fn emit(lines: &[Line], base: u32, symbols: HashMap<String, u32>) -> Result<Image, AsmError> {
+    let mut em = Emitter {
+        base,
+        bytes: Vec::new(),
+        symbols,
+    };
+    for line in lines {
+        for item in &line.items {
+            match item {
+                Item::Label(_) | Item::Equ { .. } => {}
+                Item::Word(expr) => {
+                    let v = em.resolve(line.number, expr)?;
+                    em.push_word(v as u32);
+                }
+                Item::Space(n) => em.bytes.extend(std::iter::repeat_n(0, *n as usize)),
+                Item::Align(n) => {
+                    while !em.pc().is_multiple_of(*n) {
+                        em.bytes.push(0);
+                    }
+                }
+                Item::Insn { mnemonic, operands } => {
+                    emit_insn(&mut em, line.number, mnemonic, operands)?;
+                }
+            }
+        }
+    }
+    Ok(Image {
+        base,
+        bytes: em.bytes,
+        symbols: em.symbols,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Instruction parsing
+// ---------------------------------------------------------------------------
+
+fn known_mnemonic(m: &str) -> bool {
+    split_mnemonic(m).is_some()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Alu(AluOp),
+    Mov,
+    Mvn,
+    Cmp,
+    Cmn,
+    Tst,
+    Teq,
+    Movw,
+    Movt,
+    Mov32,
+    Ldr(Width),
+    Str(Width),
+    Ldrex,
+    Strex,
+    Clrex,
+    Dmb,
+    B(Cond),
+    Bl,
+    Bx,
+    Svc,
+    Yield,
+    Nop,
+    Udf,
+}
+
+/// Splits a mnemonic into its base operation plus a `set_flags` marker.
+fn split_mnemonic(m: &str) -> Option<(Op, bool)> {
+    // Exact matches first (so `bls` doesn't shadow `bl`, and `mul` wins
+    // over nothing else).
+    let exact = |m: &str| -> Option<Op> {
+        Some(match m {
+            "mov" => Op::Mov,
+            "mvn" => Op::Mvn,
+            "cmp" => Op::Cmp,
+            "cmn" => Op::Cmn,
+            "tst" => Op::Tst,
+            "teq" => Op::Teq,
+            "movw" => Op::Movw,
+            "movt" => Op::Movt,
+            "mov32" => Op::Mov32,
+            "ldr" => Op::Ldr(Width::Word),
+            "ldrb" => Op::Ldr(Width::Byte),
+            "ldrh" => Op::Ldr(Width::Half),
+            "str" => Op::Str(Width::Word),
+            "strb" => Op::Str(Width::Byte),
+            "strh" => Op::Str(Width::Half),
+            "ldrex" => Op::Ldrex,
+            "strex" => Op::Strex,
+            "clrex" => Op::Clrex,
+            "dmb" => Op::Dmb,
+            "b" => Op::B(Cond::Al),
+            "bl" => Op::Bl,
+            "bx" => Op::Bx,
+            "svc" => Op::Svc,
+            "yield" => Op::Yield,
+            "nop" => Op::Nop,
+            "udf" => Op::Udf,
+            _ => return None,
+        })
+    };
+    if let Some(op) = exact(m) {
+        return Some((op, false));
+    }
+    // ALU mnemonics with optional trailing `s`.
+    for alu in AluOp::ALL {
+        if m == alu.mnemonic() {
+            return Some((Op::Alu(alu), false));
+        }
+        if m.len() == alu.mnemonic().len() + 1 && m.starts_with(alu.mnemonic()) && m.ends_with('s')
+        {
+            return Some((Op::Alu(alu), true));
+        }
+    }
+    if m == "movs" {
+        return Some((Op::Mov, true));
+    }
+    if m == "mvns" {
+        return Some((Op::Mvn, true));
+    }
+    // Conditional branches: `b` + condition suffix.
+    if let Some(suffix) = m.strip_prefix('b') {
+        for cond in Cond::ALL {
+            if cond != Cond::Al && suffix == cond.suffix() {
+                return Some((Op::B(cond), false));
+            }
+        }
+    }
+    None
+}
+
+fn split_operands(text: &str) -> Vec<String> {
+    // Split on commas that are not inside brackets.
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in text.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                parts.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current.trim().to_string());
+    }
+    parts
+}
+
+fn parse_reg(line: usize, text: &str) -> Result<Reg, AsmError> {
+    let t = text.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        "pc" => return Ok(Reg::PC),
+        _ => {}
+    }
+    if let Some(num) = t.strip_prefix('r') {
+        if let Ok(n) = num.parse::<u8>() {
+            if let Some(reg) = Reg::new(n) {
+                return Ok(reg);
+            }
+        }
+    }
+    Err(AsmError::new(line, format!("invalid register `{text}`")))
+}
+
+fn parse_shift_op(text: &str) -> Option<ShiftOp> {
+    match text {
+        "lsl" => Some(ShiftOp::Lsl),
+        "lsr" => Some(ShiftOp::Lsr),
+        "asr" => Some(ShiftOp::Asr),
+        "ror" => Some(ShiftOp::Ror),
+        _ => None,
+    }
+}
+
+/// Parses a flexible second operand from the remaining operand strings
+/// (one string for `#imm`/`rm`, two for `rm, lsl #n`).
+fn parse_op2(
+    em: &Emitter,
+    line: usize,
+    parts: &[String],
+    max_imm: u32,
+) -> Result<Operand2, AsmError> {
+    match parts {
+        [single] => {
+            if let Some(imm_text) = single.strip_prefix('#') {
+                let v = em.resolve(line, &parse_expr(line, imm_text)?)?;
+                if v < 0 || v as u64 > max_imm as u64 {
+                    return Err(AsmError::new(
+                        line,
+                        format!("immediate {v} out of range 0..={max_imm}"),
+                    ));
+                }
+                Ok(Operand2::Imm(v as u16))
+            } else {
+                Ok(Operand2::Reg(parse_reg(line, single)?))
+            }
+        }
+        [rm, shift] => {
+            let rm = parse_reg(line, rm)?;
+            let (shname, amount) = shift
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| AsmError::new(line, format!("invalid shift `{shift}`")))?;
+            let op = parse_shift_op(&shname.to_ascii_lowercase())
+                .ok_or_else(|| AsmError::new(line, format!("invalid shift op `{shname}`")))?;
+            let amt_text = amount.trim().strip_prefix('#').unwrap_or(amount.trim());
+            let amount = parse_int(amt_text)
+                .ok_or_else(|| AsmError::new(line, format!("invalid shift amount `{amount}`")))?;
+            if !(0..=31).contains(&amount) {
+                return Err(AsmError::new(line, "shift amount must be 0..=31"));
+            }
+            Ok(Operand2::RegShift {
+                rm,
+                op,
+                amount: amount as u8,
+            })
+        }
+        _ => Err(AsmError::new(line, "malformed operand")),
+    }
+}
+
+fn parse_address(em: &Emitter, line: usize, text: &str) -> Result<Address, AsmError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(line, format!("expected `[...]` address, got `{text}`")))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    match parts.as_slice() {
+        [base] => Ok(Address::Imm {
+            base: parse_reg(line, base)?,
+            offset: 0,
+        }),
+        [base, second] => {
+            let base = parse_reg(line, base)?;
+            if let Some(imm_text) = second.strip_prefix('#') {
+                let v = em.resolve(line, &parse_expr(line, imm_text)?)?;
+                let offset = i16::try_from(v)
+                    .map_err(|_| AsmError::new(line, format!("offset {v} out of range for i16")))?;
+                Ok(Address::Imm { base, offset })
+            } else {
+                Ok(Address::Reg {
+                    base,
+                    index: parse_reg(line, second)?,
+                })
+            }
+        }
+        _ => Err(AsmError::new(line, format!("malformed address `{text}`"))),
+    }
+}
+
+fn emit_insn(
+    em: &mut Emitter,
+    line: usize,
+    mnemonic: &str,
+    operands: &str,
+) -> Result<(), AsmError> {
+    let (op, set_flags) = split_mnemonic(mnemonic)
+        .ok_or_else(|| AsmError::new(line, format!("unknown mnemonic `{mnemonic}`")))?;
+    let parts = split_operands(operands);
+    let expect = |n: usize| -> Result<(), AsmError> {
+        if parts.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", parts.len()),
+            ))
+        }
+    };
+    match op {
+        Op::Alu(alu) => {
+            if parts.len() < 3 {
+                return Err(AsmError::new(
+                    line,
+                    format!("`{mnemonic}` expects `rd, rn, op2`"),
+                ));
+            }
+            let rd = parse_reg(line, &parts[0])?;
+            let rn = parse_reg(line, &parts[1])?;
+            let op2 = parse_op2(em, line, &parts[2..], Insn::MAX_ALU_IMM as u32)?;
+            em.push_insn(&Insn::Alu {
+                op: alu,
+                rd,
+                rn,
+                op2,
+                set_flags,
+            });
+        }
+        Op::Mov | Op::Mvn => {
+            if parts.len() < 2 {
+                return Err(AsmError::new(
+                    line,
+                    format!("`{mnemonic}` expects `rd, op2`"),
+                ));
+            }
+            let rd = parse_reg(line, &parts[0])?;
+            let op2 = parse_op2(em, line, &parts[1..], 0xffff)?;
+            em.push_insn(&if op == Op::Mov {
+                Insn::Mov { rd, op2, set_flags }
+            } else {
+                Insn::Mvn { rd, op2, set_flags }
+            });
+        }
+        Op::Cmp | Op::Cmn | Op::Tst | Op::Teq => {
+            if parts.len() < 2 {
+                return Err(AsmError::new(
+                    line,
+                    format!("`{mnemonic}` expects `rn, op2`"),
+                ));
+            }
+            let rn = parse_reg(line, &parts[0])?;
+            let op2 = parse_op2(em, line, &parts[1..], 0xffff)?;
+            em.push_insn(&match op {
+                Op::Cmp => Insn::Cmp { rn, op2 },
+                Op::Cmn => Insn::Cmn { rn, op2 },
+                Op::Tst => Insn::Tst { rn, op2 },
+                _ => Insn::Teq { rn, op2 },
+            });
+        }
+        Op::Movw | Op::Movt => {
+            expect(2)?;
+            let rd = parse_reg(line, &parts[0])?;
+            let text = parts[1]
+                .strip_prefix('#')
+                .ok_or_else(|| AsmError::new(line, "movw/movt need an immediate"))?;
+            let v = em.resolve(line, &parse_expr(line, text)?)?;
+            if !(0..=0xffff).contains(&v) {
+                return Err(AsmError::new(line, format!("immediate {v} not a u16")));
+            }
+            em.push_insn(&if op == Op::Movw {
+                Insn::Movw { rd, imm: v as u16 }
+            } else {
+                Insn::Movt { rd, imm: v as u16 }
+            });
+        }
+        Op::Mov32 => {
+            expect(2)?;
+            let rd = parse_reg(line, &parts[0])?;
+            let text = parts[1].strip_prefix('#').unwrap_or(&parts[1]);
+            let v = em.resolve(line, &parse_expr(line, text)?)? as u32;
+            em.push_insn(&Insn::Movw {
+                rd,
+                imm: (v & 0xffff) as u16,
+            });
+            em.push_insn(&Insn::Movt {
+                rd,
+                imm: (v >> 16) as u16,
+            });
+        }
+        Op::Ldr(width) | Op::Str(width) => {
+            expect(2)?;
+            let rt = parse_reg(line, &parts[0])?;
+            let addr = parse_address(em, line, &parts[1])?;
+            em.push_insn(&if matches!(op, Op::Ldr(_)) {
+                Insn::Ldr {
+                    rd: rt,
+                    addr,
+                    width,
+                }
+            } else {
+                Insn::Str {
+                    rs: rt,
+                    addr,
+                    width,
+                }
+            });
+        }
+        Op::Ldrex => {
+            expect(2)?;
+            let rd = parse_reg(line, &parts[0])?;
+            let addr = parse_address(em, line, &parts[1])?;
+            let rn = match addr {
+                Address::Imm { base, offset: 0 } => base,
+                _ => {
+                    return Err(AsmError::new(line, "ldrex address must be plain `[rn]`"));
+                }
+            };
+            em.push_insn(&Insn::Ldrex { rd, rn });
+        }
+        Op::Strex => {
+            expect(3)?;
+            let rd = parse_reg(line, &parts[0])?;
+            let rs = parse_reg(line, &parts[1])?;
+            let addr = parse_address(em, line, &parts[2])?;
+            let rn = match addr {
+                Address::Imm { base, offset: 0 } => base,
+                _ => {
+                    return Err(AsmError::new(line, "strex address must be plain `[rn]`"));
+                }
+            };
+            em.push_insn(&Insn::Strex { rd, rs, rn });
+        }
+        Op::Clrex => {
+            expect(0)?;
+            em.push_insn(&Insn::Clrex);
+        }
+        Op::Dmb => {
+            expect(0)?;
+            em.push_insn(&Insn::Dmb);
+        }
+        Op::B(cond) => {
+            expect(1)?;
+            let target = em.resolve(line, &parse_expr(line, &parts[0])?)? as u32;
+            let offset = branch_offset(line, em.pc(), target)?;
+            em.push_insn(&Insn::B { cond, offset });
+        }
+        Op::Bl => {
+            expect(1)?;
+            let target = em.resolve(line, &parse_expr(line, &parts[0])?)? as u32;
+            let offset = branch_offset(line, em.pc(), target)?;
+            em.push_insn(&Insn::Bl { offset });
+        }
+        Op::Bx => {
+            expect(1)?;
+            let rm = parse_reg(line, &parts[0])?;
+            em.push_insn(&Insn::Bx { rm });
+        }
+        Op::Svc | Op::Udf => {
+            expect(1)?;
+            let text = parts[0].strip_prefix('#').unwrap_or(&parts[0]);
+            let v = em.resolve(line, &parse_expr(line, text)?)?;
+            if !(0..=0xffff).contains(&v) {
+                return Err(AsmError::new(line, format!("immediate {v} not a u16")));
+            }
+            em.push_insn(&if op == Op::Svc {
+                Insn::Svc { imm: v as u16 }
+            } else {
+                Insn::Udf { imm: v as u16 }
+            });
+        }
+        Op::Yield => {
+            expect(0)?;
+            em.push_insn(&Insn::Yield);
+        }
+        Op::Nop => {
+            expect(0)?;
+            em.push_insn(&Insn::Nop);
+        }
+    }
+    Ok(())
+}
+
+fn branch_offset(line: usize, branch_pc: u32, target: u32) -> Result<i32, AsmError> {
+    if !target.is_multiple_of(4) {
+        return Err(AsmError::new(
+            line,
+            format!("branch target {target:#x} is not word-aligned"),
+        ));
+    }
+    let delta = (target as i64) - (branch_pc as i64 + 4);
+    let words = delta / 4;
+    if delta % 4 != 0 || words < MIN_BRANCH_OFFSET as i64 || words > MAX_BRANCH_OFFSET as i64 {
+        return Err(AsmError::new(
+            line,
+            format!("branch target {target:#x} out of range from {branch_pc:#x}"),
+        ));
+    }
+    Ok(words as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    fn words(img: &Image) -> Vec<Insn> {
+        img.bytes
+            .chunks_exact(4)
+            .map(|c| decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let img = assemble(
+            r#"
+            start:
+                mov  r0, #5
+                adds r1, r0, #3
+                cmp  r1, #8
+                beq  done
+                udf  #1
+            done:
+                bx   lr
+            "#,
+            0x1000,
+        )
+        .unwrap();
+        let insns = words(&img);
+        assert_eq!(insns.len(), 6);
+        assert_eq!(img.symbol("start"), Some(0x1000));
+        assert_eq!(img.symbol("done"), Some(0x1014));
+        assert_eq!(
+            insns[3],
+            Insn::B {
+                cond: Cond::Eq,
+                offset: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mov32_expands_to_movw_movt() {
+        let img = assemble("mov32 r4, #0xdeadbeef\n", 0).unwrap();
+        let insns = words(&img);
+        assert_eq!(
+            insns,
+            vec![
+                Insn::Movw {
+                    rd: Reg::R4,
+                    imm: 0xbeef
+                },
+                Insn::Movt {
+                    rd: Reg::R4,
+                    imm: 0xdead
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn mov32_accepts_labels() {
+        let img = assemble(
+            r#"
+                mov32 r0, data
+                bx lr
+            data:
+                .word 42
+            "#,
+            0x2000,
+        )
+        .unwrap();
+        let insns = words(&img);
+        assert_eq!(
+            insns[0],
+            Insn::Movw {
+                rd: Reg::R0,
+                imm: 0x200c
+            }
+        );
+        assert_eq!(img.symbol("data"), Some(0x200c));
+        assert_eq!(&img.bytes[12..16], &42u32.to_le_bytes());
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let img = assemble(
+            r#"
+            .equ SIZE, 0x10
+            base:
+                .space SIZE_REF
+            .equ SIZE_REF, 16
+            "#,
+            0,
+        );
+        // .space takes a literal, not a forward symbol; that's an error.
+        assert!(img.is_err());
+
+        let img = assemble(
+            r#"
+            .equ COUNT, 3
+                mov r0, #COUNT
+            "#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            words(&img)[0],
+            Insn::Mov {
+                rd: Reg::R0,
+                op2: Operand2::Imm(3),
+                set_flags: false
+            }
+        );
+    }
+
+    #[test]
+    fn addressing_modes() {
+        let img = assemble(
+            "ldr r0, [r1]\nldr r0, [r1, #-4]\nstrb r2, [r3, r4]\nldrh r5, [sp, #2]\n",
+            0,
+        )
+        .unwrap();
+        let insns = words(&img);
+        assert_eq!(
+            insns[1],
+            Insn::Ldr {
+                rd: Reg::R0,
+                addr: Address::Imm {
+                    base: Reg::R1,
+                    offset: -4
+                },
+                width: Width::Word
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Insn::Str {
+                rs: Reg::R2,
+                addr: Address::Reg {
+                    base: Reg::R3,
+                    index: Reg::R4
+                },
+                width: Width::Byte
+            }
+        );
+    }
+
+    #[test]
+    fn llsc_loop_round_trips() {
+        let src = r#"
+        retry:
+            ldrex r1, [r0]
+            add   r1, r1, #1
+            strex r2, r1, [r0]
+            cmp   r2, #0
+            bne   retry
+            bx    lr
+        "#;
+        let img = assemble(src, 0x4000).unwrap();
+        let insns = words(&img);
+        assert_eq!(
+            insns[0],
+            Insn::Ldrex {
+                rd: Reg::R1,
+                rn: Reg::R0
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Insn::Strex {
+                rd: Reg::R2,
+                rs: Reg::R1,
+                rn: Reg::R0
+            }
+        );
+        // `bne retry` jumps back 4 instructions: offset = -5 words + ... compute:
+        // branch at 0x4010, target 0x4000 => (0x4000 - 0x4014)/4 = -5.
+        assert_eq!(
+            insns[4],
+            Insn::B {
+                cond: Cond::Ne,
+                offset: -5
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1\n", 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble("a:\na:\n", 0).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("b nowhere\n", 0).unwrap_err();
+        assert!(err.message.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn align_pads_to_boundary() {
+        let img = assemble("nop\n.align 16\nafter: nop\n", 0).unwrap();
+        assert_eq!(img.symbol("after"), Some(16));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let img = assemble("nop ; trailing\n@ whole line\n// also whole line\nnop\n", 0).unwrap();
+        assert_eq!(img.bytes.len(), 8);
+    }
+
+    #[test]
+    fn alu_imm_range_enforced() {
+        assert!(assemble("add r0, r0, #4095\n", 0).is_ok());
+        assert!(assemble("add r0, r0, #4096\n", 0).is_err());
+        assert!(assemble("mov r0, #65535\n", 0).is_ok());
+        assert!(assemble("mov r0, #65536\n", 0).is_err());
+    }
+
+    #[test]
+    fn shifted_operands() {
+        let img = assemble("add r0, r1, r2, lsl #4\n", 0).unwrap();
+        assert_eq!(
+            words(&img)[0],
+            Insn::Alu {
+                op: AluOp::Add,
+                rd: Reg::R0,
+                rn: Reg::R1,
+                op2: Operand2::RegShift {
+                    rm: Reg::R2,
+                    op: ShiftOp::Lsl,
+                    amount: 4
+                },
+                set_flags: false
+            }
+        );
+    }
+}

@@ -1,0 +1,213 @@
+use std::fmt;
+
+/// A condition code predicating branch instructions.
+///
+/// Semantics match ARM exactly: each condition is a predicate over the
+/// NZCV flags produced by flag-setting instructions ([`crate::Insn::Cmp`],
+/// `adds`, …). [`Cond::holds`] evaluates the predicate.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::Cond;
+///
+/// // After `cmp r0, r0` (equal): Z set, C set, N and V clear.
+/// assert!(Cond::Eq.holds(false, true, true, false));
+/// assert!(!Cond::Ne.holds(false, true, true, false));
+/// assert!(Cond::Ge.holds(false, true, true, false));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal: `Z == 1`.
+    Eq = 0,
+    /// Not equal: `Z == 0`.
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same: `C == 1`.
+    Cs = 2,
+    /// Carry clear / unsigned lower: `C == 0`.
+    Cc = 3,
+    /// Minus / negative: `N == 1`.
+    Mi = 4,
+    /// Plus / non-negative: `N == 0`.
+    Pl = 5,
+    /// Overflow set: `V == 1`.
+    Vs = 6,
+    /// Overflow clear: `V == 0`.
+    Vc = 7,
+    /// Unsigned higher: `C == 1 && Z == 0`.
+    Hi = 8,
+    /// Unsigned lower-or-same: `C == 0 || Z == 1`.
+    Ls = 9,
+    /// Signed greater-or-equal: `N == V`.
+    Ge = 10,
+    /// Signed less-than: `N != V`.
+    Lt = 11,
+    /// Signed greater-than: `Z == 0 && N == V`.
+    Gt = 12,
+    /// Signed less-or-equal: `Z == 1 || N != V`.
+    Le = 13,
+    /// Always.
+    Al = 14,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// Decodes a condition from its 4-bit field.
+    ///
+    /// Returns `None` for the reserved encoding `15`.
+    pub const fn from_field(bits: u32) -> Option<Cond> {
+        match bits & 0xf {
+            0 => Some(Cond::Eq),
+            1 => Some(Cond::Ne),
+            2 => Some(Cond::Cs),
+            3 => Some(Cond::Cc),
+            4 => Some(Cond::Mi),
+            5 => Some(Cond::Pl),
+            6 => Some(Cond::Vs),
+            7 => Some(Cond::Vc),
+            8 => Some(Cond::Hi),
+            9 => Some(Cond::Ls),
+            10 => Some(Cond::Ge),
+            11 => Some(Cond::Lt),
+            12 => Some(Cond::Gt),
+            13 => Some(Cond::Le),
+            14 => Some(Cond::Al),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the condition against flag values.
+    pub const fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Al => true,
+        }
+    }
+
+    /// Returns the logically opposite condition.
+    ///
+    /// [`Cond::Al`] is its own inverse (there is no "never" condition).
+    pub const fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+            Cond::Al => Cond::Al,
+        }
+    }
+
+    /// The assembler suffix: empty for [`Cond::Al`], `"eq"`, `"ne"`, … otherwise.
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively compare `holds` against a direct transcription of the
+    /// ARM reference manual's condition table.
+    #[test]
+    fn holds_matches_reference_semantics() {
+        for bits in 0u8..16 {
+            let (n, z, c, v) = (bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            assert_eq!(Cond::Eq.holds(n, z, c, v), z);
+            assert_eq!(Cond::Hi.holds(n, z, c, v), c && !z);
+            assert_eq!(Cond::Ge.holds(n, z, c, v), n == v);
+            assert_eq!(Cond::Gt.holds(n, z, c, v), !z && n == v);
+            assert_eq!(Cond::Le.holds(n, z, c, v), z || n != v);
+            assert!(Cond::Al.holds(n, z, c, v));
+        }
+    }
+
+    #[test]
+    fn invert_is_involutive_and_disjoint() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.invert().invert(), cond);
+            if cond != Cond::Al {
+                for bits in 0u8..16 {
+                    let (n, z, c, v) = (bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+                    assert_ne!(
+                        cond.holds(n, z, c, v),
+                        cond.invert().holds(n, z, c, v),
+                        "{cond:?} and its inverse agree on flags {bits:04b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_field_round_trips() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_field(cond as u32), Some(cond));
+        }
+        assert_eq!(Cond::from_field(15), None);
+    }
+}

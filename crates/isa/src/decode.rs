@@ -1,0 +1,339 @@
+//! Binary instruction decoding (the inverse of [`crate::encode`]).
+
+use crate::encode::{
+    SUB_CMN, SUB_CMP, SUB_MOV, SUB_MVN, SUB_TEQ, SUB_TST, SYS_CLREX, SYS_DMB, SYS_LDREX, SYS_NOP,
+    SYS_STREX, SYS_SVC, SYS_UDF, SYS_YIELD,
+};
+use crate::insn::{Address, AluOp, Insn, Operand2, ShiftOp, Width};
+use crate::{Cond, DecodeError, Reg};
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn decode_reg_op2(word: u32) -> Operand2 {
+    let rm = Reg::from_field(bits(word, 14, 11));
+    let op = ShiftOp::from_field(bits(word, 10, 9));
+    let amount = bits(word, 8, 4) as u8;
+    if op == ShiftOp::Lsl && amount == 0 {
+        Operand2::Reg(rm)
+    } else {
+        Operand2::RegShift { rm, op, amount }
+    }
+}
+
+fn decode_width(word: u32) -> Result<Width, DecodeError> {
+    match bits(word, 26, 25) {
+        0 => Ok(Width::Byte),
+        1 => Ok(Width::Half),
+        2 => Ok(Width::Word),
+        _ => Err(DecodeError::ReservedField {
+            word,
+            field: "width",
+        }),
+    }
+}
+
+fn sign_extend_24(raw: u32) -> i32 {
+    ((raw << 8) as i32) >> 8
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the word does not correspond to any
+/// defined instruction: an unknown class, an undefined sub-opcode, or a
+/// reserved field value. The execution engine turns such errors into a
+/// guest undefined-instruction fault.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::{decode, encode, Insn, Reg, Operand2};
+///
+/// let insn = Insn::Mov { rd: Reg::R0, op2: Operand2::Imm(42), set_flags: false };
+/// assert_eq!(decode(encode(&insn)).unwrap(), insn);
+/// assert!(decode(0xffff_ffff).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let klass = bits(word, 31, 28);
+    match klass {
+        0x0 | 0x1 => {
+            let op =
+                AluOp::from_field(bits(word, 27, 24)).ok_or(DecodeError::UnknownOpcode { word })?;
+            let set_flags = bits(word, 23, 23) != 0;
+            let rd = Reg::from_field(bits(word, 22, 19));
+            let rn = Reg::from_field(bits(word, 18, 15));
+            let op2 = if klass == 0x1 {
+                Operand2::Imm(bits(word, 11, 0) as u16)
+            } else {
+                decode_reg_op2(word)
+            };
+            Ok(Insn::Alu {
+                op,
+                rd,
+                rn,
+                op2,
+                set_flags,
+            })
+        }
+        0x2 | 0x3 => {
+            let sub = bits(word, 27, 24);
+            let set_flags = bits(word, 23, 23) != 0;
+            let reg = Reg::from_field(bits(word, 22, 19));
+            let op2 = if klass == 0x3 {
+                Operand2::Imm(bits(word, 15, 0) as u16)
+            } else {
+                decode_reg_op2(word)
+            };
+            match sub {
+                SUB_MOV => Ok(Insn::Mov {
+                    rd: reg,
+                    op2,
+                    set_flags,
+                }),
+                SUB_MVN => Ok(Insn::Mvn {
+                    rd: reg,
+                    op2,
+                    set_flags,
+                }),
+                SUB_CMP => Ok(Insn::Cmp { rn: reg, op2 }),
+                SUB_CMN => Ok(Insn::Cmn { rn: reg, op2 }),
+                SUB_TST => Ok(Insn::Tst { rn: reg, op2 }),
+                SUB_TEQ => Ok(Insn::Teq { rn: reg, op2 }),
+                _ => Err(DecodeError::UnknownOpcode { word }),
+            }
+        }
+        0x4 => {
+            let rd = Reg::from_field(bits(word, 23, 20));
+            let imm = bits(word, 15, 0) as u16;
+            match bits(word, 27, 24) {
+                0 => Ok(Insn::Movw { rd, imm }),
+                1 => Ok(Insn::Movt { rd, imm }),
+                _ => Err(DecodeError::UnknownOpcode { word }),
+            }
+        }
+        0x5 => {
+            let load = bits(word, 27, 27) != 0;
+            let width = decode_width(word)?;
+            let rt = Reg::from_field(bits(word, 23, 20));
+            let base = Reg::from_field(bits(word, 19, 16));
+            let addr = if bits(word, 24, 24) != 0 {
+                Address::Reg {
+                    base,
+                    index: Reg::from_field(bits(word, 15, 12)),
+                }
+            } else {
+                Address::Imm {
+                    base,
+                    offset: bits(word, 15, 0) as u16 as i16,
+                }
+            };
+            Ok(if load {
+                Insn::Ldr {
+                    rd: rt,
+                    addr,
+                    width,
+                }
+            } else {
+                Insn::Str {
+                    rs: rt,
+                    addr,
+                    width,
+                }
+            })
+        }
+        0x6 => match bits(word, 27, 24) {
+            SYS_LDREX => Ok(Insn::Ldrex {
+                rd: Reg::from_field(bits(word, 23, 20)),
+                rn: Reg::from_field(bits(word, 19, 16)),
+            }),
+            SYS_STREX => Ok(Insn::Strex {
+                rd: Reg::from_field(bits(word, 23, 20)),
+                rn: Reg::from_field(bits(word, 19, 16)),
+                rs: Reg::from_field(bits(word, 15, 12)),
+            }),
+            SYS_CLREX => Ok(Insn::Clrex),
+            SYS_DMB => Ok(Insn::Dmb),
+            SYS_SVC => Ok(Insn::Svc {
+                imm: bits(word, 15, 0) as u16,
+            }),
+            SYS_YIELD => Ok(Insn::Yield),
+            SYS_NOP => Ok(Insn::Nop),
+            SYS_UDF => Ok(Insn::Udf {
+                imm: bits(word, 15, 0) as u16,
+            }),
+            _ => Err(DecodeError::UnknownOpcode { word }),
+        },
+        0x7 => {
+            let cond = Cond::from_field(bits(word, 27, 24)).ok_or(DecodeError::ReservedField {
+                word,
+                field: "cond",
+            })?;
+            Ok(Insn::B {
+                cond,
+                offset: sign_extend_24(bits(word, 23, 0)),
+            })
+        }
+        0x8 => Ok(Insn::Bl {
+            offset: sign_extend_24(bits(word, 23, 0)),
+        }),
+        0x9 => Ok(Insn::Bx {
+            rm: Reg::from_field(bits(word, 3, 0)),
+        }),
+        _ => Err(DecodeError::UnknownClass {
+            word,
+            class: klass as u8,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn roundtrip(insn: Insn) {
+        let word = encode(&insn);
+        assert_eq!(decode(word), Ok(insn), "word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        roundtrip(Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::Imm(0xfff),
+            set_flags: true,
+        });
+        roundtrip(Insn::Alu {
+            op: AluOp::Eor,
+            rd: Reg::R9,
+            rn: Reg::R10,
+            op2: Operand2::RegShift {
+                rm: Reg::R3,
+                op: ShiftOp::Asr,
+                amount: 31,
+            },
+            set_flags: false,
+        });
+        roundtrip(Insn::Mov {
+            rd: Reg::PC,
+            op2: Operand2::Imm(0xffff),
+            set_flags: false,
+        });
+        roundtrip(Insn::Mvn {
+            rd: Reg::R4,
+            op2: Operand2::Reg(Reg::R5),
+            set_flags: true,
+        });
+        roundtrip(Insn::Cmp {
+            rn: Reg::R2,
+            op2: Operand2::Imm(0),
+        });
+        roundtrip(Insn::Movw {
+            rd: Reg::R8,
+            imm: 0xdead,
+        });
+        roundtrip(Insn::Movt {
+            rd: Reg::R8,
+            imm: 0xbeef,
+        });
+        roundtrip(Insn::Ldr {
+            rd: Reg::R1,
+            addr: Address::Imm {
+                base: Reg::SP,
+                offset: -8,
+            },
+            width: Width::Word,
+        });
+        roundtrip(Insn::Str {
+            rs: Reg::R7,
+            addr: Address::Reg {
+                base: Reg::R0,
+                index: Reg::R1,
+            },
+            width: Width::Byte,
+        });
+        roundtrip(Insn::Ldrex {
+            rd: Reg::R1,
+            rn: Reg::R0,
+        });
+        roundtrip(Insn::Strex {
+            rd: Reg::R2,
+            rs: Reg::R1,
+            rn: Reg::R0,
+        });
+        roundtrip(Insn::Clrex);
+        roundtrip(Insn::Dmb);
+        roundtrip(Insn::B {
+            cond: Cond::Ne,
+            offset: -1,
+        });
+        roundtrip(Insn::B {
+            cond: Cond::Al,
+            offset: crate::encode::MAX_BRANCH_OFFSET,
+        });
+        roundtrip(Insn::Bl {
+            offset: crate::encode::MIN_BRANCH_OFFSET,
+        });
+        roundtrip(Insn::Bx { rm: Reg::LR });
+        roundtrip(Insn::Svc { imm: 0x42 });
+        roundtrip(Insn::Yield);
+        roundtrip(Insn::Nop);
+        roundtrip(Insn::Udf { imm: 7 });
+    }
+
+    #[test]
+    fn reject_unknown_class() {
+        assert!(matches!(
+            decode(0xf000_0000),
+            Err(DecodeError::UnknownClass { class: 0xf, .. })
+        ));
+    }
+
+    #[test]
+    fn reject_reserved_width() {
+        // Class 5, width code 3.
+        let word = 0x5000_0000 | (3 << 25);
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::ReservedField { field: "width", .. })
+        ));
+    }
+
+    #[test]
+    fn reject_reserved_cond() {
+        let word = 0x7f00_0000;
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::ReservedField { field: "cond", .. })
+        ));
+    }
+
+    #[test]
+    fn lsl_zero_decodes_as_plain_register() {
+        let insn = Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Operand2::RegShift {
+                rm: Reg::R2,
+                op: ShiftOp::Lsl,
+                amount: 0,
+            },
+            set_flags: false,
+        };
+        // `r2, lsl #0` canonicalizes to `r2` on decode.
+        match decode(encode(&insn)).unwrap() {
+            Insn::Alu {
+                op2: Operand2::Reg(rm),
+                ..
+            } => assert_eq!(rm, Reg::R2),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+}

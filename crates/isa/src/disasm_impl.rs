@@ -1,0 +1,226 @@
+//! Instruction pretty-printing in the assembler's own syntax.
+
+use crate::insn::{Address, Insn, Operand2};
+use std::fmt::Write as _;
+
+fn fmt_op2(op2: &Operand2) -> String {
+    match *op2 {
+        Operand2::Imm(imm) => format!("#{imm}"),
+        Operand2::Reg(rm) => rm.to_string(),
+        Operand2::RegShift { rm, op, amount } => {
+            format!("{rm}, {} #{amount}", op.mnemonic())
+        }
+    }
+}
+
+fn fmt_addr(addr: &Address) -> String {
+    match *addr {
+        Address::Imm { base, offset: 0 } => format!("[{base}]"),
+        Address::Imm { base, offset } => format!("[{base}, #{offset}]"),
+        Address::Reg { base, index } => format!("[{base}, {index}]"),
+    }
+}
+
+fn width_suffix(width: crate::Width) -> &'static str {
+    match width {
+        crate::Width::Byte => "b",
+        crate::Width::Half => "h",
+        crate::Width::Word => "",
+    }
+}
+
+/// Formats an instruction in the syntax accepted by [`crate::asm::assemble`].
+///
+/// Branch offsets are rendered as relative word offsets (`b.eq .+8` style
+/// output comes from [`disassemble_at`], which resolves them to absolute
+/// addresses).
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::{disasm::disassemble, Insn, Reg};
+///
+/// let insn = Insn::Strex { rd: Reg::R2, rs: Reg::R1, rn: Reg::R0 };
+/// assert_eq!(disassemble(&insn), "strex r2, r1, [r0]");
+/// ```
+pub fn disassemble(insn: &Insn) -> String {
+    disassemble_inner(insn, None)
+}
+
+/// Formats an instruction located at `addr`, resolving direct-branch
+/// targets to absolute addresses.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::{disasm::disassemble_at, Cond, Insn};
+///
+/// let insn = Insn::B { cond: Cond::Ne, offset: -2 };
+/// assert_eq!(disassemble_at(&insn, 0x1008), "bne 0x1004");
+/// ```
+pub fn disassemble_at(insn: &Insn, addr: u32) -> String {
+    disassemble_inner(insn, Some(addr))
+}
+
+fn disassemble_inner(insn: &Insn, addr: Option<u32>) -> String {
+    let mut out = String::new();
+    let s = |set_flags: bool| if set_flags { "s" } else { "" };
+    match *insn {
+        Insn::Alu {
+            op,
+            rd,
+            rn,
+            ref op2,
+            set_flags,
+        } => {
+            let _ = write!(
+                out,
+                "{}{} {rd}, {rn}, {}",
+                op.mnemonic(),
+                s(set_flags),
+                fmt_op2(op2)
+            );
+        }
+        Insn::Mov {
+            rd,
+            ref op2,
+            set_flags,
+        } => {
+            let _ = write!(out, "mov{} {rd}, {}", s(set_flags), fmt_op2(op2));
+        }
+        Insn::Mvn {
+            rd,
+            ref op2,
+            set_flags,
+        } => {
+            let _ = write!(out, "mvn{} {rd}, {}", s(set_flags), fmt_op2(op2));
+        }
+        Insn::Cmp { rn, ref op2 } => {
+            let _ = write!(out, "cmp {rn}, {}", fmt_op2(op2));
+        }
+        Insn::Cmn { rn, ref op2 } => {
+            let _ = write!(out, "cmn {rn}, {}", fmt_op2(op2));
+        }
+        Insn::Tst { rn, ref op2 } => {
+            let _ = write!(out, "tst {rn}, {}", fmt_op2(op2));
+        }
+        Insn::Teq { rn, ref op2 } => {
+            let _ = write!(out, "teq {rn}, {}", fmt_op2(op2));
+        }
+        Insn::Movw { rd, imm } => {
+            let _ = write!(out, "movw {rd}, #{imm:#x}");
+        }
+        Insn::Movt { rd, imm } => {
+            let _ = write!(out, "movt {rd}, #{imm:#x}");
+        }
+        Insn::Ldr { rd, addr, width } => {
+            let _ = write!(out, "ldr{} {rd}, {}", width_suffix(width), fmt_addr(&addr));
+        }
+        Insn::Str { rs, addr, width } => {
+            let _ = write!(out, "str{} {rs}, {}", width_suffix(width), fmt_addr(&addr));
+        }
+        Insn::Ldrex { rd, rn } => {
+            let _ = write!(out, "ldrex {rd}, [{rn}]");
+        }
+        Insn::Strex { rd, rs, rn } => {
+            let _ = write!(out, "strex {rd}, {rs}, [{rn}]");
+        }
+        Insn::Clrex => out.push_str("clrex"),
+        Insn::Dmb => out.push_str("dmb"),
+        Insn::B { cond, offset } => match addr.and_then(|a| insn.branch_target(a)) {
+            Some(target) => {
+                let _ = write!(out, "b{} {target:#x}", cond.suffix());
+            }
+            None => {
+                let _ = write!(out, "b{} .{:+}", cond.suffix(), offset * 4 + 4);
+            }
+        },
+        Insn::Bl { offset } => match addr.and_then(|a| insn.branch_target(a)) {
+            Some(target) => {
+                let _ = write!(out, "bl {target:#x}");
+            }
+            None => {
+                let _ = write!(out, "bl .{:+}", offset * 4 + 4);
+            }
+        },
+        Insn::Bx { rm } => {
+            let _ = write!(out, "bx {rm}");
+        }
+        Insn::Svc { imm } => {
+            let _ = write!(out, "svc #{imm}");
+        }
+        Insn::Yield => out.push_str("yield"),
+        Insn::Nop => out.push_str("nop"),
+        Insn::Udf { imm } => {
+            let _ = write!(out, "udf #{imm}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, Reg, ShiftOp, Width};
+
+    #[test]
+    fn formats_match_assembler_syntax() {
+        assert_eq!(
+            disassemble(&Insn::Alu {
+                op: AluOp::Add,
+                rd: Reg::R0,
+                rn: Reg::R1,
+                op2: Operand2::Imm(4),
+                set_flags: true,
+            }),
+            "adds r0, r1, #4"
+        );
+        assert_eq!(
+            disassemble(&Insn::Alu {
+                op: AluOp::Orr,
+                rd: Reg::R0,
+                rn: Reg::R0,
+                op2: Operand2::RegShift {
+                    rm: Reg::R2,
+                    op: ShiftOp::Lsl,
+                    amount: 8
+                },
+                set_flags: false,
+            }),
+            "orr r0, r0, r2, lsl #8"
+        );
+        assert_eq!(
+            disassemble(&Insn::Ldr {
+                rd: Reg::R3,
+                addr: Address::Imm {
+                    base: Reg::SP,
+                    offset: -4
+                },
+                width: Width::Byte,
+            }),
+            "ldrb r3, [sp, #-4]"
+        );
+        assert_eq!(
+            disassemble(&Insn::Ldr {
+                rd: Reg::R3,
+                addr: Address::Imm {
+                    base: Reg::R1,
+                    offset: 0
+                },
+                width: Width::Word,
+            }),
+            "ldr r3, [r1]"
+        );
+        assert_eq!(disassemble(&Insn::Svc { imm: 3 }), "svc #3");
+    }
+
+    #[test]
+    fn branch_with_address_resolves_target() {
+        let b = Insn::B {
+            cond: Cond::Al,
+            offset: 2,
+        };
+        assert_eq!(disassemble_at(&b, 0x1000), "b 0x100c");
+        assert_eq!(disassemble(&b), "b .+12");
+    }
+}

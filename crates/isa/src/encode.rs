@@ -1,0 +1,182 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction is one little-endian 32-bit word whose top four bits
+//! select a *class*:
+//!
+//! | class | family | layout (high → low) |
+//! |---|---|---|
+//! | `0` | ALU, register op2   | `op[27:24] s[23] rd[22:19] rn[18:15] rm[14:11] shop[10:9] shamt[8:4]` |
+//! | `1` | ALU, immediate op2  | `op[27:24] s[23] rd[22:19] rn[18:15] imm12[11:0]` |
+//! | `2` | MOV-family, register| `sub[27:24] s[23] rd[22:19] rm[14:11] shop[10:9] shamt[8:4]` |
+//! | `3` | MOV-family, imm     | `sub[27:24] s[23] rd[22:19] imm16[15:0]` |
+//! | `4` | MOVW / MOVT         | `sub[27:24] rd[23:20] imm16[15:0]` |
+//! | `5` | LDR / STR           | `l[27] w[26:25] m[24] rt[23:20] rb[19:16]` + `off16[15:0]` or `ri[15:12]` |
+//! | `6` | exclusive / system  | `sub[27:24]`: ldrex, strex, clrex, dmb, svc, yield, nop, udf |
+//! | `7` | conditional branch  | `cond[27:24] off24[23:0]` |
+//! | `8` | branch-and-link     | `off24[23:0]` |
+//! | `9` | indirect branch     | `rm[3:0]` |
+//!
+//! MOV-family sub-opcodes: 0 = mov, 1 = mvn, 2 = cmp, 3 = cmn, 4 = tst,
+//! 5 = teq (classes 2/3 put the comparison's `rn` in the `rd` slot).
+//! Class-6 sub-opcodes: 0 = ldrex (`rd[23:20] rn[19:16]`), 1 = strex
+//! (`rd[23:20] rn[19:16] rs[15:12]`), 2 = clrex, 3 = dmb, 4 = svc
+//! (`imm16[15:0]`), 5 = yield, 6 = nop, 7 = udf (`imm16[15:0]`).
+//!
+//! Immediate ranges are validated by the assembler; [`encode`] itself
+//! masks fields to their widths, so it never panics.
+
+use crate::insn::{Address, Insn, Operand2, ShiftOp, Width};
+
+const CLASS_ALU_REG: u32 = 0x0;
+const CLASS_ALU_IMM: u32 = 0x1;
+const CLASS_MOV_REG: u32 = 0x2;
+const CLASS_MOV_IMM: u32 = 0x3;
+const CLASS_MOVWT: u32 = 0x4;
+const CLASS_MEM: u32 = 0x5;
+const CLASS_SYS: u32 = 0x6;
+const CLASS_B: u32 = 0x7;
+const CLASS_BL: u32 = 0x8;
+const CLASS_BX: u32 = 0x9;
+
+pub(crate) const SUB_MOV: u32 = 0;
+pub(crate) const SUB_MVN: u32 = 1;
+pub(crate) const SUB_CMP: u32 = 2;
+pub(crate) const SUB_CMN: u32 = 3;
+pub(crate) const SUB_TST: u32 = 4;
+pub(crate) const SUB_TEQ: u32 = 5;
+
+pub(crate) const SYS_LDREX: u32 = 0;
+pub(crate) const SYS_STREX: u32 = 1;
+pub(crate) const SYS_CLREX: u32 = 2;
+pub(crate) const SYS_DMB: u32 = 3;
+pub(crate) const SYS_SVC: u32 = 4;
+pub(crate) const SYS_YIELD: u32 = 5;
+pub(crate) const SYS_NOP: u32 = 6;
+pub(crate) const SYS_UDF: u32 = 7;
+
+#[inline]
+const fn class(c: u32) -> u32 {
+    c << 28
+}
+
+fn encode_width(width: Width) -> u32 {
+    match width {
+        Width::Byte => 0,
+        Width::Half => 1,
+        Width::Word => 2,
+    }
+}
+
+fn encode_reg_op2(rm: crate::Reg, op: ShiftOp, amount: u8) -> u32 {
+    ((rm.index() as u32) << 11) | ((op as u32) << 9) | (((amount as u32) & 0x1f) << 4)
+}
+
+fn encode_mov_family(sub: u32, set_flags: bool, rd_or_rn: crate::Reg, op2: Operand2) -> u32 {
+    let base = (sub << 24) | ((set_flags as u32) << 23) | ((rd_or_rn.index() as u32) << 19);
+    match op2 {
+        Operand2::Imm(imm) => class(CLASS_MOV_IMM) | base | imm as u32,
+        Operand2::Reg(rm) => class(CLASS_MOV_REG) | base | encode_reg_op2(rm, ShiftOp::Lsl, 0),
+        Operand2::RegShift { rm, op, amount } => {
+            class(CLASS_MOV_REG) | base | encode_reg_op2(rm, op, amount)
+        }
+    }
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// Fields wider than their encoding slot are silently masked (the
+/// assembler validates ranges before calling this; direct users should
+/// too). The result always decodes back to an equal [`Insn`] when fields
+/// are in range — see the round-trip property test in this crate.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::{encode, decode, Insn, Reg};
+///
+/// let insn = Insn::Ldrex { rd: Reg::R1, rn: Reg::R0 };
+/// assert_eq!(decode(encode(&insn)).unwrap(), insn);
+/// ```
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Alu {
+            op,
+            rd,
+            rn,
+            op2,
+            set_flags,
+        } => {
+            let base = ((op as u32) << 24)
+                | ((set_flags as u32) << 23)
+                | ((rd.index() as u32) << 19)
+                | ((rn.index() as u32) << 15);
+            match op2 {
+                Operand2::Imm(imm) => class(CLASS_ALU_IMM) | base | (imm as u32 & 0xfff),
+                Operand2::Reg(rm) => {
+                    class(CLASS_ALU_REG) | base | encode_reg_op2(rm, ShiftOp::Lsl, 0)
+                }
+                Operand2::RegShift { rm, op, amount } => {
+                    class(CLASS_ALU_REG) | base | encode_reg_op2(rm, op, amount)
+                }
+            }
+        }
+        Insn::Mov { rd, op2, set_flags } => encode_mov_family(SUB_MOV, set_flags, rd, op2),
+        Insn::Mvn { rd, op2, set_flags } => encode_mov_family(SUB_MVN, set_flags, rd, op2),
+        Insn::Cmp { rn, op2 } => encode_mov_family(SUB_CMP, false, rn, op2),
+        Insn::Cmn { rn, op2 } => encode_mov_family(SUB_CMN, false, rn, op2),
+        Insn::Tst { rn, op2 } => encode_mov_family(SUB_TST, false, rn, op2),
+        Insn::Teq { rn, op2 } => encode_mov_family(SUB_TEQ, false, rn, op2),
+        Insn::Movw { rd, imm } => class(CLASS_MOVWT) | ((rd.index() as u32) << 20) | imm as u32,
+        Insn::Movt { rd, imm } => {
+            class(CLASS_MOVWT) | (1 << 24) | ((rd.index() as u32) << 20) | imm as u32
+        }
+        Insn::Ldr { rd, addr, width } => encode_mem(true, rd, addr, width),
+        Insn::Str { rs, addr, width } => encode_mem(false, rs, addr, width),
+        Insn::Ldrex { rd, rn } => {
+            class(CLASS_SYS)
+                | (SYS_LDREX << 24)
+                | ((rd.index() as u32) << 20)
+                | ((rn.index() as u32) << 16)
+        }
+        Insn::Strex { rd, rs, rn } => {
+            class(CLASS_SYS)
+                | (SYS_STREX << 24)
+                | ((rd.index() as u32) << 20)
+                | ((rn.index() as u32) << 16)
+                | ((rs.index() as u32) << 12)
+        }
+        Insn::Clrex => class(CLASS_SYS) | (SYS_CLREX << 24),
+        Insn::Dmb => class(CLASS_SYS) | (SYS_DMB << 24),
+        Insn::Svc { imm } => class(CLASS_SYS) | (SYS_SVC << 24) | imm as u32,
+        Insn::Yield => class(CLASS_SYS) | (SYS_YIELD << 24),
+        Insn::Nop => class(CLASS_SYS) | (SYS_NOP << 24),
+        Insn::Udf { imm } => class(CLASS_SYS) | (SYS_UDF << 24) | imm as u32,
+        Insn::B { cond, offset } => {
+            class(CLASS_B) | ((cond as u32) << 24) | ((offset as u32) & 0x00ff_ffff)
+        }
+        Insn::Bl { offset } => class(CLASS_BL) | ((offset as u32) & 0x00ff_ffff),
+        Insn::Bx { rm } => class(CLASS_BX) | rm.index() as u32,
+    }
+}
+
+fn encode_mem(load: bool, rt: crate::Reg, addr: Address, width: Width) -> u32 {
+    let mut word = class(CLASS_MEM)
+        | ((load as u32) << 27)
+        | (encode_width(width) << 25)
+        | ((rt.index() as u32) << 20);
+    match addr {
+        Address::Imm { base, offset } => {
+            word |= ((base.index() as u32) << 16) | (offset as u16 as u32);
+        }
+        Address::Reg { base, index } => {
+            word |= (1 << 24) | ((base.index() as u32) << 16) | ((index.index() as u32) << 12);
+        }
+    }
+    word
+}
+
+/// The maximum forward/backward word offset of a direct branch
+/// (a signed 24-bit field).
+pub const MAX_BRANCH_OFFSET: i32 = (1 << 23) - 1;
+/// The minimum (most negative) word offset of a direct branch.
+pub const MIN_BRANCH_OFFSET: i32 = -(1 << 23);

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// An error decoding a 32-bit word into an [`crate::Insn`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The class field (bits 31:28) names no instruction family.
+    UnknownClass {
+        /// The offending word.
+        word: u32,
+        /// The class field value.
+        class: u8,
+    },
+    /// A sub-opcode within a known class is undefined.
+    UnknownOpcode {
+        /// The offending word.
+        word: u32,
+    },
+    /// A field carried a reserved value (e.g. width code 3).
+    ReservedField {
+        /// The offending word.
+        word: u32,
+        /// Which field was malformed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownClass { word, class } => {
+                write!(
+                    f,
+                    "unknown instruction class {class:#x} in word {word:#010x}"
+                )
+            }
+            DecodeError::UnknownOpcode { word } => {
+                write!(f, "undefined opcode in word {word:#010x}")
+            }
+            DecodeError::ReservedField { word, field } => {
+                write!(f, "reserved {field} field in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// An error produced by the assembler, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the assembly source.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}

@@ -1,0 +1,446 @@
+use crate::{Cond, Reg};
+
+/// The width of a memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// An 8-bit access; loads zero-extend.
+    Byte,
+    /// A 16-bit access; loads zero-extend. Must be 2-byte aligned.
+    Half,
+    /// A 32-bit access. Must be 4-byte aligned.
+    Word,
+}
+
+impl Width {
+    /// The access size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+}
+
+/// A binary ALU operation.
+///
+/// Unlike ARM, shifts are ordinary ALU operations here (`lsl r0, r1, #2`
+/// is `Alu { op: Lsl, .. }`), which keeps the encoding uniform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Addition.
+    Add = 0,
+    /// Addition with carry.
+    Adc = 1,
+    /// Subtraction.
+    Sub = 2,
+    /// Subtraction with borrow.
+    Sbc = 3,
+    /// Reverse subtraction: `rd = op2 - rn`.
+    Rsb = 4,
+    /// Bitwise AND.
+    And = 5,
+    /// Bitwise OR.
+    Orr = 6,
+    /// Bitwise exclusive OR.
+    Eor = 7,
+    /// Bit clear: `rd = rn & !op2`.
+    Bic = 8,
+    /// Multiplication (low 32 bits).
+    Mul = 9,
+    /// Logical shift left.
+    Lsl = 10,
+    /// Logical shift right.
+    Lsr = 11,
+    /// Arithmetic shift right.
+    Asr = 12,
+    /// Rotate right.
+    Ror = 13,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Add,
+        AluOp::Adc,
+        AluOp::Sub,
+        AluOp::Sbc,
+        AluOp::Rsb,
+        AluOp::And,
+        AluOp::Orr,
+        AluOp::Eor,
+        AluOp::Bic,
+        AluOp::Mul,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Ror,
+    ];
+
+    pub(crate) const fn from_field(bits: u32) -> Option<AluOp> {
+        match bits & 0xf {
+            0 => Some(AluOp::Add),
+            1 => Some(AluOp::Adc),
+            2 => Some(AluOp::Sub),
+            3 => Some(AluOp::Sbc),
+            4 => Some(AluOp::Rsb),
+            5 => Some(AluOp::And),
+            6 => Some(AluOp::Orr),
+            7 => Some(AluOp::Eor),
+            8 => Some(AluOp::Bic),
+            9 => Some(AluOp::Mul),
+            10 => Some(AluOp::Lsl),
+            11 => Some(AluOp::Lsr),
+            12 => Some(AluOp::Asr),
+            13 => Some(AluOp::Ror),
+            _ => None,
+        }
+    }
+
+    /// The assembler mnemonic, e.g. `"add"`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Adc => "adc",
+            AluOp::Sub => "sub",
+            AluOp::Sbc => "sbc",
+            AluOp::Rsb => "rsb",
+            AluOp::And => "and",
+            AluOp::Orr => "orr",
+            AluOp::Eor => "eor",
+            AluOp::Bic => "bic",
+            AluOp::Mul => "mul",
+            AluOp::Lsl => "lsl",
+            AluOp::Lsr => "lsr",
+            AluOp::Asr => "asr",
+            AluOp::Ror => "ror",
+        }
+    }
+}
+
+/// A shift applied to a register operand inside [`Operand2::RegShift`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right.
+    Ror = 3,
+}
+
+impl ShiftOp {
+    pub(crate) const fn from_field(bits: u32) -> ShiftOp {
+        match bits & 0x3 {
+            0 => ShiftOp::Lsl,
+            1 => ShiftOp::Lsr,
+            2 => ShiftOp::Asr,
+            _ => ShiftOp::Ror,
+        }
+    }
+
+    /// The assembler mnemonic, e.g. `"lsl"`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Lsl => "lsl",
+            ShiftOp::Lsr => "lsr",
+            ShiftOp::Asr => "asr",
+            ShiftOp::Ror => "ror",
+        }
+    }
+}
+
+/// The flexible second operand of data-processing instructions.
+///
+/// Immediate ranges differ by instruction family (a consequence of the
+/// fixed-width encoding): three-operand ALU instructions take a 12-bit
+/// unsigned immediate, while the two-operand family (`mov`, `cmp`, …)
+/// takes a full 16-bit immediate. Larger constants are materialized with
+/// `movw`/`movt` (the assembler's `mov32` pseudo-instruction does this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// An unsigned immediate.
+    Imm(u16),
+    /// A plain register.
+    Reg(Reg),
+    /// A register shifted by a constant amount (`r1, lsl #2`).
+    RegShift {
+        /// The register to shift.
+        rm: Reg,
+        /// The shift kind.
+        op: ShiftOp,
+        /// The shift amount, `0..=31`.
+        amount: u8,
+    },
+}
+
+/// An addressing mode for loads and stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Address {
+    /// Base register plus a signed immediate byte offset: `[rN, #off]`.
+    Imm {
+        /// The base register.
+        base: Reg,
+        /// The byte offset, `-32768..=32767`.
+        offset: i16,
+    },
+    /// Base register plus an index register: `[rN, rM]`.
+    Reg {
+        /// The base register.
+        base: Reg,
+        /// The index register (added as a byte offset).
+        index: Reg,
+    },
+}
+
+/// A guest instruction.
+///
+/// The variants mirror the subset of 32-bit ARM that the CGO'21 workloads
+/// need, with the LL/SC pair front and centre:
+///
+/// * [`Insn::Ldrex`] — *load-link*: loads a word and arms the executing
+///   thread's exclusive monitor on the address.
+/// * [`Insn::Strex`] — *store-conditional*: stores only if the monitor is
+///   still intact, writing 0 (success) or 1 (failure) to a result register.
+/// * [`Insn::Clrex`] — clears the monitor.
+///
+/// How the monitor is *emulated on a CAS-only host* is exactly the design
+/// space the `adbt-schemes` crate explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// Three-operand data processing: `rd = rn <op> op2`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+        /// Whether NZCV flags are updated (the `s` mnemonic suffix).
+        set_flags: bool,
+    },
+    /// Move: `rd = op2`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source operand.
+        op2: Operand2,
+        /// Whether N and Z flags are updated.
+        set_flags: bool,
+    },
+    /// Move-not: `rd = !op2`.
+    Mvn {
+        /// Destination register.
+        rd: Reg,
+        /// Source operand (bitwise inverted).
+        op2: Operand2,
+        /// Whether N and Z flags are updated.
+        set_flags: bool,
+    },
+    /// Compare: sets flags for `rn - op2`.
+    Cmp {
+        /// Left-hand side.
+        rn: Reg,
+        /// Right-hand side.
+        op2: Operand2,
+    },
+    /// Compare-negative: sets flags for `rn + op2`.
+    Cmn {
+        /// Left-hand side.
+        rn: Reg,
+        /// Right-hand side.
+        op2: Operand2,
+    },
+    /// Test: sets N and Z for `rn & op2`.
+    Tst {
+        /// Left-hand side.
+        rn: Reg,
+        /// Right-hand side.
+        op2: Operand2,
+    },
+    /// Test-equivalence: sets N and Z for `rn ^ op2`.
+    Teq {
+        /// Left-hand side.
+        rn: Reg,
+        /// Right-hand side.
+        op2: Operand2,
+    },
+    /// Move a 16-bit immediate into the low half, zeroing the high half.
+    Movw {
+        /// Destination register.
+        rd: Reg,
+        /// The immediate.
+        imm: u16,
+    },
+    /// Move a 16-bit immediate into the high half, preserving the low half.
+    Movt {
+        /// Destination register.
+        rd: Reg,
+        /// The immediate.
+        imm: u16,
+    },
+    /// Load from memory (zero-extending for sub-word widths).
+    Ldr {
+        /// Destination register.
+        rd: Reg,
+        /// The address.
+        addr: Address,
+        /// The access width.
+        width: Width,
+    },
+    /// Store to memory.
+    Str {
+        /// Source register (low bits stored for sub-word widths).
+        rs: Reg,
+        /// The address.
+        addr: Address,
+        /// The access width.
+        width: Width,
+    },
+    /// Load-link (load exclusive): `rd = [rn]`, arming the monitor on `rn`.
+    ///
+    /// Word-sized and requires a 4-byte-aligned address, like ARM `ldrex`.
+    Ldrex {
+        /// Destination register.
+        rd: Reg,
+        /// Register holding the (word-aligned) address.
+        rn: Reg,
+    },
+    /// Store-conditional (store exclusive): if the monitor armed by the
+    /// preceding [`Insn::Ldrex`] is intact, stores `rs` to `[rn]` and sets
+    /// `rd = 0`; otherwise leaves memory unchanged and sets `rd = 1`.
+    Strex {
+        /// Status destination register (0 = success, 1 = failure).
+        rd: Reg,
+        /// Register holding the value to store.
+        rs: Reg,
+        /// Register holding the (word-aligned) address.
+        rn: Reg,
+    },
+    /// Clears the executing thread's exclusive monitor.
+    Clrex,
+    /// Data memory barrier (full fence).
+    Dmb,
+    /// Conditional branch to `pc + 4 + offset * 4`.
+    B {
+        /// The predicate.
+        cond: Cond,
+        /// Signed word offset from the *next* instruction.
+        offset: i32,
+    },
+    /// Branch-and-link: `lr = pc + 4`, then branch to `pc + 4 + offset * 4`.
+    Bl {
+        /// Signed word offset from the next instruction.
+        offset: i32,
+    },
+    /// Indirect branch to the address in `rm` (used for returns: `bx lr`).
+    Bx {
+        /// Register holding the branch target.
+        rm: Reg,
+    },
+    /// Supervisor call into the emulation runtime (exit, putc, …).
+    Svc {
+        /// The service number; see `adbt-engine`'s syscall table.
+        imm: u16,
+    },
+    /// A scheduling hint; a no-op architecturally.
+    Yield,
+    /// No operation.
+    Nop,
+    /// Permanently undefined; raises an undefined-instruction fault.
+    Udf {
+        /// A payload visible in the fault report.
+        imm: u16,
+    },
+}
+
+impl Insn {
+    /// Whether this instruction ends a basic block in the translator
+    /// (branches, supervisor calls and faults do).
+    pub const fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            Insn::B { .. }
+                | Insn::Bl { .. }
+                | Insn::Bx { .. }
+                | Insn::Svc { .. }
+                | Insn::Udf { .. }
+        )
+    }
+
+    /// Whether this instruction writes to guest memory.
+    ///
+    /// Store-test schemes instrument exactly these instructions (plus the
+    /// conditional store inside [`Insn::Strex`], which they handle
+    /// separately).
+    pub const fn is_plain_store(&self) -> bool {
+        matches!(self, Insn::Str { .. })
+    }
+
+    /// The maximum valid 12-bit ALU immediate.
+    pub const MAX_ALU_IMM: u16 = 0xfff;
+
+    /// Resolves the absolute branch target of [`Insn::B`]/[`Insn::Bl`]
+    /// given the address of the branch itself.
+    ///
+    /// Returns `None` for instructions that are not direct branches.
+    pub fn branch_target(&self, insn_addr: u32) -> Option<u32> {
+        let offset = match *self {
+            Insn::B { offset, .. } | Insn::Bl { offset } => offset,
+            _ => return None,
+        };
+        Some(
+            insn_addr
+                .wrapping_add(4)
+                .wrapping_add((offset as u32).wrapping_mul(4)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ends_block_classification() {
+        assert!(Insn::B {
+            cond: Cond::Al,
+            offset: 0
+        }
+        .ends_block());
+        assert!(Insn::Bx { rm: Reg::LR }.ends_block());
+        assert!(Insn::Svc { imm: 0 }.ends_block());
+        assert!(!Insn::Nop.ends_block());
+        assert!(!Insn::Ldrex {
+            rd: Reg::R0,
+            rn: Reg::R1
+        }
+        .ends_block());
+    }
+
+    #[test]
+    fn branch_target_arithmetic() {
+        let b = Insn::B {
+            cond: Cond::Al,
+            offset: -2,
+        };
+        // Branch at 0x1008 with offset -2 lands on 0x1008 + 4 - 8 = 0x1004.
+        assert_eq!(b.branch_target(0x1008), Some(0x1004));
+        assert_eq!(Insn::Nop.branch_target(0x1000), None);
+        let fwd = Insn::Bl { offset: 3 };
+        assert_eq!(fwd.branch_target(0x1000), Some(0x1010));
+    }
+
+    #[test]
+    fn width_sizes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Half.bytes(), 2);
+        assert_eq!(Width::Word.bytes(), 4);
+    }
+}

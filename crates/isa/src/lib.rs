@@ -1,0 +1,71 @@
+//! # adbt-isa — the guest instruction set
+//!
+//! This crate defines the RISC guest ISA emulated by the `adbt` dynamic
+//! binary translator. The ISA is closely modelled on 32-bit ARM — it has
+//! sixteen general-purpose registers, NZCV condition flags, predicated
+//! branches and, crucially for the CGO'21 paper this project reproduces,
+//! the *Load-Link / Store-Conditional* pair [`Insn::Ldrex`] / [`Insn::Strex`]
+//! with ARM's exclusive-monitor semantics.
+//!
+//! The binary encoding is our own fixed-width 32-bit layout (documented in
+//! [`encode`]); instruction *semantics* follow the ARM manual wherever the
+//! two overlap. Keeping the encoding simple and fully round-trippable lets
+//! the decoder be verified by property tests (`encode ∘ decode == id`).
+//!
+//! The crate provides four layers:
+//!
+//! * data types: [`Reg`], [`Cond`], [`Insn`] and friends,
+//! * [`encode`] / [`decode`] between [`Insn`] and `u32` words,
+//! * a two-pass text [`asm`] (assembler) used by tests, examples and the
+//!   workload generators,
+//! * a [`disasm`] pretty-printer for debugging translated code.
+//!
+//! # Example
+//!
+//! ```
+//! use adbt_isa::{asm::assemble, decode, disasm::disassemble};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let img = assemble(
+//!     r#"
+//!     retry:
+//!         ldrex r1, [r0]
+//!         add   r1, r1, #1
+//!         strex r2, r1, [r0]
+//!         cmp   r2, #0
+//!         bne   retry
+//!         bx    lr
+//!     "#,
+//!     0x1000,
+//! )?;
+//! let first = decode(u32::from_le_bytes(img.bytes[0..4].try_into().unwrap()))?;
+//! assert_eq!(disassemble(&first), "ldrex r1, [r0]");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+mod cond;
+mod decode;
+mod disasm_impl;
+mod encode;
+mod error;
+mod insn;
+mod reg;
+
+pub use cond::Cond;
+pub use decode::decode;
+pub use encode::encode;
+pub use error::{AsmError, DecodeError};
+pub use insn::{Address, AluOp, Insn, Operand2, ShiftOp, Width};
+pub use reg::Reg;
+
+/// Disassembly entry points.
+pub mod disasm {
+    pub use crate::disasm_impl::{disassemble, disassemble_at};
+}
+
+/// The size, in bytes, of every instruction in the guest ISA.
+///
+/// The encoding is fixed-width, like ARM's A32 encoding.
+pub const INSN_SIZE: u32 = 4;

@@ -1,0 +1,142 @@
+use std::fmt;
+
+/// A guest general-purpose register, `r0` through `r15`.
+///
+/// Three registers carry ABI roles borrowed from ARM: [`Reg::SP`] (`r13`) is
+/// the stack pointer, [`Reg::LR`] (`r14`) the link register written by
+/// [`crate::Insn::Bl`], and [`Reg::PC`] (`r15`) the program counter. The
+/// program counter is *not* a readable operand in this ISA (unlike real ARM);
+/// the only instructions that observe or modify it are branches, which keeps
+/// translated basic blocks simple.
+///
+/// # Example
+///
+/// ```
+/// use adbt_isa::Reg;
+///
+/// let r = Reg::new(3).unwrap();
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!(Reg::SP.to_string(), "sp");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// First argument / return-value register.
+    pub const R0: Reg = Reg(0);
+    /// Second argument register.
+    pub const R1: Reg = Reg(1);
+    /// Third argument register.
+    pub const R2: Reg = Reg(2);
+    /// Fourth argument register.
+    pub const R3: Reg = Reg(3);
+    /// Scratch register.
+    pub const R4: Reg = Reg(4);
+    /// Scratch register.
+    pub const R5: Reg = Reg(5);
+    /// Scratch register.
+    pub const R6: Reg = Reg(6);
+    /// Scratch register.
+    pub const R7: Reg = Reg(7);
+    /// Scratch register.
+    pub const R8: Reg = Reg(8);
+    /// Scratch register.
+    pub const R9: Reg = Reg(9);
+    /// Scratch register.
+    pub const R10: Reg = Reg(10);
+    /// Scratch register.
+    pub const R11: Reg = Reg(11);
+    /// Scratch register (intra-procedure-call temporary on ARM).
+    pub const R12: Reg = Reg(12);
+    /// The stack pointer, `r13`.
+    pub const SP: Reg = Reg(13);
+    /// The link register, `r14`.
+    pub const LR: Reg = Reg(14);
+    /// The program counter, `r15`.
+    pub const PC: Reg = Reg(15);
+
+    /// The number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index` is 16 or larger.
+    ///
+    /// ```
+    /// use adbt_isa::Reg;
+    /// assert_eq!(Reg::new(13), Some(Reg::SP));
+    /// assert_eq!(Reg::new(16), None);
+    /// ```
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 16 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from the low four bits of an encoded field.
+    ///
+    /// Used by the decoder, where the field is four bits wide by
+    /// construction and cannot be out of range.
+    pub(crate) const fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0xf) as u8)
+    }
+
+    /// Returns the register's index, `0..=15`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => write!(f, "sp"),
+            Reg::LR => write!(f, "lr"),
+            Reg::PC => write!(f, "pc"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn named_registers_have_expected_indices() {
+        assert_eq!(Reg::SP.index(), 13);
+        assert_eq!(Reg::LR.index(), 14);
+        assert_eq!(Reg::PC.index(), 15);
+    }
+
+    #[test]
+    fn display_uses_aliases() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R12.to_string(), "r12");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn from_field_masks_to_four_bits() {
+        assert_eq!(Reg::from_field(0x13), Reg::R3);
+        assert_eq!(Reg::from_field(0xf), Reg::PC);
+    }
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+/// The kind of access that caused (or is being checked for) a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Access {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Load => "load",
+            Access::Store => "store",
+            Access::Fetch => "fetch",
+        })
+    }
+}
+
+/// Why an access faulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultKind {
+    /// The virtual page has no mapping — the analogue of `SEGV_MAPERR`.
+    ///
+    /// PST-REMAP relies on this: during an SC it unmaps the original page,
+    /// so competing accesses raise `Unmapped` faults and block until the
+    /// SC completes.
+    Unmapped,
+    /// The page is mapped but the permission bits forbid the access — the
+    /// analogue of `SEGV_ACCERR`.
+    ///
+    /// PST relies on this: the LL emulation write-protects the page of the
+    /// synchronization variable, so competing stores raise `Protected`
+    /// faults routed to the scheme's handler.
+    Protected,
+    /// The address is not aligned to the access width.
+    Unaligned,
+    /// The address is beyond the configured virtual address space.
+    OutOfRange,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Unmapped => "unmapped page (MAPERR)",
+            FaultKind::Protected => "permission denied (ACCERR)",
+            FaultKind::Unaligned => "unaligned access",
+            FaultKind::OutOfRange => "address out of range",
+        })
+    }
+}
+
+/// A page fault raised by the soft-MMU.
+///
+/// The execution engine catches these and either routes them to the
+/// active atomic-emulation scheme's fault handler (PST, PST-REMAP) or
+/// terminates the guest thread with a fault report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PageFault {
+    /// The faulting virtual address.
+    pub vaddr: u32,
+    /// What kind of access faulted.
+    pub access: Access,
+    /// Why it faulted.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#010x}: {}",
+            self.access, self.vaddr, self.kind
+        )
+    }
+}
+
+impl Error for PageFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fault = PageFault {
+            vaddr: 0x1234,
+            access: Access::Store,
+            kind: FaultKind::Protected,
+        };
+        let text = fault.to_string();
+        assert!(text.contains("store"));
+        assert!(text.contains("0x00001234"));
+        assert!(text.contains("ACCERR"));
+    }
+}

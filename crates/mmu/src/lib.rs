@@ -1,0 +1,86 @@
+//! # adbt-mmu — guest memory and the soft-MMU
+//!
+//! This crate is the memory substrate of the `adbt` dynamic binary
+//! translator. It provides:
+//!
+//! * [`GuestMemory`] — flat *physical* memory built from aligned
+//!   [`std::sync::atomic::AtomicU32`] cells, so concurrently executing
+//!   vCPU threads perform **real** atomic host operations against shared
+//!   memory. The host-side `CAS` primitive that PICO-CAS lowers `strex`
+//!   to ([`GuestMemory::cas_word`]) is a genuine
+//!   `compare_exchange`; the ABA problem the CGO'21 paper studies really
+//!   occurs on this substrate.
+//! * [`AddressSpace`] — a paged *virtual* view with per-page permissions,
+//!   mapping, unmapping and remapping. This is the stand-in for the OS
+//!   `mprotect`/`mremap` machinery used by the paper's PST and PST-REMAP
+//!   schemes: protecting a page makes every translated store to it fault
+//!   ([`PageFault`]) and the engine routes the fault to the active
+//!   scheme's handler, exactly as a SIGSEGV handler would run under QEMU.
+//!
+//! Fault kinds mirror the two `si_code` values the paper distinguishes:
+//! [`FaultKind::Unmapped`] (`SEGV_MAPERR`, used by PST-REMAP) and
+//! [`FaultKind::Protected`] (`SEGV_ACCERR`, used by PST).
+//!
+//! # Example
+//!
+//! ```
+//! use adbt_mmu::{AddressSpace, Access, FaultKind, Perms, Width, PAGE_SIZE};
+//!
+//! let space = AddressSpace::new(4 * PAGE_SIZE, 0)?;
+//! space.store(0x100, Width::Word, 7)?;
+//! assert_eq!(space.load(0x100, Width::Word)?, 7);
+//!
+//! // Revoke write permission, as the PST scheme's LL emulation does:
+//! space.protect(0x100 / PAGE_SIZE, Perms::READ | Perms::EXEC);
+//! let fault = space.store(0x100, Width::Word, 8).unwrap_err();
+//! assert_eq!(fault.kind, FaultKind::Protected);
+//! assert_eq!(fault.access, Access::Store);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod fault;
+mod mem;
+mod space;
+
+pub use fault::{Access, FaultKind, PageFault};
+pub use mem::{GuestMemory, RmwKind};
+pub use space::{AddressSpace, Perms, SpaceConfig};
+
+/// The width of a memory access.
+///
+/// Defined here (not imported from `adbt-isa`) so the memory substrate has
+/// no dependency on the instruction set; the engine converts between the
+/// two enums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access, 2-byte aligned.
+    Half,
+    /// 32-bit access, 4-byte aligned.
+    Word,
+}
+
+impl Width {
+    /// The access size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+}
+
+/// The page size of the soft-MMU, matching the 4 KiB pages of the hosts
+/// the paper evaluates on.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Returns the virtual page number containing `vaddr`.
+#[inline]
+pub const fn page_of(vaddr: u32) -> u32 {
+    vaddr >> PAGE_SHIFT
+}

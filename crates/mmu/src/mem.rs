@@ -1,0 +1,310 @@
+//! Flat physical guest memory made of atomic 32-bit cells.
+
+use crate::Width;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The read-modify-write operations [`GuestMemory::fetch_rmw_word`]
+/// supports, mirroring the host's atomic built-ins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RmwKind {
+    /// `fetch_add`.
+    Add,
+    /// `fetch_sub`.
+    Sub,
+    /// `fetch_and`.
+    And,
+    /// `fetch_or`.
+    Or,
+    /// `fetch_xor`.
+    Xor,
+}
+
+/// Physical guest memory.
+///
+/// Storage is a slice of [`AtomicU32`] cells, so every access — including
+/// byte and halfword accesses, which read-modify-write their containing
+/// word with a CAS loop — is a real host atomic operation. This is what
+/// makes the reproduction honest: when sixteen vCPU threads hammer a
+/// lock-free stack, the races, and the ABA hazard, are genuine.
+///
+/// All addresses here are *physical*; virtual translation lives in
+/// [`crate::AddressSpace`]. Accesses use sequentially consistent ordering
+/// throughout. That matches what QEMU's generated code guarantees for
+/// guest-visible accesses under its multi-threaded TCG (which conservatively
+/// fences around guest memory operations), and removes memory-model
+/// divergence as a confound when comparing emulation schemes.
+///
+/// # Example
+///
+/// ```
+/// use adbt_mmu::{GuestMemory, Width};
+///
+/// let mem = GuestMemory::new(4096);
+/// mem.store(0x10, Width::Word, 0xdead_beef);
+/// assert_eq!(mem.load(0x10, Width::Byte), 0xef); // little-endian
+/// assert_eq!(mem.cas_word(0x10, 0xdead_beef, 1), Ok(0xdead_beef));
+/// assert_eq!(mem.cas_word(0x10, 0xdead_beef, 2), Err(1));
+/// ```
+pub struct GuestMemory {
+    cells: Box<[AtomicU32]>,
+    size: u32,
+}
+
+impl GuestMemory {
+    /// Allocates `size` bytes of zeroed physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a multiple of 4.
+    pub fn new(size: u32) -> GuestMemory {
+        assert!(
+            size > 0 && size.is_multiple_of(4),
+            "size must be a positive multiple of 4"
+        );
+        let mut cells = Vec::with_capacity(size as usize / 4);
+        cells.resize_with(size as usize / 4, || AtomicU32::new(0));
+        GuestMemory {
+            cells: cells.into_boxed_slice(),
+            size,
+        }
+    }
+
+    /// The memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    #[inline]
+    fn cell(&self, paddr: u32) -> &AtomicU32 {
+        &self.cells[(paddr / 4) as usize]
+    }
+
+    /// Loads a value of the given width from a physical address,
+    /// zero-extended to 32 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is unaligned or out of bounds. The address
+    /// space performs those checks before translation; physical accesses
+    /// are trusted.
+    #[inline]
+    pub fn load(&self, paddr: u32, width: Width) -> u32 {
+        debug_assert_eq!(paddr % width.bytes(), 0, "unaligned physical load");
+        let word = self.cell(paddr).load(Ordering::SeqCst);
+        match width {
+            Width::Word => word,
+            Width::Half => (word >> ((paddr & 2) * 8)) & 0xffff,
+            Width::Byte => (word >> ((paddr & 3) * 8)) & 0xff,
+        }
+    }
+
+    /// Stores the low `width` bits of `value` to a physical address.
+    ///
+    /// Sub-word stores read-modify-write their containing word with a CAS
+    /// loop, so concurrent byte stores to different bytes of one word
+    /// never lose updates.
+    #[inline]
+    pub fn store(&self, paddr: u32, width: Width, value: u32) {
+        debug_assert_eq!(paddr % width.bytes(), 0, "unaligned physical store");
+        let cell = self.cell(paddr);
+        match width {
+            Width::Word => cell.store(value, Ordering::SeqCst),
+            Width::Half => {
+                let shift = (paddr & 2) * 8;
+                let mask = 0xffffu32 << shift;
+                let bits = (value & 0xffff) << shift;
+                let mut current = cell.load(Ordering::SeqCst);
+                loop {
+                    let next = (current & !mask) | bits;
+                    match cell.compare_exchange_weak(
+                        current,
+                        next,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => current = actual,
+                    }
+                }
+            }
+            Width::Byte => {
+                let shift = (paddr & 3) * 8;
+                let mask = 0xffu32 << shift;
+                let bits = (value & 0xff) << shift;
+                let mut current = cell.load(Ordering::SeqCst);
+                loop {
+                    let next = (current & !mask) | bits;
+                    match cell.compare_exchange_weak(
+                        current,
+                        next,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => current = actual,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Atomically compares-and-swaps the word at `paddr`.
+    ///
+    /// Returns `Ok(expected)` if the word equalled `expected` and was
+    /// replaced by `new`; otherwise `Err(actual)` with the observed value.
+    /// This is the host primitive PICO-CAS lowers `strex` to — a value
+    /// comparison, which is exactly why it admits the ABA problem.
+    #[inline]
+    pub fn cas_word(&self, paddr: u32, expected: u32, new: u32) -> Result<u32, u32> {
+        debug_assert_eq!(paddr % 4, 0, "unaligned CAS");
+        self.cell(paddr)
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomically adds `delta` to the word at `paddr`, returning the
+    /// previous value. Used by runtime helpers and statistics.
+    #[inline]
+    pub fn fetch_add_word(&self, paddr: u32, delta: u32) -> u32 {
+        debug_assert_eq!(paddr % 4, 0, "unaligned fetch_add");
+        self.cell(paddr).fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Atomically applies a read-modify-write to the word at `paddr`,
+    /// returning the previous value — the host atomic built-ins the
+    /// rule-based translation pass (paper §VI) lowers recognized LL/SC
+    /// loops to.
+    #[inline]
+    pub fn fetch_rmw_word(&self, paddr: u32, op: RmwKind, operand: u32) -> u32 {
+        debug_assert_eq!(paddr % 4, 0, "unaligned fetch_rmw");
+        let cell = self.cell(paddr);
+        match op {
+            RmwKind::Add => cell.fetch_add(operand, Ordering::SeqCst),
+            RmwKind::Sub => cell.fetch_sub(operand, Ordering::SeqCst),
+            RmwKind::And => cell.fetch_and(operand, Ordering::SeqCst),
+            RmwKind::Or => cell.fetch_or(operand, Ordering::SeqCst),
+            RmwKind::Xor => cell.fetch_xor(operand, Ordering::SeqCst),
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `paddr` (used to load
+    /// program images before execution starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write_slice(&self, paddr: u32, bytes: &[u8]) {
+        assert!(
+            paddr as usize + bytes.len() <= self.size as usize,
+            "image write out of bounds"
+        );
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store(paddr + i as u32, Width::Byte, b as u32);
+        }
+    }
+
+    /// Reads `len` bytes starting at `paddr` (used by host-side result
+    /// verifiers after a run).
+    pub fn read_slice(&self, paddr: u32, len: u32) -> Vec<u8> {
+        assert!(
+            paddr as u64 + len as u64 <= self.size as u64,
+            "read out of bounds"
+        );
+        (0..len)
+            .map(|i| self.load(paddr + i, Width::Byte) as u8)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GuestMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestMemory")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_byte_lanes() {
+        let mem = GuestMemory::new(64);
+        mem.store(0, Width::Word, 0x0403_0201);
+        assert_eq!(mem.load(0, Width::Byte), 0x01);
+        assert_eq!(mem.load(1, Width::Byte), 0x02);
+        assert_eq!(mem.load(2, Width::Byte), 0x03);
+        assert_eq!(mem.load(3, Width::Byte), 0x04);
+        assert_eq!(mem.load(0, Width::Half), 0x0201);
+        assert_eq!(mem.load(2, Width::Half), 0x0403);
+    }
+
+    #[test]
+    fn subword_stores_preserve_neighbours() {
+        let mem = GuestMemory::new(64);
+        mem.store(4, Width::Word, 0xffff_ffff);
+        mem.store(5, Width::Byte, 0);
+        assert_eq!(mem.load(4, Width::Word), 0xffff_00ff);
+        mem.store(6, Width::Half, 0x1234);
+        assert_eq!(mem.load(4, Width::Word), 0x1234_00ff);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mem = GuestMemory::new(64);
+        mem.store(8, Width::Word, 10);
+        assert_eq!(mem.cas_word(8, 10, 11), Ok(10));
+        assert_eq!(mem.load(8, Width::Word), 11);
+        assert_eq!(mem.cas_word(8, 10, 12), Err(11));
+        assert_eq!(mem.load(8, Width::Word), 11);
+    }
+
+    #[test]
+    fn write_and_read_slices() {
+        let mem = GuestMemory::new(64);
+        mem.write_slice(3, &[1, 2, 3, 4, 5]);
+        assert_eq!(mem.read_slice(3, 5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(mem.load(0, Width::Byte), 0);
+    }
+
+    #[test]
+    fn concurrent_byte_stores_do_not_tear() {
+        // Four threads each own one byte lane of the same word and write
+        // distinct patterns; all lanes must survive.
+        let mem = GuestMemory::new(64);
+        std::thread::scope(|s| {
+            for lane in 0u32..4 {
+                let mem = &mem;
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        mem.store(12 + lane, Width::Byte, (lane * 10 + i) & 0xff);
+                    }
+                    mem.store(12 + lane, Width::Byte, lane + 1);
+                });
+            }
+        });
+        assert_eq!(mem.load(12, Width::Word), 0x0403_0201);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        let mem = GuestMemory::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let mem = &mem;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        mem.fetch_add_word(16, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.load(16, Width::Word), 80_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple of 4")]
+    fn rejects_unaligned_size() {
+        let _ = GuestMemory::new(10);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests: the address space against a simple reference model
+//! (a byte map plus per-page permission/mapping state).
+
+use adbt_mmu::{Access, AddressSpace, FaultKind, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PHYS_PAGES: u32 = 4;
+const EXTRA_PAGES: u32 = 2;
+
+/// The reference model mirrors the identity-mapped space: each virtual
+/// page maps to a frame (or nothing) and carries permissions; bytes live
+/// in per-frame arrays.
+struct Model {
+    frames: Vec<[u8; PAGE_SIZE as usize]>,
+    mapping: Vec<Option<(u32, Perms)>>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            frames: vec![[0; PAGE_SIZE as usize]; PHYS_PAGES as usize],
+            mapping: (0..PHYS_PAGES + EXTRA_PAGES)
+                .map(|p| (p < PHYS_PAGES).then_some((p, Perms::RWX)))
+                .collect(),
+        }
+    }
+
+    fn check(&self, vaddr: u32, access: Access, width: Width) -> Result<(u32, u32), FaultKind> {
+        if vaddr % width.bytes() != 0 {
+            return Err(FaultKind::Unaligned);
+        }
+        let page = (vaddr >> PAGE_SHIFT) as usize;
+        if page >= self.mapping.len() {
+            return Err(FaultKind::OutOfRange);
+        }
+        let (frame, perms) = self.mapping[page].ok_or(FaultKind::Unmapped)?;
+        if !perms.allows(access) {
+            return Err(FaultKind::Protected);
+        }
+        Ok((frame, vaddr & (PAGE_SIZE - 1)))
+    }
+
+    fn load(&self, vaddr: u32, width: Width) -> Result<u32, FaultKind> {
+        let (frame, off) = self.check(vaddr, Access::Load, width)?;
+        let bytes = &self.frames[frame as usize];
+        let mut value = 0u32;
+        for i in 0..width.bytes() {
+            value |= (bytes[(off + i) as usize] as u32) << (8 * i);
+        }
+        Ok(value)
+    }
+
+    fn store(&mut self, vaddr: u32, width: Width, value: u32) -> Result<(), FaultKind> {
+        let (frame, off) = self.check(vaddr, Access::Store, width)?;
+        let bytes = &mut self.frames[frame as usize];
+        for i in 0..width.bytes() {
+            bytes[(off + i) as usize] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum OpCase {
+    Load {
+        vaddr: u32,
+        width: Width,
+    },
+    Store {
+        vaddr: u32,
+        width: Width,
+        value: u32,
+    },
+    Protect {
+        page: u32,
+        perms: Perms,
+    },
+    Unmap {
+        page: u32,
+    },
+    Move {
+        from: u32,
+        to: u32,
+    },
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::Byte), Just(Width::Half), Just(Width::Word)]
+}
+
+fn arb_perms() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::RWX),
+        Just(Perms::READ | Perms::EXEC),
+        Just(Perms::READ | Perms::WRITE),
+        Just(Perms::READ),
+        Just(Perms::NONE),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = OpCase> {
+    let total = (PHYS_PAGES + EXTRA_PAGES) * PAGE_SIZE;
+    prop_oneof![
+        4 => (0..total, arb_width()).prop_map(|(vaddr, width)| OpCase::Load { vaddr, width }),
+        4 => (0..total, arb_width(), any::<u32>())
+            .prop_map(|(vaddr, width, value)| OpCase::Store { vaddr, width, value }),
+        1 => (0..PHYS_PAGES + EXTRA_PAGES, arb_perms())
+            .prop_map(|(page, perms)| OpCase::Protect { page, perms }),
+        1 => (0..PHYS_PAGES + EXTRA_PAGES).prop_map(|page| OpCase::Unmap { page }),
+        1 => (0..PHYS_PAGES + EXTRA_PAGES, 0..PHYS_PAGES + EXTRA_PAGES)
+            .prop_map(|(from, to)| OpCase::Move { from, to }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sequence of loads, stores, protections, unmaps and remaps
+    /// leaves the space agreeing with the model on every outcome.
+    #[test]
+    fn space_agrees_with_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let space = AddressSpace::new(PHYS_PAGES * PAGE_SIZE, EXTRA_PAGES).unwrap();
+        let mut model = Model::new();
+        for op in ops {
+            match op {
+                OpCase::Load { vaddr, width } => {
+                    let got = space.load(vaddr, width);
+                    let want = model.load(vaddr, width);
+                    match (got, want) {
+                        (Ok(g), Ok(w)) => prop_assert_eq!(g, w, "load {:#x}", vaddr),
+                        (Err(g), Err(w)) => prop_assert_eq!(g.kind, w, "load fault {:#x}", vaddr),
+                        (g, w) => prop_assert!(false, "load {:#x}: {:?} vs {:?}", vaddr, g, w),
+                    }
+                }
+                OpCase::Store { vaddr, width, value } => {
+                    let got = space.store(vaddr, width, value);
+                    let want = model.store(vaddr, width, value);
+                    match (got, want) {
+                        (Ok(()), Ok(())) => {}
+                        (Err(g), Err(w)) => prop_assert_eq!(g.kind, w, "store fault {:#x}", vaddr),
+                        (g, w) => prop_assert!(false, "store {:#x}: {:?} vs {:?}", vaddr, g, w),
+                    }
+                }
+                OpCase::Protect { page, perms } => {
+                    let got = space.protect(page, perms);
+                    let entry = model.mapping.get_mut(page as usize);
+                    match entry {
+                        Some(Some((_, model_perms))) => {
+                            prop_assert_eq!(got, Some(*model_perms));
+                            *model_perms = perms;
+                        }
+                        _ => prop_assert_eq!(got, None),
+                    }
+                }
+                OpCase::Unmap { page } => {
+                    let got = space.unmap(page);
+                    let entry = model.mapping.get_mut(page as usize);
+                    match entry {
+                        Some(slot @ Some(_)) => {
+                            prop_assert_eq!(got, slot.map(|(f, _)| f));
+                            *slot = None;
+                        }
+                        _ => prop_assert_eq!(got, None),
+                    }
+                }
+                OpCase::Move { from, to } => {
+                    let got = space.move_page(from, to, Perms::RWX);
+                    let from_entry = model
+                        .mapping
+                        .get(from as usize)
+                        .copied()
+                        .flatten();
+                    let to_in_range = (to as usize) < model.mapping.len();
+                    match (from_entry, to_in_range, from == to) {
+                        (Some((frame, _)), true, false) => {
+                            prop_assert_eq!(got, Ok(frame));
+                            model.mapping[from as usize] = None;
+                            model.mapping[to as usize] = Some((frame, Perms::RWX));
+                        }
+                        (Some((frame, _)), true, true) => {
+                            // Move onto itself: unmapped then remapped.
+                            prop_assert_eq!(got, Ok(frame));
+                            model.mapping[to as usize] = Some((frame, Perms::RWX));
+                        }
+                        (Some((frame, perms)), false, _) => {
+                            // Destination out of range: restored with RWX
+                            // (the implementation's documented recovery).
+                            prop_assert!(got.is_err());
+                            let _ = perms;
+                            model.mapping[from as usize] = Some((frame, Perms::RWX));
+                        }
+                        (None, _, _) => prop_assert!(got.is_err()),
+                    }
+                }
+            }
+        }
+    }
+}

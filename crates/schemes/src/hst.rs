@@ -1,0 +1,379 @@
+//! The HST family: Hash-table Store Test (paper §III-A through §III-C).
+//!
+//! All three variants share the LL lowering — one inline
+//! [`Op::HtableSet`] claiming the hash entry plus one inline
+//! [`Op::MonitorArm`] — and differ in how stores are instrumented and how
+//! the SC critical section is made atomic:
+//!
+//! * [`Hst`]: every guest store gets an inline `HtableSet`; SC validates
+//!   the entry inside a QEMU stop-the-world exclusive section. *Strong.*
+//! * [`HstWeak`]: stores are not instrumented; SC serializes against
+//!   competing LL/SC via a CAS'd lock bit on the hash entry itself.
+//!   *Weak* — plain stores go unnoticed, but overlapping LL/SC pairs are
+//!   caught (unlike PICO-CAS).
+//! * [`HstHtm`]: like HST, but the SC critical section is an HTM
+//!   transaction (validate entry, transactionally store), falling back to
+//!   the stop-the-world path after repeated aborts. *Strong.*
+
+use adbt_engine::{AtomicScheme, Atomicity, ExecCtx, HelperRegistry, Trap};
+use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
+use adbt_mmu::{Access, Width};
+
+/// Emits the shared HST-family LL sequence: claim the hash entry, then
+/// load and arm the monitor — all inline, no helper.
+fn lower_ll_inline(b: &mut BlockBuilder, rd: Slot, addr: Src) {
+    b.push(Op::HtableSet { addr });
+    b.push(Op::MonitorArm { dst: rd, addr });
+}
+
+/// Checks the monitor and hash entry for an SC; common to all variants.
+fn sc_precondition(ctx: &ExecCtx<'_>, addr: u32) -> bool {
+    ctx.cpu.monitor.addr == Some(addr) && ctx.machine.store_test.get(addr) == ctx.cpu.tid
+}
+
+// ---------------------------------------------------------------------------
+// HST
+// ---------------------------------------------------------------------------
+
+/// The paper's headline scheme (Fig. 5): strong atomicity from an inline
+/// store test plus a stop-the-world SC.
+#[derive(Debug, Default)]
+pub struct Hst {
+    sc: Option<HelperId>,
+}
+
+impl Hst {
+    /// Creates the scheme.
+    pub fn new() -> Hst {
+        Hst::default()
+    }
+}
+
+/// The body of HST's SC: runs with the world stopped.
+fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, Trap> {
+    ctx.stats.sc += 1;
+    ctx.start_exclusive();
+    let ok = sc_precondition(ctx, addr);
+    let result = if ok {
+        ctx.store(addr, Width::Word, new, false).map(|()| 0)
+    } else {
+        ctx.stats.sc_failures += 1;
+        Ok(1)
+    };
+    ctx.cpu.monitor.addr = None;
+    ctx.end_exclusive();
+    result
+}
+
+impl AtomicScheme for Hst {
+    fn name(&self) -> &'static str {
+        "hst"
+    }
+
+    fn atomicity(&self) -> Atomicity {
+        Atomicity::Strong
+    }
+
+    fn install(&mut self, reg: &mut HelperRegistry) {
+        self.sc = Some(reg.register(
+            "hst_sc",
+            Box::new(|ctx, args| hst_sc_exclusive(ctx, args[0], args[1])),
+        ));
+    }
+
+    fn lower_ll(&self, b: &mut BlockBuilder, rd: Slot, addr: Src) {
+        lower_ll_inline(b, rd, addr);
+    }
+
+    fn lower_sc(&self, b: &mut BlockBuilder, rd: Slot, value: Src, addr: Src) {
+        b.push(Op::Helper {
+            id: self.sc.expect("installed"),
+            args: vec![addr, value],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_clrex(&self, b: &mut BlockBuilder) {
+        b.push(Op::MonitorClear);
+    }
+
+    fn instrument_store(&self, b: &mut BlockBuilder, addr: Src) {
+        // The single inline op that makes HST cheap where PICO-ST is not.
+        b.push(Op::HtableSet { addr });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HST-WEAK
+// ---------------------------------------------------------------------------
+
+/// HST without store instrumentation (paper Fig. 7): weak atomicity at
+/// PICO-CAS-like speed, with overlapping LL/SC pairs still detected via
+/// the hash-entry lock.
+#[derive(Debug, Default)]
+pub struct HstWeak {
+    ll: Option<HelperId>,
+    sc: Option<HelperId>,
+}
+
+impl HstWeak {
+    /// Creates the scheme.
+    pub fn new() -> HstWeak {
+        HstWeak::default()
+    }
+}
+
+impl AtomicScheme for HstWeak {
+    fn name(&self) -> &'static str {
+        "hst-weak"
+    }
+
+    fn atomicity(&self) -> Atomicity {
+        Atomicity::Weak
+    }
+
+    fn install(&mut self, reg: &mut HelperRegistry) {
+        self.ll = Some(reg.register(
+            "hst_weak_ll",
+            Box::new(|ctx, args| {
+                let addr = args[0];
+                ctx.stats.ll += 1;
+                ctx.stats.htable_sets += 1;
+                // Claim the entry without clobbering a locked one: a
+                // plain-store claim racing into another SC's critical
+                // window would let our own SC "lock" the entry while the
+                // previous SC is still writing.
+                let machine = ctx.machine;
+                let tid = ctx.cpu.tid;
+                machine.store_test.claim_unlocked(addr, tid, || {
+                    std::hint::spin_loop();
+                });
+                let value = ctx.load(addr, Width::Word)?;
+                ctx.cpu.monitor.addr = Some(addr);
+                ctx.cpu.monitor.value = value;
+                Ok(value)
+            }),
+        ));
+        self.sc = Some(reg.register(
+            "hst_weak_sc",
+            Box::new(|ctx, args| {
+                let (addr, new) = (args[0], args[1]);
+                ctx.stats.sc += 1;
+                let armed = ctx.cpu.monitor.addr == Some(addr);
+                ctx.cpu.monitor.addr = None;
+                // One CAS locks the entry iff it still belongs to us; a
+                // competing SC either completed (entry now theirs) or
+                // holds the lock — both must fail us.
+                if armed && ctx.machine.store_test.try_lock(addr, ctx.cpu.tid) {
+                    let result = ctx.store(addr, Width::Word, new, false);
+                    ctx.machine.store_test.unlock(addr, ctx.cpu.tid);
+                    result.map(|()| 0)
+                } else {
+                    ctx.stats.sc_failures += 1;
+                    Ok(1)
+                }
+            }),
+        ));
+    }
+
+    fn lower_ll(&self, b: &mut BlockBuilder, rd: Slot, addr: Src) {
+        b.push(Op::Helper {
+            id: self.ll.expect("installed"),
+            args: vec![addr],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_sc(&self, b: &mut BlockBuilder, rd: Slot, value: Src, addr: Src) {
+        b.push(Op::Helper {
+            id: self.sc.expect("installed"),
+            args: vec![addr, value],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_clrex(&self, b: &mut BlockBuilder) {
+        b.push(Op::MonitorClear);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HST-HTM
+// ---------------------------------------------------------------------------
+
+/// HST with the SC critical section inside an HTM transaction (paper
+/// §III-B, Fig. 6): the transaction covers only the entry check plus the
+/// conditional store, so — unlike PICO-HTM — no emulation work can land
+/// inside it.
+#[derive(Debug)]
+pub struct HstHtm {
+    sc: Option<HelperId>,
+    /// Transaction attempts before falling back to stop-the-world.
+    max_retries: u32,
+}
+
+impl HstHtm {
+    /// Creates the scheme with the default retry budget (8 attempts).
+    pub fn new() -> HstHtm {
+        HstHtm {
+            sc: None,
+            max_retries: 8,
+        }
+    }
+}
+
+impl Default for HstHtm {
+    fn default() -> HstHtm {
+        HstHtm::new()
+    }
+}
+
+impl AtomicScheme for HstHtm {
+    fn name(&self) -> &'static str {
+        "hst-htm"
+    }
+
+    fn atomicity(&self) -> Atomicity {
+        Atomicity::Strong
+    }
+
+    fn requires_htm(&self) -> bool {
+        true
+    }
+
+    fn install(&mut self, reg: &mut HelperRegistry) {
+        let max_retries = self.max_retries;
+        self.sc = Some(reg.register(
+            "hst_htm_sc",
+            Box::new(move |ctx, args| {
+                let (addr, new) = (args[0], args[1]);
+                ctx.stats.sc += 1;
+                // Fail fast outside any transaction when the precondition
+                // is already gone.
+                if !sc_precondition(ctx, addr) {
+                    ctx.cpu.monitor.addr = None;
+                    ctx.stats.sc_failures += 1;
+                    return Ok(1);
+                }
+                let paddr = match ctx
+                    .machine
+                    .space
+                    .translate(addr, Access::Store, Width::Word)
+                {
+                    Ok(paddr) => paddr,
+                    Err(fault) => return Err(Trap::Fault(fault)),
+                };
+                let entry_token = ctx.machine.store_test.htm_token(addr);
+                for _ in 0..max_retries {
+                    ctx.stats.htm_txns += 1;
+                    let mut txn = ctx.machine.htm.begin();
+                    // Pull the hash entry's conflict token into the read
+                    // set: a competing LL or instrumented store flipping
+                    // the entry after our check below aborts this commit
+                    // (the entry's cache line, on real HTM).
+                    if txn.observe(entry_token).is_err() {
+                        ctx.stats.htm_aborts += 1;
+                        continue;
+                    }
+                    // Transactionally read the word so any concurrent
+                    // plain store (which bumps the version) aborts us,
+                    // then re-validate the hash entry inside the window.
+                    if txn.load_word(ctx.machine.space.mem(), paddr).is_err() {
+                        ctx.stats.htm_aborts += 1;
+                        continue;
+                    }
+                    if !sc_precondition(ctx, addr) {
+                        ctx.cpu.monitor.addr = None;
+                        ctx.stats.sc_failures += 1;
+                        return Ok(1);
+                    }
+                    if txn.store_word(paddr, new).is_err() {
+                        ctx.stats.htm_aborts += 1;
+                        continue;
+                    }
+                    match txn.commit(ctx.machine.space.mem()) {
+                        Ok(()) => {
+                            ctx.cpu.monitor.addr = None;
+                            return Ok(0);
+                        }
+                        Err(_) => {
+                            ctx.stats.htm_aborts += 1;
+                        }
+                    }
+                }
+                // Abort budget exhausted: take the HST fallback path.
+                hst_sc_exclusive(ctx, addr, new).inspect(|_status| {
+                    // `hst_sc_exclusive` counted a second SC; undo it so
+                    // the profile counts one SC per guest strex.
+                    ctx.stats.sc -= 1;
+                })
+            }),
+        ));
+    }
+
+    fn lower_ll(&self, b: &mut BlockBuilder, rd: Slot, addr: Src) {
+        lower_ll_inline(b, rd, addr);
+    }
+
+    fn lower_sc(&self, b: &mut BlockBuilder, rd: Slot, value: Src, addr: Src) {
+        b.push(Op::Helper {
+            id: self.sc.expect("installed"),
+            args: vec![addr, value],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_clrex(&self, b: &mut BlockBuilder) {
+        b.push(Op::MonitorClear);
+    }
+
+    fn instrument_store(&self, b: &mut BlockBuilder, addr: Src) {
+        b.push(Op::HtableSet { addr });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt_ir::BlockExit;
+
+    #[test]
+    fn hst_ll_and_stores_are_inline() {
+        let mut scheme = Hst::new();
+        let mut reg = HelperRegistry::new();
+        scheme.install(&mut reg);
+
+        let mut b = BlockBuilder::new(0);
+        scheme.lower_ll(&mut b, Slot::Reg(1), Src::Slot(Slot::Reg(0)));
+        scheme.instrument_store(&mut b, Src::Slot(Slot::Reg(2)));
+        let block = b.finish(BlockExit::Jump(0), 2);
+        // LL: HtableSet + MonitorArm; store hook: HtableSet. No helpers.
+        assert_eq!(block.ops.len(), 3);
+        assert!(block.ops.iter().all(|op| !matches!(op, Op::Helper { .. })));
+    }
+
+    #[test]
+    fn hst_sc_is_a_single_helper() {
+        let mut scheme = Hst::new();
+        let mut reg = HelperRegistry::new();
+        scheme.install(&mut reg);
+        let mut b = BlockBuilder::new(0);
+        scheme.lower_sc(
+            &mut b,
+            Slot::Reg(2),
+            Src::Slot(Slot::Reg(1)),
+            Src::Slot(Slot::Reg(0)),
+        );
+        let block = b.finish(BlockExit::Jump(0), 1);
+        assert_eq!(block.ops.len(), 1);
+        assert!(matches!(block.ops[0], Op::Helper { .. }));
+    }
+
+    #[test]
+    fn hst_weak_does_not_instrument_stores() {
+        let scheme = HstWeak::new();
+        let mut b = BlockBuilder::new(0);
+        scheme.instrument_store(&mut b, Src::Slot(Slot::Reg(0)));
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! PICO-ST: the prior software store-test scheme (paper §II-B).
+//!
+//! A registry maps each thread to its active LL/SC monitor. *Every*
+//! guest store is routed through a helper that takes a global lock,
+//! clears any other thread's monitor overlapping the store's footprint,
+//! and performs the store — the check and the update must be one atomic
+//! step, which is why PICO-ST cannot use a cheap inline sequence and why
+//! the paper measures 20–45% overhead from store instrumentation alone.
+//! LL and SC take the same lock.
+//!
+//! This scheme is strongly atomic and correct; HST's contribution is
+//! matching its correctness at a fraction of this cost.
+
+use adbt_engine::{AtomicScheme, Atomicity, ExecCtx, HelperRegistry};
+use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
+use adbt_mmu::Width;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The shared monitor registry: tid → monitored address.
+#[derive(Debug, Default)]
+struct Registry {
+    monitors: HashMap<u32, u32>,
+}
+
+/// Acquires the global lock, timing only contended acquisitions into
+/// the lock-wait bucket.
+/// Acquires the registry lock. `global` marks LL/SC-path acquisitions,
+/// which the simulator queues on the shared-resource clock; the
+/// store-path check-and-update is modelled as a fine-grained lock (its
+/// cost is the helper dispatch itself), matching the paper's account
+/// that PICO-ST's overhead is instrumentation, not lock saturation.
+fn lock_registry<'a>(
+    shared: &'a Mutex<Registry>,
+    ctx: &mut ExecCtx<'_>,
+    global: bool,
+) -> MutexGuard<'a, Registry> {
+    if global {
+        ctx.stats.lock_acquisitions += 1;
+    }
+    if let Some(guard) = shared.try_lock() {
+        return guard;
+    }
+    let start = Instant::now();
+    let guard = shared.lock();
+    ctx.stats.lock_wait_ns += start.elapsed().as_nanos() as u64;
+    guard
+}
+
+fn decode_width(code: u32) -> Width {
+    match code {
+        0 => Width::Byte,
+        1 => Width::Half,
+        _ => Width::Word,
+    }
+}
+
+fn width_code(width: Width) -> u32 {
+    match width {
+        Width::Byte => 0,
+        Width::Half => 1,
+        Width::Word => 2,
+    }
+}
+
+/// Whether a store of `width` bytes at `addr` touches the monitored word
+/// at `monitored`.
+fn overlaps(monitored: u32, addr: u32, width: Width) -> bool {
+    let m_end = monitored.wrapping_add(4);
+    let s_end = addr.wrapping_add(width.bytes());
+    addr < m_end && monitored < s_end
+}
+
+/// The PICO-ST scheme.
+#[derive(Debug, Default)]
+pub struct PicoSt {
+    shared: Arc<Mutex<Registry>>,
+    ll: Option<HelperId>,
+    sc: Option<HelperId>,
+    store: Option<HelperId>,
+    clrex: Option<HelperId>,
+}
+
+impl PicoSt {
+    /// Creates the scheme.
+    pub fn new() -> PicoSt {
+        PicoSt::default()
+    }
+}
+
+impl AtomicScheme for PicoSt {
+    fn name(&self) -> &'static str {
+        "pico-st"
+    }
+
+    fn atomicity(&self) -> Atomicity {
+        Atomicity::Strong
+    }
+
+    fn install(&mut self, reg: &mut HelperRegistry) {
+        let shared = Arc::clone(&self.shared);
+        self.ll = Some(reg.register(
+            "pico_st_ll",
+            Box::new(move |ctx, args| {
+                let addr = args[0];
+                ctx.stats.ll += 1;
+                let mut guard = lock_registry(&shared, ctx, true);
+                guard.monitors.insert(ctx.cpu.tid, addr);
+                // Load while holding the lock so registration and read
+                // are one atomic step with respect to competing stores.
+                let value = ctx.load(addr, Width::Word)?;
+                drop(guard);
+                ctx.cpu.monitor.addr = Some(addr);
+                ctx.cpu.monitor.value = value;
+                Ok(value)
+            }),
+        ));
+
+        let shared = Arc::clone(&self.shared);
+        self.sc = Some(reg.register(
+            "pico_st_sc",
+            Box::new(move |ctx, args| {
+                let (addr, new) = (args[0], args[1]);
+                ctx.stats.sc += 1;
+                let mut guard = lock_registry(&shared, ctx, true);
+                let ok = guard.monitors.get(&ctx.cpu.tid) == Some(&addr);
+                let result = if ok {
+                    // The SC's store breaks every monitor on the stored
+                    // word — competing threads' included (Seq2–Seq4) —
+                    // not just the executing thread's.
+                    guard
+                        .monitors
+                        .retain(|_, &mut monitored| !overlaps(monitored, addr, Width::Word));
+                    ctx.store(addr, Width::Word, new, false).map(|()| 0)
+                } else {
+                    ctx.stats.sc_failures += 1;
+                    Ok(1)
+                };
+                drop(guard);
+                ctx.cpu.monitor.addr = None;
+                result
+            }),
+        ));
+
+        let shared = Arc::clone(&self.shared);
+        self.store = Some(reg.register(
+            "pico_st_store",
+            Box::new(move |ctx, args| {
+                let (addr, value, width) = (args[0], args[1], decode_width(args[2]));
+                ctx.stats.stores += 1;
+                let mut guard = lock_registry(&shared, ctx, false);
+                let tid = ctx.cpu.tid;
+                // Clear every *other* thread's monitor this store hits
+                // (the architecture keeps a thread's own monitor intact
+                // across its own stores).
+                guard.monitors.retain(|&owner, &mut monitored| {
+                    owner == tid || !overlaps(monitored, addr, width)
+                });
+                let result = ctx.store(addr, width, value, true);
+                drop(guard);
+                result.map(|()| 0)
+            }),
+        ));
+
+        let shared = Arc::clone(&self.shared);
+        self.clrex = Some(reg.register(
+            "pico_st_clrex",
+            Box::new(move |ctx, _args| {
+                let mut guard = lock_registry(&shared, ctx, true);
+                guard.monitors.remove(&ctx.cpu.tid);
+                Ok(0)
+            }),
+        ));
+    }
+
+    fn lower_ll(&self, b: &mut BlockBuilder, rd: Slot, addr: Src) {
+        b.push(Op::Helper {
+            id: self.ll.expect("installed"),
+            args: vec![addr],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_sc(&self, b: &mut BlockBuilder, rd: Slot, value: Src, addr: Src) {
+        b.push(Op::Helper {
+            id: self.sc.expect("installed"),
+            args: vec![addr, value],
+            ret: Some(rd),
+        });
+    }
+
+    fn lower_clrex(&self, b: &mut BlockBuilder) {
+        // The SC helper consults the *registry*, so clrex must drop the
+        // registry entry, not just the local monitor record.
+        b.push(Op::MonitorClear);
+        b.push(Op::Helper {
+            id: self.clrex.expect("installed"),
+            args: vec![],
+            ret: None,
+        });
+    }
+
+    /// PICO-ST routes whole stores through its locked helper; the store
+    /// op itself is replaced.
+    fn lower_store(&self, b: &mut BlockBuilder, src: Src, addr: Src, width: Width) {
+        b.push(Op::Helper {
+            id: self.store.expect("installed"),
+            args: vec![addr, src, Src::Imm(width_code(width))],
+            ret: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_detection() {
+        // Monitored word [0x100, 0x104).
+        assert!(overlaps(0x100, 0x100, Width::Word));
+        assert!(overlaps(0x100, 0x103, Width::Byte));
+        assert!(overlaps(0x100, 0xfe, Width::Word));
+        assert!(!overlaps(0x100, 0x104, Width::Word));
+        assert!(!overlaps(0x100, 0xfe, Width::Half));
+        assert!(overlaps(0x100, 0xff, Width::Half));
+    }
+
+    #[test]
+    fn width_codes_round_trip() {
+        for width in [Width::Byte, Width::Half, Width::Word] {
+            assert_eq!(decode_width(width_code(width)), width);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Reusable guest-assembly fragments: the "guest libc" of the workload
+//! generators.
+//!
+//! Real ARM programs reach `ldrex`/`strex` through pthread mutexes,
+//! barriers and `__atomic_*` builtins; these fragments are the same
+//! shapes, so workloads built from them stress an emulation scheme the
+//! way PARSEC stresses QEMU. Each fragment is a `format!`ed code block
+//! with caller-supplied unique label prefixes (the assembler has one flat
+//! namespace).
+
+use std::fmt::Write as _;
+
+/// Emits a spin-mutex *acquire* on the lock word whose address is in
+/// `lock_reg`. Clobbers `t0`/`t1` (register names, e.g. `"r1"`). Labels
+/// are prefixed by `label` which must be unique per expansion.
+///
+/// The loop is the canonical ARM `pthread_mutex_lock` fast path:
+/// LL; test; SC; retry — with a `yield` on contention.
+pub fn spin_lock(label: &str, lock_reg: &str, t0: &str, t1: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{label}_acquire:");
+    let _ = writeln!(s, "    ldrex {t0}, [{lock_reg}]");
+    let _ = writeln!(s, "    cmp   {t0}, #0");
+    let _ = writeln!(s, "    bne   {label}_wait");
+    let _ = writeln!(s, "    mov   {t0}, #1");
+    let _ = writeln!(s, "    strex {t1}, {t0}, [{lock_reg}]");
+    let _ = writeln!(s, "    cmp   {t1}, #0");
+    let _ = writeln!(s, "    bne   {label}_acquire");
+    let _ = writeln!(s, "    dmb");
+    let _ = writeln!(s, "    b     {label}_locked");
+    let _ = writeln!(s, "{label}_wait:");
+    let _ = writeln!(s, "    yield");
+    let _ = writeln!(s, "    b     {label}_acquire");
+    let _ = writeln!(s, "{label}_locked:");
+    s
+}
+
+/// Emits a spin-mutex *release*: a fence and a plain store of zero —
+/// exactly how glibc unlocks on ARM, and exactly the plain-store-on-a-
+/// synchronization-variable pattern that distinguishes strong from weak
+/// atomicity (paper §II-D).
+pub fn spin_unlock(lock_reg: &str, t0: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "    dmb");
+    let _ = writeln!(s, "    mov   {t0}, #0");
+    let _ = writeln!(s, "    str   {t0}, [{lock_reg}]");
+    s
+}
+
+/// Emits an atomic fetch-add of `delta` (an immediate) on the word at
+/// `addr_reg` — the `__atomic_fetch_add` shape. Clobbers `t0`/`t1`.
+pub fn atomic_add(label: &str, addr_reg: &str, delta: u32, t0: &str, t1: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{label}_retry:");
+    let _ = writeln!(s, "    ldrex {t0}, [{addr_reg}]");
+    let _ = writeln!(s, "    add   {t0}, {t0}, #{delta}");
+    let _ = writeln!(s, "    strex {t1}, {t0}, [{addr_reg}]");
+    let _ = writeln!(s, "    cmp   {t1}, #0");
+    let _ = writeln!(s, "    bne   {label}_retry");
+    s
+}
+
+/// Emits a sense-reversing barrier. `count_reg` holds the address of the
+/// arrival counter; the sense word lives at `[count_reg, #4]`; the local
+/// sense is kept in `sense_reg` (caller must initialize it to 0 once).
+/// `nthreads_reg` holds the participant count. Clobbers `t0`/`t1`.
+pub fn barrier(
+    label: &str,
+    count_reg: &str,
+    nthreads_reg: &str,
+    sense_reg: &str,
+    t0: &str,
+    t1: &str,
+) -> String {
+    let mut s = String::new();
+    // Flip local sense first: we wait for the *new* sense.
+    let _ = writeln!(s, "    eor   {sense_reg}, {sense_reg}, #1");
+    // Atomically bump the arrival counter; t0 = my arrival number.
+    let _ = writeln!(s, "{label}_arrive:");
+    let _ = writeln!(s, "    ldrex {t0}, [{count_reg}]");
+    let _ = writeln!(s, "    add   {t0}, {t0}, #1");
+    let _ = writeln!(s, "    strex {t1}, {t0}, [{count_reg}]");
+    let _ = writeln!(s, "    cmp   {t1}, #0");
+    let _ = writeln!(s, "    bne   {label}_arrive");
+    let _ = writeln!(s, "    cmp   {t0}, {nthreads_reg}");
+    let _ = writeln!(s, "    bne   {label}_spin");
+    // Last arrival: reset the counter, publish the new sense.
+    let _ = writeln!(s, "    mov   {t0}, #0");
+    let _ = writeln!(s, "    str   {t0}, [{count_reg}]");
+    let _ = writeln!(s, "    str   {sense_reg}, [{count_reg}, #4]");
+    let _ = writeln!(s, "    b     {label}_out");
+    let _ = writeln!(s, "{label}_spin:");
+    let _ = writeln!(s, "    ldr   {t0}, [{count_reg}, #4]");
+    let _ = writeln!(s, "    cmp   {t0}, {sense_reg}");
+    let _ = writeln!(s, "    beq   {label}_out");
+    let _ = writeln!(s, "    yield");
+    let _ = writeln!(s, "    b     {label}_spin");
+    let _ = writeln!(s, "{label}_out:");
+    let _ = writeln!(s, "    dmb");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt_isa::asm::assemble;
+
+    /// Every fragment must assemble standalone (wrapped in a trivial
+    /// program) — catches label and operand-syntax regressions.
+    #[test]
+    fn fragments_assemble() {
+        let program = format!(
+            r#"
+            mov32 r5, lockword
+            mov32 r7, barrierwords
+            mov   r8, #1      ; nthreads
+            mov   r9, #0      ; local sense
+            {lock}
+            {unlock}
+            {add}
+            {bar}
+            mov r0, #0
+            svc #0
+        lockword:
+            .word 0
+        barrierwords:
+            .word 0
+            .word 0
+        "#,
+            lock = spin_lock("l0", "r5", "r1", "r2"),
+            unlock = spin_unlock("r5", "r1"),
+            add = atomic_add("a0", "r5", 1, "r1", "r2"),
+            bar = barrier("b0", "r7", "r8", "r9", "r1", "r2"),
+        );
+        assemble(&program, 0x1000).unwrap_or_else(|e| panic!("fragment failed: {e}"));
+    }
+
+    #[test]
+    fn labels_are_prefixed_uniquely() {
+        let a = spin_lock("x1", "r5", "r1", "r2");
+        let b = spin_lock("x2", "r5", "r1", "r2");
+        let combined = format!("{a}{b}\nmov r0, #0\nsvc #0\n");
+        assemble(&combined, 0).unwrap();
+    }
+}

@@ -1,0 +1,314 @@
+//! The lock-free stack micro-benchmark (paper §II-C, Fig. 2/3, §IV-A).
+//!
+//! N threads repeatedly pop a node and push it back. On a correct LL/SC
+//! implementation the stack stays intact; under a value-comparing SC
+//! (PICO-CAS) the classic ABA interleaving corrupts it:
+//!
+//! 1. T1 starts a pop: LL reads `top = A`, reads `A.next = B`.
+//! 2. T2 pops `A`; T3 pops `B`; T2 pushes `A` back — `top` is `A` again.
+//! 3. T1's SC value-compares `A == A`, succeeds, sets `top = B` — but
+//!    `B` is in T3's hands. When T3 pushes `B`, it reads `top == B` and
+//!    writes `B.next = B`: **a node pointing at itself**, the corruption
+//!    witness the paper's artifact checks for.
+//!
+//! [`verify`] walks the final heap exactly the way the paper's checker
+//! does, counting self-`next` entries, plus stronger structural checks
+//! (cycles, off-pool pointers, lost nodes).
+
+use std::fmt::Write as _;
+
+/// Node size in bytes: `next` at offset 0, a node id at offset 4.
+pub const NODE_SIZE: u32 = 8;
+
+/// Parameters for the stack benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackConfig {
+    /// Number of nodes pre-linked onto the stack.
+    pub nodes: u32,
+    /// Pop+push pairs each thread performs.
+    pub ops_per_thread: u32,
+    /// Extra `nop`s between every pop's LL and SC (0 reproduces the
+    /// paper's exact code shape; the ABA probability then matches the
+    /// paper's — rare per op, certain over millions of ops).
+    pub stall: u32,
+    /// Delay-loop iterations (≈4 instructions each) inserted between LL
+    /// and SC *for thread 1 only*. A single wide-window victim thread
+    /// concentrates the ABA interleaving probability, letting tests
+    /// demonstrate in thousands of ops what the paper's symmetric runs
+    /// show over millions (it models a pop interrupted by preemption,
+    /// exactly the paper's Fig. 2 narrative). 0 disables.
+    pub victim_stall: u32,
+}
+
+impl Default for StackConfig {
+    fn default() -> StackConfig {
+        StackConfig {
+            nodes: 64,
+            ops_per_thread: 20_000,
+            stall: 0,
+            victim_stall: 0,
+        }
+    }
+}
+
+/// Symbol-free layout information the verifier needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackLayout {
+    /// Guest address of the `top` pointer.
+    pub top: u32,
+    /// Guest address of the first node.
+    pub pool: u32,
+    /// Number of nodes in the pool.
+    pub nodes: u32,
+}
+
+/// A generated program plus its layout.
+#[derive(Clone, Debug)]
+pub struct StackProgram {
+    /// Assembly source, ready for `assemble(source, base)`.
+    pub source: String,
+    /// Where `top` and the node pool will land for the given base.
+    pub layout_symbols: (&'static str, &'static str),
+    /// The configuration used.
+    pub config: StackConfig,
+}
+
+/// Generates the benchmark program. Assemble it, then build a
+/// [`StackLayout`] from the image's `stack_top` / `node_pool` symbols.
+pub fn program(config: StackConfig) -> StackProgram {
+    let mut s = String::new();
+    let ops = config.ops_per_thread;
+    let _ = writeln!(
+        s,
+        r#"
+        mov32 r5, stack_top
+        mov32 r6, #{ops}        ; remaining op pairs
+        ; thread 1 is the wide-window "victim" (see StackConfig);
+        ; r10 holds its per-pop delay count, 0 for everyone else.
+        svc   #2                ; r0 = tid
+        mov   r10, #0
+        cmp   r0, #1
+        bne   not_victim
+        mov32 r10, #{victim}
+    not_victim:
+    main_loop:
+        ; ---- pop ----
+    pop_retry:
+        ldrex r1, [r5]          ; r1 = old top
+        cmp   r1, #0
+        beq   pop_empty
+        ldr   r2, [r1]          ; r2 = old_top->next"#,
+        victim = config.victim_stall
+    );
+    for _ in 0..config.stall {
+        let _ = writeln!(s, "        nop");
+    }
+    let _ = writeln!(
+        s,
+        r#"        ; victim delay loop (r10 = 0 for non-victims)
+        mov   r4, r10
+    victim_spin:
+        cmp   r4, #0
+        beq   victim_done
+        sub   r4, r4, #1
+        b     victim_spin
+    victim_done:
+        strex r3, r2, [r5]      ; top = next
+        cmp   r3, #0
+        bne   pop_retry
+        ; r1 = popped node
+        ; ---- push the same node back ----
+    push_retry:
+        ldrex r2, [r5]          ; r2 = old top
+        str   r2, [r1]          ; node->next = old top
+        strex r3, r1, [r5]      ; top = node
+        cmp   r3, #0
+        bne   push_retry
+        subs  r6, r6, #1
+        bne   main_loop
+        mov   r0, #0
+        svc   #0
+    pop_empty:
+        clrex
+        yield
+        b     pop_retry
+"#
+    );
+
+    // Data: top pointer on its own page, then the pool.
+    let _ = writeln!(s, "        .align 4096");
+    let _ = writeln!(s, "stack_top:");
+    let _ = writeln!(s, "        .word node_pool  ; initially points at node 0");
+    let _ = writeln!(s, "        .align 64");
+    let _ = writeln!(s, "node_pool:");
+    for i in 0..config.nodes {
+        if i + 1 < config.nodes {
+            let _ = writeln!(s, "        .word node_pool+{}", (i + 1) * NODE_SIZE);
+        } else {
+            let _ = writeln!(s, "        .word 0");
+        }
+        let _ = writeln!(s, "        .word {i}  ; node id");
+    }
+
+    StackProgram {
+        source: s,
+        layout_symbols: ("stack_top", "node_pool"),
+        config,
+    }
+}
+
+/// The verifier's verdict on a finished run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StackVerdict {
+    /// Nodes whose `next` points to themselves — the paper's ABA
+    /// witness count.
+    pub self_loops: u32,
+    /// Nodes reachable from `top` before a cycle or corruption stops the
+    /// walk.
+    pub reachable: u32,
+    /// Whether the walk hit a cycle (other than the self-loop case).
+    pub cycle: bool,
+    /// Whether any `next` (or `top`) pointed outside the pool.
+    pub wild_pointer: bool,
+    /// Nodes in the pool not reachable from `top` (lost to ABA).
+    pub lost: u32,
+}
+
+impl StackVerdict {
+    /// Whether the structure is exactly intact: every node reachable
+    /// once, no loops, no wild pointers.
+    pub fn is_intact(&self, expected_nodes: u32) -> bool {
+        self.self_loops == 0
+            && !self.cycle
+            && !self.wild_pointer
+            && self.reachable == expected_nodes
+            && self.lost == 0
+    }
+
+    /// The paper's headline metric: the fraction of pool entries whose
+    /// `next` points to themselves.
+    pub fn aba_entry_fraction(&self, total_nodes: u32) -> f64 {
+        self.self_loops as f64 / total_nodes as f64
+    }
+}
+
+/// Verifies a finished run by reading guest memory through `read_word`.
+///
+/// All threads must have exited before calling this (every node should
+/// be back on the stack).
+pub fn verify(layout: &StackLayout, read_word: impl Fn(u32) -> u32) -> StackVerdict {
+    let pool_end = layout.pool + layout.nodes * NODE_SIZE;
+    let in_pool = |addr: u32| {
+        addr >= layout.pool && addr < pool_end && (addr - layout.pool).is_multiple_of(NODE_SIZE)
+    };
+    let mut verdict = StackVerdict::default();
+
+    // Paper-style witness scan: any node whose next is itself.
+    for i in 0..layout.nodes {
+        let node = layout.pool + i * NODE_SIZE;
+        if read_word(node) == node {
+            verdict.self_loops += 1;
+        }
+    }
+
+    // Structural walk from top.
+    let mut visited = vec![false; layout.nodes as usize];
+    let mut cursor = read_word(layout.top);
+    while cursor != 0 {
+        if !in_pool(cursor) {
+            verdict.wild_pointer = true;
+            break;
+        }
+        let index = ((cursor - layout.pool) / NODE_SIZE) as usize;
+        if visited[index] {
+            verdict.cycle = true;
+            break;
+        }
+        visited[index] = true;
+        verdict.reachable += 1;
+        cursor = read_word(cursor);
+    }
+    verdict.lost = visited.iter().filter(|&&v| !v).count() as u32;
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt_isa::asm::assemble;
+    use std::collections::HashMap;
+
+    #[test]
+    fn program_assembles_and_links_pool() {
+        let prog = program(StackConfig {
+            nodes: 4,
+            ops_per_thread: 10,
+            ..StackConfig::default()
+        });
+        let img = assemble(&prog.source, 0x1_0000).unwrap();
+        let top = img.symbol("stack_top").unwrap();
+        let pool = img.symbol("node_pool").unwrap();
+        assert_eq!(top % 4096, 0);
+        // top initially points at node 0; node 0 links node 1; last is 0.
+        let word = |addr: u32| {
+            let off = (addr - img.base) as usize;
+            u32::from_le_bytes(img.bytes[off..off + 4].try_into().unwrap())
+        };
+        assert_eq!(word(top), pool);
+        assert_eq!(word(pool), pool + NODE_SIZE);
+        assert_eq!(word(pool + 3 * NODE_SIZE), 0);
+    }
+
+    fn mem_from(pairs: &[(u32, u32)]) -> impl Fn(u32) -> u32 + '_ {
+        let map: HashMap<u32, u32> = pairs.iter().copied().collect();
+        move |addr| *map.get(&addr).unwrap_or(&0)
+    }
+
+    #[test]
+    fn verify_intact_chain() {
+        let layout = StackLayout {
+            top: 0x100,
+            pool: 0x200,
+            nodes: 3,
+        };
+        let mem = [(0x100, 0x200), (0x200, 0x208), (0x208, 0x210), (0x210, 0)];
+        let verdict = verify(&layout, mem_from(&mem));
+        assert!(verdict.is_intact(3), "{verdict:?}");
+    }
+
+    #[test]
+    fn verify_detects_self_loop() {
+        let layout = StackLayout {
+            top: 0x100,
+            pool: 0x200,
+            nodes: 2,
+        };
+        // Node 0 points at itself: the ABA witness.
+        let mem = [(0x100, 0x200), (0x200, 0x200), (0x208, 0)];
+        let verdict = verify(&layout, mem_from(&mem));
+        assert_eq!(verdict.self_loops, 1);
+        assert!(verdict.cycle);
+        assert!(!verdict.is_intact(2));
+        assert!(verdict.aba_entry_fraction(2) > 0.4);
+    }
+
+    #[test]
+    fn verify_detects_lost_nodes_and_wild_pointers() {
+        let layout = StackLayout {
+            top: 0x100,
+            pool: 0x200,
+            nodes: 3,
+        };
+        // top chain covers only node 0; node 1 next is wild.
+        let mem = [(0x100, 0x200), (0x200, 0), (0x208, 0xdead_0000), (0x210, 0)];
+        let verdict = verify(&layout, mem_from(&mem));
+        assert_eq!(verdict.reachable, 1);
+        assert_eq!(verdict.lost, 2);
+        assert!(!verdict.wild_pointer, "wild only counts on the walk");
+        assert!(!verdict.is_intact(3));
+
+        let mem = [(0x100, 0xdead_0000)];
+        let verdict = verify(&layout, mem_from(&mem));
+        assert!(verdict.wild_pointer);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a machine, run a multi-threaded guest program that
+//! hammers an LL/SC counter, and inspect the run report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adbt::{MachineBuilder, SchemeKind};
+
+fn main() -> Result<(), adbt::Error> {
+    // Pick a scheme: HST is the paper's headline contribution —
+    // strongly atomic, portable, and fast.
+    let mut machine = MachineBuilder::new(SchemeKind::Hst).build()?;
+
+    // Guest programs are written in the ARM-like guest assembly. Each
+    // vCPU starts with r0 = thread index and r1 = thread count.
+    machine.load_asm(
+        r#"
+            mov32 r5, counter
+            mov32 r6, #10000        ; increments per thread
+        loop:
+        retry:
+            ldrex r1, [r5]          ; load-link
+            add   r1, r1, #1
+            strex r2, r1, [r5]      ; store-conditional
+            cmp   r2, #0
+            bne   retry             ; lost the race: try again
+            subs  r6, r6, #1
+            bne   loop
+            mov   r0, #0
+            svc   #0                ; exit(r0)
+
+            .align 4096
+        counter:
+            .word 0
+        "#,
+        0x1_0000,
+    )?;
+
+    let threads = 8;
+    let report = machine.run(threads, 0x1_0000);
+
+    let counter = machine.symbol("counter")?;
+    println!("scheme           : {}", machine.scheme());
+    println!("threads          : {threads}");
+    println!("all exited ok    : {}", report.all_ok());
+    println!("counter          : {}", machine.read_word(counter)?);
+    println!("guest insns      : {}", report.stats.insns);
+    println!("LL executed      : {}", report.stats.ll);
+    println!("SC executed      : {}", report.stats.sc);
+    println!("SC failures      : {}", report.stats.sc_failures);
+    println!("htable sets      : {}", report.stats.htable_sets);
+    println!("exclusive entries: {}", report.stats.exclusive_entries);
+    println!("wall time        : {:?}", report.wall);
+
+    assert!(report.all_ok());
+    assert_eq!(machine.read_word(counter)?, threads * 10_000);
+    println!("\ncounter is exact: LL/SC emulation preserved atomicity ✓");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! A tour of all eight atomic-emulation schemes on one PARSEC-like
+//! kernel: run each, check the kernel's invariants, and print a
+//! side-by-side comparison of cost signatures (the qualitative content
+//! of the paper's Table II, measured).
+//!
+//! ```text
+//! cargo run --release --example scheme_tour [program] [threads]
+//! ```
+
+use adbt::harness::run_parsec_sim;
+use adbt::workloads::parsec::Program;
+use adbt::SchemeKind;
+
+fn main() -> Result<(), adbt::Error> {
+    let mut args = std::env::args().skip(1);
+    let program = args
+        .next()
+        .and_then(|name| Program::from_name(&name))
+        .unwrap_or(Program::Fluidanimate);
+    let threads: u32 = args.next().and_then(|t| t.parse().ok()).unwrap_or(4);
+    let scale = 0.25;
+
+    println!("kernel {program}, {threads} threads, scale {scale} (simulated multicore)\n");
+    println!(
+        "{:<10} {:>10} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "scheme", "sim_time", "ok", "helpers", "htable", "excl", "mprot", "htm-ab", "sc-fail"
+    );
+
+    for kind in SchemeKind::ALL {
+        let run = run_parsec_sim(kind, program, threads, scale)?;
+        let stats = &run.report.stats;
+        println!(
+            "{:<10} {:>10} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8} {:>9}",
+            kind.name(),
+            run.sim_time().unwrap_or(0),
+            if run.valid { "yes" } else { "NO" },
+            stats.helper_calls,
+            stats.htable_sets,
+            stats.exclusive_entries,
+            stats.mprotect_calls + stats.remap_calls,
+            stats.htm_aborts,
+            stats.sc_failures,
+        );
+    }
+
+    println!(
+        "\ncolumns: helper dispatches, inline hash-table sets, stop-the-world \
+         sections, page protect/remap calls, HTM aborts, failed SCs."
+    );
+    println!("every scheme must print ok=yes; they differ only in cost.");
+    Ok(())
+}

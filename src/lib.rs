@@ -1,0 +1,2 @@
+//! Umbrella package: see `adbt` for the public API. Holds the workspace-wide integration tests and examples.
+pub use adbt as api;

@@ -1,0 +1,121 @@
+//! Cross-crate integration: PARSEC-like kernels validate under every
+//! scheme, profiling plumbing produces sane numbers, and the public
+//! facade wires the substrate together correctly.
+
+use adbt::harness::{run_parsec, run_parsec_with};
+use adbt::workloads::parsec::Program;
+use adbt::{MachineBuilder, MachineConfig, SchemeKind};
+
+/// Every scheme runs every kernel correctly (small scale: this is a
+/// correctness sweep, not a benchmark).
+#[test]
+fn all_schemes_run_all_kernels_correctly() {
+    for kind in SchemeKind::ALL {
+        for program in Program::ALL {
+            let run = run_parsec(kind, program, 4, 0.02)
+                .unwrap_or_else(|e| panic!("{kind} × {program}: {e}"));
+            assert!(
+                run.valid,
+                "{kind} × {program}: invariants failed ({:?})",
+                run.report.outcomes
+            );
+        }
+    }
+}
+
+/// The Table I profile plumbing: stores dominate LL/SC by the modelled
+/// ratios, and the profile is scheme-independent (it is a property of
+/// the *guest*, not the emulation).
+#[test]
+fn instruction_profile_is_scheme_independent() {
+    let a = run_parsec(SchemeKind::PicoCas, Program::Swaptions, 2, 0.05).unwrap();
+    let b = run_parsec(SchemeKind::Hst, Program::Swaptions, 2, 0.05).unwrap();
+    assert_eq!(a.report.stats.ll, b.report.stats.ll, "LL counts diverge");
+    assert_eq!(a.report.stats.sc, b.report.stats.sc, "SC counts diverge");
+    assert_eq!(
+        a.report.stats.stores, b.report.stats.stores,
+        "store counts diverge"
+    );
+    assert!(
+        a.report.stats.stores > 20 * a.report.stats.ll,
+        "swaptions must be store-dominated: {} stores vs {} ll",
+        a.report.stats.stores,
+        a.report.stats.ll
+    );
+}
+
+/// Collision tracking measures the paper's "2.4% conflicts" quantity.
+#[test]
+fn collision_tracking_reports_rates() {
+    let mut config = MachineConfig::default();
+    config.track_collisions = true;
+    // A small table forces collisions; the default 2^16 table keeps them
+    // rare. Both must *work*; rates differ.
+    config.htable_bits = 6;
+    let crowded = run_parsec_with(SchemeKind::Hst, Program::Fluidanimate, 4, 0.05, config).unwrap();
+    let (collisions, sets) = crowded.report.collisions;
+    assert!(sets > 0, "tracking must count sets");
+    assert!(collisions > 0, "a 64-entry table must collide");
+
+    let mut config = MachineConfig::default();
+    config.track_collisions = true;
+    let roomy = run_parsec_with(SchemeKind::Hst, Program::Fluidanimate, 4, 0.05, config).unwrap();
+    let (roomy_collisions, roomy_sets) = roomy.report.collisions;
+    assert!(roomy_sets > 0);
+    let crowded_rate = collisions as f64 / sets as f64;
+    let roomy_rate = roomy_collisions as f64 / roomy_sets as f64;
+    assert!(
+        roomy_rate < crowded_rate,
+        "bigger table must collide less: {roomy_rate} vs {crowded_rate}"
+    );
+}
+
+/// The Fig. 12 breakdown accounts all CPU time across the four buckets
+/// and reflects each scheme's character.
+#[test]
+fn breakdown_buckets_reflect_scheme_character() {
+    let hst = run_parsec(SchemeKind::Hst, Program::Freqmine, 4, 0.05).unwrap();
+    let pst = run_parsec(SchemeKind::Pst, Program::Freqmine, 4, 0.05).unwrap();
+    let hst_breakdown = hst.report.breakdown();
+    let pst_breakdown = pst.report.breakdown();
+    // Totals account wall × threads.
+    let hst_total = hst.seconds * 4.0;
+    assert!((hst_breakdown.total_s() - hst_total).abs() < hst_total * 0.05);
+    // PST pays mprotect; HST pays none.
+    assert_eq!(hst.report.stats.mprotect_calls, 0);
+    assert!(pst.report.stats.mprotect_calls > 0);
+    assert!(pst_breakdown.mprotect_s > 0.0);
+    assert_eq!(hst_breakdown.mprotect_s, 0.0);
+}
+
+/// Strong scaling: total work is fixed, so doubling the threads leaves
+/// the total store count unchanged (each thread does half).
+#[test]
+fn kernels_divide_work_across_threads() {
+    let two = run_parsec(SchemeKind::HstWeak, Program::X264, 2, 0.05).unwrap();
+    let four = run_parsec(SchemeKind::HstWeak, Program::X264, 4, 0.05).unwrap();
+    assert_eq!(two.report.stats.stores, four.report.stats.stores);
+    assert!(two.valid && four.valid);
+}
+
+/// The machine facade exposes enough to write custom experiments.
+#[test]
+fn facade_round_trip() {
+    let mut machine = MachineBuilder::new(SchemeKind::PstRemap)
+        .memory(4 << 20)
+        .build()
+        .unwrap();
+    machine
+        .load_asm(
+            "start: mov32 r5, cell\nldrex r1, [r5]\nadd r1, r1, #5\nstrex r2, r1, [r5]\nmov r0, r2\nsvc #0\n.align 4096\ncell: .word 37\n",
+            0x2_0000,
+        )
+        .unwrap();
+    let entry = machine.symbol("start").unwrap();
+    let report = machine.run(1, entry);
+    assert!(report.all_ok());
+    assert_eq!(
+        machine.read_word(machine.symbol("cell").unwrap()).unwrap(),
+        42
+    );
+}
