@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full offline CI: build, test, lint, format check. The workspace has no
+# external dependencies, so --offline must always succeed — a network
+# fetch appearing here is itself a regression.
+set -eux
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --all --check

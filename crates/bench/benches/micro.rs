@@ -1,100 +1,106 @@
-//! Criterion micro-benchmarks for the substrate primitives whose costs
-//! drive the schemes' trade-offs: the store-test hash table, the
-//! stop-the-world barrier, software-HTM transactions, guest memory CAS,
-//! the assembler/translator, and one end-to-end LL/SC round trip per
+//! Micro-benchmarks for the substrate primitives whose costs drive the
+//! schemes' trade-offs: the store-test hash table, the stop-the-world
+//! barrier, software-HTM transactions, guest memory CAS, the
+//! assembler/translator, and one end-to-end LL/SC round trip per
 //! scheme.
+//!
+//! Hand-rolled timing harness (`harness = false`; the workspace builds
+//! air-gapped, without a benchmarking crate): each benchmark is run in
+//! batches against a monotonic clock and the best batch is reported as
+//! ns/op. Run with `cargo bench -p adbt-bench`.
 
 use adbt::engine::{ExclusiveBarrier, StoreTestTable};
 use adbt::mmu::{GuestMemory, Width};
 use adbt::{MachineBuilder, SchemeKind};
 use adbt_htm::HtmDomain;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_store_test_table(c: &mut Criterion) {
-    let table = StoreTestTable::new(16, false);
-    let mut group = c.benchmark_group("store_test_table");
-    group.bench_function("set", |b| {
-        let mut addr = 0u32;
-        b.iter(|| {
-            addr = addr.wrapping_add(4);
-            table.set(black_box(addr), 1);
-        });
-    });
-    group.bench_function("get", |b| {
-        table.set(0x1000, 7);
-        b.iter(|| black_box(table.get(black_box(0x1000))));
-    });
-    group.bench_function("lock_unlock", |b| {
-        table.set(0x2000, 3);
-        b.iter(|| {
-            assert!(table.try_lock(black_box(0x2000), 3));
-            table.unlock(0x2000, 3);
-        });
-    });
-    group.finish();
+/// Times `f` over `batch` iterations, repeated `reps` times; reports
+/// the fastest batch in ns/op.
+fn bench(name: &str, batch: u32, reps: u32, mut f: impl FnMut()) {
+    // Warm-up batch.
+    for _ in 0..batch {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+        best = best.min(ns);
+    }
+    println!("{name:<40} {best:>12.1} ns/op");
 }
 
-fn bench_exclusive(c: &mut Criterion) {
+fn bench_store_test_table() {
+    let table = StoreTestTable::new(16, false);
+    let mut addr = 0u32;
+    bench("store_test_table/set", 100_000, 5, || {
+        addr = addr.wrapping_add(4);
+        table.set(black_box(addr), 1);
+    });
+    table.set(0x1000, 7);
+    bench("store_test_table/get", 100_000, 5, || {
+        black_box(table.get(black_box(0x1000)));
+    });
+    table.set(0x2000, 3);
+    bench("store_test_table/lock_unlock", 100_000, 5, || {
+        assert!(table.try_lock(black_box(0x2000), 3));
+        table.unlock(0x2000, 3);
+    });
+}
+
+fn bench_exclusive() {
     let barrier = ExclusiveBarrier::new();
     barrier.register();
-    c.bench_function("exclusive_section_uncontended", |b| {
-        b.iter(|| {
-            let waited = barrier.start_exclusive();
-            barrier.end_exclusive();
-            black_box(waited)
-        });
+    bench("exclusive_section_uncontended", 50_000, 5, || {
+        let waited = barrier.start_exclusive();
+        barrier.end_exclusive();
+        black_box(waited);
     });
     barrier.unregister();
 }
 
-fn bench_htm(c: &mut Criterion) {
+fn bench_htm() {
     let mem = GuestMemory::new(1 << 16);
     let domain = HtmDomain::default();
-    let mut group = c.benchmark_group("htm");
-    group.bench_function("txn_rmw_commit", |b| {
-        b.iter(|| {
-            let mut txn = domain.begin();
-            let v = txn.load_word(&mem, 0x100).unwrap();
-            txn.store_word(0x100, v.wrapping_add(1)).unwrap();
-            txn.commit(&mem).unwrap();
-        });
+    bench("htm/txn_rmw_commit", 50_000, 5, || {
+        let mut txn = domain.begin();
+        let v = txn.load_word(&mem, 0x100).unwrap();
+        txn.store_word(0x100, v.wrapping_add(1)).unwrap();
+        txn.commit(&mem).unwrap();
     });
-    group.bench_function("txn_conflict_abort", |b| {
-        b.iter(|| {
-            let mut txn = domain.begin();
-            let _ = txn.load_word(&mem, 0x200).unwrap();
-            domain.notify_plain_store(0x200);
-            txn.store_word(0x204, 1).unwrap();
-            assert!(txn.commit(&mem).is_err());
-        });
+    bench("htm/txn_conflict_abort", 50_000, 5, || {
+        let mut txn = domain.begin();
+        let _ = txn.load_word(&mem, 0x200).unwrap();
+        domain.notify_plain_store(0x200);
+        txn.store_word(0x204, 1).unwrap();
+        assert!(txn.commit(&mem).is_err());
     });
-    group.bench_function("consistent_load", |b| {
-        b.iter(|| black_box(domain.consistent_load(&mem, black_box(0x300), Width::Word)));
+    bench("htm/consistent_load", 100_000, 5, || {
+        black_box(domain.consistent_load(&mem, black_box(0x300), Width::Word));
     });
-    group.finish();
 }
 
-fn bench_guest_memory(c: &mut Criterion) {
+fn bench_guest_memory() {
     let mem = GuestMemory::new(1 << 16);
-    let mut group = c.benchmark_group("guest_memory");
-    group.bench_function("load_word", |b| {
-        b.iter(|| black_box(mem.load(black_box(0x40), Width::Word)));
+    bench("guest_memory/load_word", 100_000, 5, || {
+        black_box(mem.load(black_box(0x40), Width::Word));
     });
-    group.bench_function("store_word", |b| {
-        b.iter(|| mem.store(black_box(0x40), Width::Word, black_box(7)));
+    bench("guest_memory/store_word", 100_000, 5, || {
+        mem.store(black_box(0x40), Width::Word, black_box(7));
     });
-    group.bench_function("cas_word_success", |b| {
-        mem.store(0x80, Width::Word, 0);
-        b.iter(|| {
-            let old = mem.load(0x80, Width::Word);
-            let _ = black_box(mem.cas_word(0x80, old, old.wrapping_add(1)));
-        });
+    mem.store(0x80, Width::Word, 0);
+    bench("guest_memory/cas_word_success", 100_000, 5, || {
+        let old = mem.load(0x80, Width::Word);
+        let _ = black_box(mem.cas_word(0x80, old, old.wrapping_add(1)));
     });
-    group.finish();
 }
 
-fn bench_assembler_and_translation(c: &mut Criterion) {
+fn bench_assembler_and_translation() {
     let source = r#"
     retry:
         ldrex r1, [r0]
@@ -105,15 +111,15 @@ fn bench_assembler_and_translation(c: &mut Criterion) {
         mov   r0, #0
         svc   #0
     "#;
-    c.bench_function("assemble_llsc_loop", |b| {
-        b.iter(|| black_box(adbt::assemble(black_box(source), 0x1000).unwrap()));
+    bench("assemble_llsc_loop", 5_000, 5, || {
+        black_box(adbt::assemble(black_box(source), 0x1000).unwrap());
     });
 }
 
 /// End-to-end: one single-threaded guest run of a 1000-iteration LL/SC
 /// counter loop per scheme — the per-SC cost difference between schemes
 /// at zero contention.
-fn bench_scheme_sc_roundtrip(c: &mut Criterion) {
+fn bench_scheme_sc_roundtrip() {
     let program = r#"
         mov32 r5, counter
         mov32 r6, #1000
@@ -132,35 +138,22 @@ fn bench_scheme_sc_roundtrip(c: &mut Criterion) {
     counter:
         .word 0
     "#;
-    let mut group = c.benchmark_group("sc_roundtrip_1000");
-    group.sample_size(20);
     for kind in SchemeKind::ALL {
-        group.bench_function(kind.name(), |b| {
-            b.iter_batched(
-                || {
-                    let mut machine = MachineBuilder::new(kind).memory(1 << 20).build().unwrap();
-                    machine.load_asm(program, 0x1_0000).unwrap();
-                    machine
-                },
-                |machine| {
-                    let report = machine.run(1, 0x1_0000);
-                    assert!(report.all_ok());
-                    report
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("sc_roundtrip_1000/{}", kind.name()), 20, 3, || {
+            let mut machine = MachineBuilder::new(kind).memory(1 << 20).build().unwrap();
+            machine.load_asm(program, 0x1_0000).unwrap();
+            let report = machine.run(1, 0x1_0000);
+            assert!(report.all_ok());
+            black_box(report);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_store_test_table,
-    bench_exclusive,
-    bench_htm,
-    bench_guest_memory,
-    bench_assembler_and_translation,
-    bench_scheme_sc_roundtrip
-);
-criterion_main!(benches);
+fn main() {
+    bench_store_test_table();
+    bench_exclusive();
+    bench_htm();
+    bench_guest_memory();
+    bench_assembler_and_translation();
+    bench_scheme_sc_roundtrip();
+}

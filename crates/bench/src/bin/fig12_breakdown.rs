@@ -42,6 +42,9 @@ fn breakdown_sweep(args: &Args) {
         "exclusive_pct",
         "instrument_pct",
         "mprotect_pct",
+        "dispatch_lookups",
+        "chain_follows",
+        "l1_hit_pct",
     ]);
     for &program in &programs {
         eprintln!("running {program} ...");
@@ -53,6 +56,8 @@ fn breakdown_sweep(args: &Args) {
                 let b = run.report.sim_breakdown();
                 let total = b.total().max(1) as f64;
                 let pct = |units: u64| format!("{:.1}", 100.0 * units as f64 / total);
+                let s = &run.report.stats;
+                let lookups = s.dispatch_lookups.max(1);
                 table.row(vec![
                     program.name().to_string(),
                     scheme.name().to_string(),
@@ -62,6 +67,9 @@ fn breakdown_sweep(args: &Args) {
                     pct(b.exclusive),
                     pct(b.instrument),
                     pct(b.mprotect),
+                    s.dispatch_lookups.to_string(),
+                    s.chain_follows.to_string(),
+                    format!("{:.1}", 100.0 * s.l1_hits as f64 / lookups as f64),
                 ]);
             }
         }

@@ -147,29 +147,27 @@ impl Table {
     }
 
     /// Renders a JSON array of row objects keyed by column name (numbers
-    /// stay numbers where they parse).
-    pub fn to_json(&self) -> serde_json::Value {
-        let rows: Vec<serde_json::Value> = self
-            .rows
-            .iter()
-            .map(|row| {
-                let object: serde_json::Map<String, serde_json::Value> = self
-                    .header
-                    .iter()
-                    .zip(row)
-                    .map(|(key, cell)| {
-                        let value = cell
-                            .parse::<i64>()
-                            .map(serde_json::Value::from)
-                            .or_else(|_| cell.parse::<f64>().map(serde_json::Value::from))
-                            .unwrap_or_else(|_| serde_json::Value::from(cell.clone()));
-                        (key.clone(), value)
-                    })
-                    .collect();
-                serde_json::Value::Object(object)
-            })
-            .collect();
-        serde_json::Value::Array(rows)
+    /// stay numbers where they parse). Hand-rolled — the workspace builds
+    /// air-gapped, with no JSON crate available.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(key));
+                out.push_str(": ");
+                out.push_str(&json_cell(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
     }
 
     /// Prints the table and optionally writes CSV (`--csv PATH`) and/or
@@ -184,11 +182,43 @@ impl Table {
             eprintln!("wrote {path}");
         }
         if let Some(path) = args.get_str("json") {
-            let text = serde_json::to_string_pretty(&self.to_json()).expect("table to JSON");
-            std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            std::fs::write(path, self.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("wrote {path}");
         }
     }
+}
+
+/// Quotes and escapes a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: integer, then finite float, then string.
+fn json_cell(cell: &str) -> String {
+    if let Ok(i) = cell.parse::<i64>() {
+        return i.to_string();
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        if f.is_finite() {
+            return format!("{f}");
+        }
+    }
+    json_string(cell)
 }
 
 /// Runs `f` `reps` times and returns the minimum duration (the paper
@@ -249,9 +279,18 @@ mod tests {
         let mut t = Table::new(&["name", "count", "ratio"]);
         t.row(vec!["hst".into(), "42".into(), "2.03".into()]);
         let json = t.to_json();
-        assert_eq!(json[0]["name"], "hst");
-        assert_eq!(json[0]["count"], 42);
-        assert_eq!(json[0]["ratio"], 2.03);
+        assert!(json.contains("\"name\": \"hst\""), "{json}");
+        assert!(json.contains("\"count\": 42"), "{json}");
+        assert!(json.contains("\"ratio\": 2.03"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_and_types() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_cell("-7"), "-7");
+        assert_eq!(json_cell("0.5"), "0.5");
+        assert_eq!(json_cell("NaN"), "\"NaN\"");
+        assert_eq!(json_cell("hst-htm"), "\"hst-htm\"");
     }
 
     #[test]

@@ -178,6 +178,10 @@ fn main() -> ExitCode {
             s.htm_txns,
             s.htm_aborts,
         );
+        eprintln!(
+            "dispatch_lookups={} chain_follows={} l1_hits={} l1_misses={} translations={}",
+            s.dispatch_lookups, s.chain_follows, s.l1_hits, s.l1_misses, s.translations,
+        );
         if let Some(t) = report.sim_time() {
             eprintln!("sim_time={t} units");
         } else {

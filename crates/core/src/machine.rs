@@ -64,6 +64,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Caps how many blocks a threaded vCPU executes per dispatch while
+    /// following chain links (`1` disables chaining; lockstep and
+    /// simulated runs always dispatch single blocks regardless).
+    pub fn chain_limit(mut self, n: u32) -> MachineBuilder {
+        self.config.chain_limit = n.max(1);
+        self
+    }
+
     /// Overrides the full engine configuration.
     pub fn config(mut self, config: MachineConfig) -> MachineBuilder {
         self.config = config;

@@ -1,0 +1,197 @@
+//! The sharded, append-only shared translation cache.
+//!
+//! Two structures cooperate:
+//!
+//! * an **arena** — an append-only segmented table assigning each
+//!   translated block a dense `u32` id. Reads (`block(id)`) are
+//!   lock-free: segments are never reallocated, slots are write-once,
+//!   and an id is only published (through a shard map, an L1 entry or a
+//!   chain link) *after* its slot is initialized, so any id a reader
+//!   can legally hold is safe to dereference without length checks;
+//! * **16 PC-hashed shards** of `RwLock<HashMap<pc, id>>` — the cold
+//!   lookup path. Sharding keeps one vCPU's cold-code translation from
+//!   serializing every other vCPU's misses (the old single global
+//!   `RwLock` did exactly that).
+//!
+//! Nothing is ever removed — the guest cannot modify its own code in
+//! this reproduction — which is also the invariant that makes the
+//! unsynchronized chain-link patching in `adbt_ir::ChainLink` sound:
+//! a block id, once handed out, refers to the same immutable block
+//! forever.
+
+use adbt_ir::Block;
+use adbt_sync::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// log2 of blocks per arena segment.
+const SEG_BITS: u32 = 10;
+/// Blocks per segment.
+const SEG_SIZE: u32 = 1 << SEG_BITS;
+/// Maximum segments (caps the cache at 4 M blocks — far beyond any
+/// guest this reproduction runs; exceeding it is a hard error).
+const MAX_SEGS: usize = 4096;
+/// Shard count; per-PC traffic spreads across these.
+const SHARDS: usize = 16;
+
+type Segment = Box<[OnceLock<Block>]>;
+
+/// The shared translation cache: sharded PC index over an append-only
+/// block arena.
+pub(crate) struct TranslationCache {
+    shards: Vec<RwLock<HashMap<u32, u32>>>,
+    segments: Vec<OnceLock<Segment>>,
+    len: AtomicU32,
+    /// Serializes appends (cold path: one lock hold per *translation*,
+    /// not per dispatch).
+    push_lock: Mutex<()>,
+}
+
+impl TranslationCache {
+    pub(crate) fn new() -> TranslationCache {
+        TranslationCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            segments: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
+            len: AtomicU32::new(0),
+            push_lock: Mutex::new(()),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, pc: u32) -> &RwLock<HashMap<u32, u32>> {
+        // Low bits beyond the word alignment; adjacent blocks land in
+        // different shards.
+        &self.shards[(pc as usize >> 2) % SHARDS]
+    }
+
+    /// Looks up the id of the block translated at `pc`.
+    #[inline]
+    pub(crate) fn lookup(&self, pc: u32) -> Option<u32> {
+        self.shard(pc).read().get(&pc).copied()
+    }
+
+    /// Dereferences a published block id.
+    #[inline]
+    pub(crate) fn block(&self, id: u32) -> &Block {
+        let segment = self.segments[(id >> SEG_BITS) as usize]
+            .get()
+            .expect("published id implies initialized segment");
+        segment[(id & (SEG_SIZE - 1)) as usize]
+            .get()
+            .expect("published id implies initialized slot")
+    }
+
+    /// Inserts a freshly translated block, returning its id. If another
+    /// vCPU won the translation race for the same `pc`, the existing id
+    /// is returned and `block` is dropped, so each PC maps to exactly
+    /// one id.
+    pub(crate) fn insert(&self, pc: u32, block: Block) -> u32 {
+        let mut shard = self.shard(pc).write();
+        if let Some(&id) = shard.get(&pc) {
+            return id;
+        }
+        let id = self.push(block);
+        shard.insert(pc, id);
+        id
+    }
+
+    fn push(&self, block: Block) -> u32 {
+        let _guard = self.push_lock.lock();
+        let id = self.len.load(Ordering::Relaxed);
+        let seg_index = (id >> SEG_BITS) as usize;
+        assert!(seg_index < MAX_SEGS, "translation cache full");
+        let segment = self.segments[seg_index].get_or_init(|| {
+            (0..SEG_SIZE)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        segment[(id & (SEG_SIZE - 1)) as usize]
+            .set(block)
+            .unwrap_or_else(|_| unreachable!("arena slot written twice"));
+        // Publish only after the slot is initialized.
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+
+    /// Number of cached blocks.
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+}
+
+impl std::fmt::Debug for TranslationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranslationCache")
+            .field("blocks", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt_ir::{BlockBuilder, BlockExit};
+
+    fn block_at(pc: u32) -> Block {
+        BlockBuilder::new(pc).finish(BlockExit::Jump(pc + 4), 1)
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips() {
+        let cache = TranslationCache::new();
+        assert_eq!(cache.lookup(0x1000), None);
+        let id = cache.insert(0x1000, block_at(0x1000));
+        assert_eq!(cache.lookup(0x1000), Some(id));
+        assert_eq!(cache.block(id).guest_pc, 0x1000);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_reuses_id() {
+        let cache = TranslationCache::new();
+        let a = cache.insert(0x2000, block_at(0x2000));
+        let b = cache.insert(0x2000, block_at(0x2000));
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_across_segments() {
+        let cache = TranslationCache::new();
+        let n = SEG_SIZE + 17; // spill into a second segment
+        for i in 0..n {
+            let pc = i * 4;
+            assert_eq!(cache.insert(pc, block_at(pc)), i);
+        }
+        assert_eq!(cache.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(cache.block(i).guest_pc, i * 4);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_agree() {
+        let cache = TranslationCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..256u32 {
+                        let pc = i * 4;
+                        let id = match cache.lookup(pc) {
+                            Some(id) => id,
+                            None => cache.insert(pc, block_at(pc)),
+                        };
+                        assert_eq!(cache.block(id).guest_pc, pc);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 256);
+        for i in 0..256u32 {
+            let id = cache.lookup(i * 4).unwrap();
+            assert_eq!(cache.block(id).guest_pc, i * 4);
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! breakdown, so both sides are measured and accumulated into
 //! [`crate::VcpuStats::exclusive_ns`].
 
-use parking_lot::{Condvar, Mutex};
+use adbt_sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 

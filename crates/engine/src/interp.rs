@@ -203,8 +203,9 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
             }
             Op::Helper { id, args, ret } => {
                 ctx.stats.helper_calls += 1;
-                let mut buf = [0u32; 8];
-                debug_assert!(args.len() <= buf.len(), "helper takes too many args");
+                // BlockBuilder::push rejects longer argument lists at
+                // block-build time, so the fixed buffer cannot truncate.
+                let mut buf = [0u32; adbt_ir::MAX_HELPER_ARGS];
                 for (slot, arg) in buf.iter_mut().zip(args.iter()) {
                     *slot = eval(ctx, *arg);
                 }

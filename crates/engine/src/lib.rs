@@ -62,6 +62,7 @@
 //! # }
 //! ```
 
+mod cache;
 mod exclusive;
 pub mod frontend;
 pub mod interp;

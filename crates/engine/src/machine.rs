@@ -1,6 +1,7 @@
 //! The machine: shared services, the translation cache, and the threaded
 //! and lockstep execution loops.
 
+use crate::cache::TranslationCache;
 use crate::exclusive::ExclusiveBarrier;
 use crate::frontend;
 use crate::interp;
@@ -10,11 +11,10 @@ use crate::state::Vcpu;
 use crate::stats::{Breakdown, SimBreakdown, SimCosts, SimSnapshot, VcpuStats};
 use crate::store_test::StoreTestTable;
 use adbt_htm::{HtmDomain, HtmStats};
-use adbt_ir::Block;
+use adbt_ir::{BlockExit, ChainLink};
 use adbt_isa::asm::Image;
 use adbt_mmu::AddressSpace;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use adbt_sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,6 +53,12 @@ pub struct MachineConfig {
     /// bypassing the active scheme entirely for those loops (ABA-free by
     /// construction).
     pub fuse_atomics: bool,
+    /// Maximum blocks executed per dispatch before control returns to
+    /// the outer loop, following patched chain links (block chaining).
+    /// Threaded runs use this value; lockstep and simulated runs always
+    /// dispatch one block at a time (their schedulers *are* the outer
+    /// loop), so chaining never changes deterministic-mode results.
+    pub chain_limit: u32,
 }
 
 impl Default for MachineConfig {
@@ -70,13 +76,13 @@ impl Default for MachineConfig {
             stack_size: 64 << 10,
             max_lockstep_steps: 200_000_000,
             fuse_atomics: false,
+            chain_limit: 64,
         }
     }
 }
 
 /// How one vCPU's run ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum VcpuOutcome {
     /// Clean guest exit with the given code.
     Exited(i32),
@@ -183,7 +189,7 @@ pub struct MachineCore {
     pub htm_enabled: bool,
     /// Guest `putc` output.
     pub output: Mutex<Vec<u8>>,
-    cache: RwLock<HashMap<u32, Arc<Block>>>,
+    cache: TranslationCache,
     threaded: AtomicBool,
 }
 
@@ -213,7 +219,7 @@ impl MachineCore {
             helper_names,
             htm_enabled,
             output: Mutex::new(Vec::new()),
-            cache: RwLock::new(HashMap::new()),
+            cache: TranslationCache::new(),
             threaded: AtomicBool::new(false),
             config,
         })
@@ -262,94 +268,143 @@ impl MachineCore {
             .collect()
     }
 
-    fn lookup_or_translate(&self, ctx: &mut ExecCtx<'_>, pc: u32) -> Result<Arc<Block>, Trap> {
-        if let Some(block) = self.cache.read().get(&pc) {
-            return Ok(Arc::clone(block));
+    fn lookup_or_translate(&self, ctx: &mut ExecCtx<'_>, pc: u32) -> Result<u32, Trap> {
+        if let Some(id) = self.cache.lookup(pc) {
+            return Ok(id);
         }
         // Translation is engine work; inside an open region transaction it
         // poisons the transaction (QEMU-inside-HTM, the PICO-HTM killer).
         if let Some(txn) = &mut ctx.txn {
             txn.poison();
         }
-        let block = Arc::new(frontend::translate(ctx, pc)?);
-        self.cache.write().insert(pc, Arc::clone(&block));
-        Ok(block)
+        let block = frontend::translate(ctx, pc)?;
+        Ok(self.cache.insert(pc, block))
     }
 
-    /// Executes one translated block for `ctx`, absorbing HTM rollbacks.
-    /// Returns `Some(outcome)` when the vCPU is finished.
-    fn step(&self, ctx: &mut ExecCtx<'_>, l1: &mut L1Cache) -> Option<VcpuOutcome> {
-        ctx.stats.exclusive_ns += self.exclusive.safepoint();
-        let pc = ctx.cpu.pc;
-        let block = match l1.get(pc) {
-            Some(block) => block,
-            None => match self.lookup_or_translate(ctx, pc) {
-                Ok(block) => {
-                    l1.put(pc, Arc::clone(&block));
-                    block
+    /// Executes up to `chain_limit` translated blocks for `ctx`,
+    /// following patched chain links between them and absorbing HTM
+    /// rollbacks. Returns `Some(outcome)` when the vCPU is finished,
+    /// `None` when the chain budget is exhausted (caller loops).
+    ///
+    /// Every hop polls the exclusive barrier's safepoint first, so a
+    /// long chain never delays a stop-the-world requester by more than
+    /// one block. With `chain_limit == 1` the behavior is exactly the
+    /// historical one-block dispatch — lockstep and simulated runs rely
+    /// on that for schedule determinism and per-block cost charging.
+    fn step(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        l1: &mut L1Cache,
+        chain_limit: u32,
+    ) -> Option<VcpuOutcome> {
+        // The previous hop's exit link for the edge just taken; patched
+        // with the successor's id so the next traversal skips the lookup.
+        let mut link: Option<&ChainLink> = None;
+        for _ in 0..chain_limit.max(1) {
+            ctx.stats.exclusive_ns += self.exclusive.safepoint();
+            let pc = ctx.cpu.pc;
+            let id = match link.and_then(ChainLink::get) {
+                Some(id) => {
+                    ctx.stats.chain_follows += 1;
+                    id
                 }
-                Err(trap) => return Some(trap_outcome(ctx, trap)),
-            },
-        };
-        // A region transaction spanning block dispatches reads the
-        // engine's shared dispatcher structures — their conflict tokens
-        // join the read set (the QEMU-inside-the-transaction effect that
-        // dooms PICO-HTM past a few threads; see HtmDomain::engine_token).
-        let dispatch_result = match &mut ctx.txn {
-            Some(txn) => {
-                ctx.stats.txn_dispatches += 1;
-                (0..8)
-                    .try_for_each(|slot| txn.observe(adbt_htm::HtmDomain::engine_token(slot)))
-                    .map_err(Trap::HtmAbort)
-            }
-            None => Ok(()),
-        };
-        let exec_result = match dispatch_result {
-            Ok(()) => interp::run_block(ctx, &block),
-            Err(trap) => {
-                ctx.txn = None;
-                Err(trap)
-            }
-        };
-        match exec_result {
-            Ok(next) => {
-                ctx.cpu.pc = next;
-                None
-            }
-            Err(Trap::Exit(code)) => Some(VcpuOutcome::Exited(code)),
-            Err(Trap::HtmAbort(_reason)) => {
-                ctx.stats.htm_aborts += 1;
-                ctx.txn = None;
-                match ctx.txn_restart.take() {
-                    Some((restart_pc, snapshot)) => {
-                        ctx.cpu.restore(&snapshot);
-                        ctx.cpu.pc = restart_pc;
-                        ctx.txn_retries += 1;
-                        if ctx.txn_retries > self.config.htm_retry_limit {
-                            return Some(VcpuOutcome::Livelocked { pc: restart_pc });
+                None => {
+                    ctx.stats.dispatch_lookups += 1;
+                    let id = match l1.get(pc) {
+                        Some(id) => {
+                            ctx.stats.l1_hits += 1;
+                            id
                         }
-                        // Exponentialish backoff under abort storms keeps
-                        // the threaded engine live on hot regions (real
-                        // RTM users do the same in their retry path).
-                        if self.is_threaded() && ctx.txn_retries > 8 {
-                            if ctx.txn_retries > 64 {
-                                std::thread::sleep(std::time::Duration::from_micros(
-                                    (ctx.txn_retries / 64).min(50),
-                                ));
-                            } else {
-                                std::thread::yield_now();
+                        None => {
+                            ctx.stats.l1_misses += 1;
+                            match self.lookup_or_translate(ctx, pc) {
+                                Ok(id) => {
+                                    l1.put(pc, id);
+                                    id
+                                }
+                                Err(trap) => return Some(trap_outcome(ctx, trap)),
                             }
                         }
-                        None
+                    };
+                    // Patch the traversed edge; sound because the cache
+                    // is append-only, so `id` never goes stale.
+                    if let Some(slot) = link {
+                        slot.set(id);
                     }
-                    // An abort with no restart point is a scheme bug;
-                    // surface it as a crash rather than spinning.
-                    None => Some(VcpuOutcome::Crashed(Trap::HtmAbort(_reason))),
+                    id
                 }
+            };
+            let block = self.cache.block(id);
+            // A region transaction spanning block dispatches reads the
+            // engine's shared dispatcher structures — their conflict tokens
+            // join the read set (the QEMU-inside-the-transaction effect that
+            // dooms PICO-HTM past a few threads; see HtmDomain::engine_token).
+            let dispatch_result = match &mut ctx.txn {
+                Some(txn) => {
+                    ctx.stats.txn_dispatches += 1;
+                    (0..8)
+                        .try_for_each(|slot| txn.observe(adbt_htm::HtmDomain::engine_token(slot)))
+                        .map_err(Trap::HtmAbort)
+                }
+                None => Ok(()),
+            };
+            let exec_result = match dispatch_result {
+                Ok(()) => interp::run_block(ctx, block),
+                Err(trap) => {
+                    ctx.txn = None;
+                    Err(trap)
+                }
+            };
+            match exec_result {
+                Ok(next) => {
+                    ctx.cpu.pc = next;
+                    // Only static exits chain; indirect jumps and
+                    // service calls go back through the lookup path.
+                    link = match &block.exit {
+                        BlockExit::Jump(_) => Some(&block.links.taken),
+                        BlockExit::CondJump { taken, .. } if next == *taken => {
+                            Some(&block.links.taken)
+                        }
+                        BlockExit::CondJump { .. } => Some(&block.links.fallthrough),
+                        _ => None,
+                    };
+                }
+                Err(Trap::Exit(code)) => return Some(VcpuOutcome::Exited(code)),
+                Err(Trap::HtmAbort(_reason)) => {
+                    ctx.stats.htm_aborts += 1;
+                    ctx.txn = None;
+                    match ctx.txn_restart.take() {
+                        Some((restart_pc, snapshot)) => {
+                            ctx.cpu.restore(&snapshot);
+                            ctx.cpu.pc = restart_pc;
+                            link = None;
+                            ctx.txn_retries += 1;
+                            if ctx.txn_retries > self.config.htm_retry_limit {
+                                return Some(VcpuOutcome::Livelocked { pc: restart_pc });
+                            }
+                            // Exponentialish backoff under abort storms keeps
+                            // the threaded engine live on hot regions (real
+                            // RTM users do the same in their retry path).
+                            if self.is_threaded() && ctx.txn_retries > 8 {
+                                if ctx.txn_retries > 64 {
+                                    std::thread::sleep(std::time::Duration::from_micros(
+                                        (ctx.txn_retries / 64).min(50),
+                                    ));
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        // An abort with no restart point is a scheme bug;
+                        // surface it as a crash rather than spinning.
+                        None => return Some(VcpuOutcome::Crashed(Trap::HtmAbort(_reason))),
+                    }
+                }
+                Err(Trap::Livelock { pc, .. }) => return Some(VcpuOutcome::Livelocked { pc }),
+                Err(trap) => return Some(VcpuOutcome::Crashed(trap)),
             }
-            Err(Trap::Livelock { pc, .. }) => Some(VcpuOutcome::Livelocked { pc }),
-            Err(trap) => Some(VcpuOutcome::Crashed(trap)),
         }
+        None
     }
 
     /// Runs the vCPUs on real OS threads until all exit (or fail); the
@@ -367,8 +422,9 @@ impl MachineCore {
                         let mut ctx = ExecCtx::new(cpu, self, n);
                         let mut l1 = L1Cache::new();
                         self.exclusive.register();
+                        let chain_limit = self.config.chain_limit;
                         let outcome = loop {
-                            if let Some(outcome) = self.step(&mut ctx, &mut l1) {
+                            if let Some(outcome) = self.step(&mut ctx, &mut l1, chain_limit) {
                                 break outcome;
                             }
                         };
@@ -431,7 +487,9 @@ impl MachineCore {
                     idx
                 }
             };
-            if let Some(outcome) = self.step(&mut ctxs[idx], &mut l1s[idx]) {
+            // One block per scheduled step: chaining would let a vCPU run
+            // ahead of the schedule, so lockstep always dispatches singly.
+            if let Some(outcome) = self.step(&mut ctxs[idx], &mut l1s[idx], 1) {
                 outcomes[idx] = Some(outcome);
                 remaining -= 1;
             }
@@ -512,7 +570,9 @@ impl MachineCore {
             while vtimes[idx] <= limit && steps < self.config.max_lockstep_steps {
                 steps += 1;
                 let snapshot = SimSnapshot::capture(&ctxs[idx].stats);
-                let done = self.step(&mut ctxs[idx], &mut l1s[idx]);
+                // Single-block dispatch: the virtual-time model charges
+                // and preempts at block granularity.
+                let done = self.step(&mut ctxs[idx], &mut l1s[idx], 1);
                 let (units, syncs, locks) = snapshot.charge(&mut ctxs[idx].stats, costs);
                 vtimes[idx] += units;
                 // Global-lock acquisitions queue on one shared resource.
@@ -588,7 +648,7 @@ impl MachineCore {
 
     /// Number of blocks currently in the shared translation cache.
     pub fn cached_blocks(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
     }
 
     /// Translates (or fetches from cache) the block at `pc` and renders
@@ -599,9 +659,11 @@ impl MachineCore {
     ///
     /// Returns the trap if instruction fetch faults (unmapped `pc`).
     pub fn dump_block(&self, pc: u32) -> Result<String, Trap> {
+        // The throwaway context exists only to drive translation; its
+        // stats are dropped, so dumping never perturbs run counters.
         let mut ctx = ExecCtx::new(Vcpu::new(1, pc), self, 1);
-        let block = self.lookup_or_translate(&mut ctx, pc)?;
-        Ok(adbt_ir::print_block(&block))
+        let id = self.lookup_or_translate(&mut ctx, pc)?;
+        Ok(adbt_ir::print_block(self.cache.block(id)))
     }
 }
 
@@ -626,10 +688,11 @@ fn trap_outcome(ctx: &ExecCtx<'_>, trap: Trap) -> VcpuOutcome {
     }
 }
 
-/// A per-vCPU direct-mapped block cache in front of the shared
-/// `RwLock`-protected map, so steady-state dispatch takes no lock.
+/// A per-vCPU direct-mapped `pc → block id` cache in front of the
+/// sharded shared cache, so an unchained dispatch in steady state takes
+/// no lock and touches no shared cache line.
 struct L1Cache {
-    slots: Vec<Option<(u32, Arc<Block>)>>,
+    slots: Vec<Option<(u32, u32)>>,
 }
 
 const L1_SIZE: usize = 1024;
@@ -642,15 +705,15 @@ impl L1Cache {
     }
 
     #[inline]
-    fn get(&self, pc: u32) -> Option<Arc<Block>> {
-        match &self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] {
-            Some((tag, block)) if *tag == pc => Some(Arc::clone(block)),
+    fn get(&self, pc: u32) -> Option<u32> {
+        match self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] {
+            Some((tag, id)) if tag == pc => Some(id),
             _ => None,
         }
     }
 
     #[inline]
-    fn put(&mut self, pc: u32, block: Arc<Block>) {
-        self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] = Some((pc, block));
+    fn put(&mut self, pc: u32, id: u32) {
+        self.slots[(pc as usize >> 2) & (L1_SIZE - 1)] = Some((pc, id));
     }
 }

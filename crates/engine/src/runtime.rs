@@ -12,7 +12,6 @@ use std::sync::Arc;
 
 /// An event that aborts normal translated-code execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum Trap {
     /// The vCPU executed the exit syscall.
     Exit(i32),
@@ -317,17 +316,16 @@ impl<'m> ExecCtx<'m> {
                     return Ok(old);
                 }
                 Err(fault) => {
-                    match self.handle_fault(
+                    // Any resolved outcome retries the access (`Done`
+                    // cannot express an RMW).
+                    self.handle_fault(
                         fault,
                         FaultAccess::Store {
                             value: operand,
                             width: Width::Word,
                         },
                         &mut retries,
-                    )? {
-                        // `Done` cannot express an RMW; retry.
-                        _ => continue,
-                    }
+                    )?;
                 }
             }
         }

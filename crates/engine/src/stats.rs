@@ -18,7 +18,6 @@ use std::time::{Duration, Instant};
 
 /// Per-vCPU event counters and timed buckets.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VcpuStats {
     /// Guest instructions executed.
     pub insns: u64,
@@ -70,6 +69,18 @@ pub struct VcpuStats {
     /// LL/SC retry loops fused into single host atomics by the
     /// rule-based translation pass (paper §VI).
     pub fused_rmws: u64,
+    /// Block dispatches that went through a cache lookup (L1 probe,
+    /// possibly falling through to the sharded shared cache) because no
+    /// chain link resolved the successor.
+    pub dispatch_lookups: u64,
+    /// Block dispatches resolved by a patched chain link on the previous
+    /// block's exit — zero lookups, the chained fast path.
+    pub chain_follows: u64,
+    /// Of `dispatch_lookups`, those satisfied by the per-vCPU L1 cache.
+    pub l1_hits: u64,
+    /// Of `dispatch_lookups`, those that missed the L1 and went to the
+    /// sharded shared cache (translating on a shared-cache miss).
+    pub l1_misses: u64,
 
     /// Nanoseconds spent waiting for + holding exclusive sections and
     /// parked at safepoints.
@@ -122,6 +133,10 @@ impl VcpuStats {
             lock_acquisitions,
             txn_dispatches,
             fused_rmws,
+            dispatch_lookups,
+            chain_follows,
+            l1_hits,
+            l1_misses,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -152,6 +167,10 @@ impl VcpuStats {
         self.lock_acquisitions += lock_acquisitions;
         self.txn_dispatches += txn_dispatches;
         self.fused_rmws += fused_rmws;
+        self.dispatch_lookups += dispatch_lookups;
+        self.chain_follows += chain_follows;
+        self.l1_hits += l1_hits;
+        self.l1_misses += l1_misses;
         self.exclusive_ns += exclusive_ns;
         self.mprotect_ns += mprotect_ns;
         self.lock_wait_ns += lock_wait_ns;
@@ -175,7 +194,6 @@ impl VcpuStats {
 /// every other thread to a safepoint (the clock synchronization is
 /// applied by the scheduler on top of these per-event charges).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimCosts {
     /// Per guest instruction.
     pub insn: u64,
@@ -386,7 +404,6 @@ pub fn calibration() -> Calibration {
 /// The Fig. 12 overhead breakdown derived from merged stats and the run's
 /// wall time.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Breakdown {
     /// Seconds attributable to plain emulation.
     pub native_s: f64,
@@ -427,7 +444,6 @@ impl Breakdown {
 /// The Fig. 12 overhead breakdown in virtual-time units (simulated-mode
 /// analogue of [`Breakdown`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimBreakdown {
     /// Units of plain emulation (remainder).
     pub native: u64,

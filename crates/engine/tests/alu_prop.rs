@@ -1,9 +1,56 @@
-//! Property tests for the interpreter's ALU against an independent
-//! reference implementation of ARM's flag semantics.
+//! Randomized differential tests for the interpreter's ALU against an
+//! independent reference implementation of ARM's flag semantics. Cases
+//! come from a seeded xorshift generator (the workspace builds
+//! air-gapped, without a property-testing crate).
 
 use adbt_engine::{interp::alu, Flags};
 use adbt_isa::AluOp;
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn word(&mut self) -> u32 {
+        self.next() as u32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// Operands biased toward boundary values, where carry/overflow
+    /// semantics actually differ.
+    fn operand(&mut self) -> u32 {
+        match self.next() % 8 {
+            0 => 0,
+            1 => 1,
+            2 => u32::MAX,
+            3 => i32::MAX as u32,
+            4 => i32::MIN as u32,
+            _ => self.word(),
+        }
+    }
+
+    fn flags(&mut self) -> Flags {
+        Flags {
+            n: self.flag(),
+            z: self.flag(),
+            c: self.flag(),
+            v: self.flag(),
+        }
+    }
+}
 
 /// An independent (wide-arithmetic) reference for the arithmetic family.
 fn reference(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
@@ -80,68 +127,66 @@ fn reference(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
     )
 }
 
-fn arb_flags() -> impl Strategy<Value = Flags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(n, z, c, v)| Flags {
-        n,
-        z,
-        c,
-        v,
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4096))]
-
-    #[test]
-    fn alu_matches_reference(
-        op in proptest::sample::select(AluOp::ALL.to_vec()),
-        a in any::<u32>(),
-        b in any::<u32>(),
-        flags in arb_flags(),
-    ) {
+#[test]
+fn alu_matches_reference() {
+    let mut rng = Rng::new(0xa1b2_c3d4);
+    for _ in 0..4096 {
+        let op = AluOp::ALL[(rng.next() % AluOp::ALL.len() as u64) as usize];
+        let (a, b, flags) = (rng.operand(), rng.operand(), rng.flags());
         let (got, got_flags) = alu(op, a, b, flags);
         let (want, want_flags) = reference(op, a, b, flags);
-        prop_assert_eq!(got, want, "{:?} result", op);
-        prop_assert_eq!(got_flags, want_flags, "{:?} flags for a={:#x} b={:#x}", op, a, b);
+        assert_eq!(got, want, "{op:?} result for a={a:#x} b={b:#x}");
+        assert_eq!(got_flags, want_flags, "{op:?} flags for a={a:#x} b={b:#x}");
     }
+}
 
-    /// Differential identities the ARM manual implies.
-    #[test]
-    fn arithmetic_identities(a in any::<u32>(), b in any::<u32>(), flags in arb_flags()) {
+/// Differential identities the ARM manual implies.
+#[test]
+fn arithmetic_identities() {
+    let mut rng = Rng::new(0x1de0_17e5);
+    for _ in 0..4096 {
+        let (a, b, flags) = (rng.operand(), rng.operand(), rng.flags());
         // SUB a,b == ADD a,(-b) for the result (not for C, which is
         // borrow-inverted).
         let (sub, _) = alu(AluOp::Sub, a, b, flags);
         let (add_neg, _) = alu(AluOp::Add, a, b.wrapping_neg(), flags);
-        prop_assert_eq!(sub, add_neg);
+        assert_eq!(sub, add_neg);
 
         // RSB a,b == SUB b,a entirely.
         let (rsb, rsb_flags) = alu(AluOp::Rsb, a, b, flags);
         let (sub_swapped, sub_flags) = alu(AluOp::Sub, b, a, flags);
-        prop_assert_eq!(rsb, sub_swapped);
-        prop_assert_eq!(rsb_flags, sub_flags);
+        assert_eq!(rsb, sub_swapped);
+        assert_eq!(rsb_flags, sub_flags);
 
         // ADC with carry clear == ADD; SBC with carry set == SUB.
         let clear = Flags { c: false, ..flags };
         let set = Flags { c: true, ..flags };
-        prop_assert_eq!(alu(AluOp::Adc, a, b, clear).0, alu(AluOp::Add, a, b, clear).0);
-        prop_assert_eq!(alu(AluOp::Sbc, a, b, set).0, alu(AluOp::Sub, a, b, set).0);
+        assert_eq!(
+            alu(AluOp::Adc, a, b, clear).0,
+            alu(AluOp::Add, a, b, clear).0
+        );
+        assert_eq!(alu(AluOp::Sbc, a, b, set).0, alu(AluOp::Sub, a, b, set).0);
     }
+}
 
-    /// CMP-then-branch is how all guest control flow works; the condition
-    /// predicates must agree with integer comparisons.
-    #[test]
-    fn cmp_flags_order_integers(a in any::<u32>(), b in any::<u32>()) {
+/// CMP-then-branch is how all guest control flow works; the condition
+/// predicates must agree with integer comparisons.
+#[test]
+fn cmp_flags_order_integers() {
+    let mut rng = Rng::new(0xc0a4_3e11);
+    for _ in 0..4096 {
+        let (a, b) = (rng.operand(), rng.operand());
         let (_, f) = alu(AluOp::Sub, a, b, Flags::default());
         use adbt_isa::Cond;
-        prop_assert_eq!(f.holds(Cond::Eq), a == b);
-        prop_assert_eq!(f.holds(Cond::Ne), a != b);
-        prop_assert_eq!(f.holds(Cond::Cs), a >= b);            // unsigned >=
-        prop_assert_eq!(f.holds(Cond::Cc), a < b);             // unsigned <
-        prop_assert_eq!(f.holds(Cond::Hi), a > b);             // unsigned >
-        prop_assert_eq!(f.holds(Cond::Ls), a <= b);            // unsigned <=
-        prop_assert_eq!(f.holds(Cond::Ge), (a as i32) >= (b as i32));
-        prop_assert_eq!(f.holds(Cond::Lt), (a as i32) < (b as i32));
-        prop_assert_eq!(f.holds(Cond::Gt), (a as i32) > (b as i32));
-        prop_assert_eq!(f.holds(Cond::Le), (a as i32) <= (b as i32));
+        assert_eq!(f.holds(Cond::Eq), a == b);
+        assert_eq!(f.holds(Cond::Ne), a != b);
+        assert_eq!(f.holds(Cond::Cs), a >= b); // unsigned >=
+        assert_eq!(f.holds(Cond::Cc), a < b); // unsigned <
+        assert_eq!(f.holds(Cond::Hi), a > b); // unsigned >
+        assert_eq!(f.holds(Cond::Ls), a <= b); // unsigned <=
+        assert_eq!(f.holds(Cond::Ge), (a as i32) >= (b as i32));
+        assert_eq!(f.holds(Cond::Lt), (a as i32) < (b as i32));
+        assert_eq!(f.holds(Cond::Gt), (a as i32) > (b as i32));
+        assert_eq!(f.holds(Cond::Le), (a as i32) <= (b as i32));
     }
 }

@@ -1,0 +1,186 @@
+//! Block-chaining tests: chained dispatch must preserve guest results,
+//! account every dispatch in the new counters, and — critically — still
+//! honor stop-the-world safepoints between chained blocks.
+
+use adbt_engine::{AtomicScheme, Atomicity, HelperRegistry, MachineConfig, MachineCore, VcpuStats};
+use adbt_ir::{BlockBuilder, Op, Slot, Src};
+use adbt_isa::asm::assemble;
+use adbt_mmu::Width;
+
+/// A minimal scheme with no atomicity (these tests use plain loads and
+/// stores only, so correctness never depends on it).
+struct Plain;
+
+impl AtomicScheme for Plain {
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+    fn atomicity(&self) -> Atomicity {
+        Atomicity::Incorrect
+    }
+    fn install(&mut self, _reg: &mut HelperRegistry) {}
+    fn lower_ll(&self, b: &mut BlockBuilder, rd: Slot, addr: Src) {
+        b.push(Op::Load {
+            dst: rd,
+            addr,
+            width: Width::Word,
+        });
+    }
+    fn lower_sc(&self, b: &mut BlockBuilder, rd: Slot, value: Src, addr: Src) {
+        b.push(Op::Store {
+            src: value,
+            addr,
+            width: Width::Word,
+            guest_store: false,
+        });
+        b.push(Op::Mov {
+            dst: rd,
+            src: Src::Imm(0),
+            set_flags: false,
+        });
+    }
+    fn lower_clrex(&self, _b: &mut BlockBuilder) {}
+}
+
+/// A loop that crosses several block boundaries per iteration and
+/// publishes its progress to `counter` every iteration.
+fn counter_program(iters: u32) -> String {
+    format!(
+        "    mov32 r5, counter\n\
+         \x20   mov32 r6, #{iters}\n\
+         \x20   mov   r1, #0\n\
+         loop:\n\
+         \x20   b hop1\n\
+         hop1:\n\
+         \x20   b hop2\n\
+         hop2:\n\
+         \x20   add  r1, r1, #1\n\
+         \x20   str  r1, [r5]\n\
+         \x20   subs r6, r6, #1\n\
+         \x20   bne  loop\n\
+         \x20   mov  r0, #0\n\
+         \x20   svc  #0\n\
+         \x20   .align 4096\n\
+         counter:\n\
+         \x20   .word 0\n"
+    )
+}
+
+fn machine(chain_limit: u32) -> MachineCore {
+    MachineCore::new(
+        MachineConfig {
+            mem_size: 4 << 20,
+            chain_limit,
+            ..MachineConfig::default()
+        },
+        Box::new(Plain),
+    )
+    .unwrap()
+}
+
+fn run_counter(chain_limit: u32, iters: u32) -> (u32, VcpuStats) {
+    let m = machine(chain_limit);
+    let image = assemble(&counter_program(iters), 0x1_0000).unwrap();
+    m.load_image(&image);
+    let report = m.run_threaded(m.make_vcpus(1, 0x1_0000));
+    assert!(report.all_ok(), "{:?}", report.outcomes);
+    let counter = image.symbol("counter").unwrap();
+    (m.space.load(counter, Width::Word).unwrap(), report.stats)
+}
+
+#[test]
+fn chained_and_unchained_runs_agree() {
+    let (unchained_value, unchained) = run_counter(1, 5_000);
+    let (chained_value, chained) = run_counter(64, 5_000);
+    assert_eq!(unchained_value, 5_000);
+    assert_eq!(chained_value, 5_000);
+    // Chaining changes how blocks are dispatched, never what they do.
+    assert_eq!(unchained.insns, chained.insns);
+    assert_eq!(unchained.blocks, chained.blocks);
+    assert_eq!(unchained.stores, chained.stores);
+}
+
+#[test]
+fn counters_account_every_dispatch() {
+    let (_, unchained) = run_counter(1, 2_000);
+    assert_eq!(unchained.chain_follows, 0, "chain_limit 1 must not chain");
+    assert_eq!(unchained.dispatch_lookups, unchained.blocks);
+    assert_eq!(
+        unchained.l1_hits + unchained.l1_misses,
+        unchained.dispatch_lookups
+    );
+
+    let (_, chained) = run_counter(64, 2_000);
+    assert_eq!(
+        chained.dispatch_lookups + chained.chain_follows,
+        chained.blocks
+    );
+    assert_eq!(
+        chained.l1_hits + chained.l1_misses,
+        chained.dispatch_lookups
+    );
+    // The loop's edges are all static, so almost every dispatch rides a
+    // patched link; only chain-budget boundaries and cold starts look up.
+    assert!(
+        chained.chain_follows > chained.dispatch_lookups * 10,
+        "{} follows vs {} lookups",
+        chained.chain_follows,
+        chained.dispatch_lookups
+    );
+}
+
+/// The heart of the soundness argument: a vCPU deep inside a chain must
+/// still park at the per-hop safepoint, so an exclusive section freezes
+/// guest progress even when `chain_limit` would let the vCPU run the
+/// whole program in one dispatch.
+#[test]
+fn safepoints_are_honored_mid_chain() {
+    const ITERS: u32 = 1_500_000;
+    let m = machine(u32::MAX);
+    let image = assemble(&counter_program(ITERS), 0x1_0000).unwrap();
+    m.load_image(&image);
+    let counter = image.symbol("counter").unwrap();
+
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| m.run_threaded(m.make_vcpus(1, 0x1_0000)));
+
+        // Observe from a registered non-vCPU thread, as PST's fault
+        // handler and HST's SC helper do.
+        m.exclusive.register();
+        while m.space.load(counter, Width::Word).unwrap() == 0 {
+            std::hint::spin_loop();
+        }
+        let mut stable_rounds = 0;
+        let mut saw_midway = false;
+        for _ in 0..50 {
+            let _ = m.exclusive.start_exclusive();
+            let before = m.space.load(counter, Width::Word).unwrap();
+            for _ in 0..200 {
+                std::hint::spin_loop();
+            }
+            let after = m.space.load(counter, Width::Word).unwrap();
+            if before == after {
+                stable_rounds += 1;
+            }
+            if after < ITERS {
+                saw_midway = true;
+            }
+            m.exclusive.end_exclusive();
+            std::thread::yield_now();
+        }
+        m.exclusive.unregister();
+
+        assert_eq!(
+            stable_rounds, 50,
+            "guest progressed during an exclusive section — a chained \
+             dispatch skipped its safepoint"
+        );
+        assert!(
+            saw_midway,
+            "every observation ran after guest exit; the test observed nothing"
+        );
+        let report = worker.join().unwrap();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+    });
+    assert_eq!(m.space.load(counter, Width::Word).unwrap(), ITERS);
+}

@@ -414,7 +414,7 @@ fn lockstep_explicit_schedule_orders_writes() {
     let image = assemble(code, 0x1000).unwrap();
     m.load_image(&image);
     // 16 steps of vCPU 1 first (enough to finish), then vCPU 0.
-    let schedule: Vec<u32> = std::iter::repeat(1).take(16).chain([0; 16]).collect();
+    let schedule: Vec<u32> = std::iter::repeat_n(1, 16).chain([0; 16]).collect();
     let report = m.run_lockstep(m.make_vcpus(2, 0x1000), Schedule::Explicit(schedule));
     assert_eq!(report.outcomes[1], VcpuOutcome::Exited(2));
     assert_eq!(report.outcomes[0], VcpuOutcome::Exited(1));

@@ -118,6 +118,48 @@ fn sim_is_bit_deterministic() {
     }
 }
 
+/// The simulator always dispatches single blocks (its scheduler is the
+/// outer loop), so the configured `chain_limit` must have no effect on
+/// simulated results at all — bit-identical timing and counters.
+#[test]
+fn chain_limit_does_not_affect_sim_results() {
+    let costs = SimCosts::default();
+    let image = assemble(COUNTER_PROGRAM, 0x1_0000).unwrap();
+    let run_with = |chain_limit: u32| {
+        let m = MachineCore::new(
+            MachineConfig {
+                mem_size: 4 << 20,
+                chain_limit,
+                ..MachineConfig::default()
+            },
+            Box::new(ExclusiveCas { sc: None }),
+        )
+        .unwrap();
+        m.load_image(&image);
+        m.run_sim(m.make_vcpus(6, 0x1_0000), &costs)
+    };
+    let a = run_with(1);
+    let b = run_with(64);
+    assert!(a.all_ok() && b.all_ok());
+    assert_eq!(a.stats.sim_time, b.stats.sim_time);
+    assert_eq!(a.stats.insns, b.stats.insns);
+    assert_eq!(a.stats.sc_failures, b.stats.sc_failures);
+    assert_eq!(a.stats.chain_follows, 0);
+    assert_eq!(b.stats.chain_follows, 0);
+    // Everything except host wall-clock nanoseconds (Instant-measured,
+    // noisy by nature) must be bit-identical per vCPU.
+    let normalize = |stats: &adbt_engine::VcpuStats| {
+        let mut s = stats.clone();
+        s.exclusive_ns = 0;
+        s.mprotect_ns = 0;
+        s.lock_wait_ns = 0;
+        s
+    };
+    for (x, y) in a.per_cpu.iter().zip(&b.per_cpu) {
+        assert_eq!(normalize(x), normalize(y), "per-vCPU stats diverged");
+    }
+}
+
 #[test]
 fn different_jitter_seed_changes_schedule_not_results() {
     let a = run(

@@ -7,7 +7,6 @@ use std::sync::atomic::Ordering;
 
 /// Why a transaction aborted (the `xabort` status analogue).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AbortReason {
     /// Another thread committed to — or a plain store hit — a location
     /// in this transaction's read set.

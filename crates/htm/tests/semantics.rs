@@ -4,7 +4,27 @@
 
 use adbt_htm::{AbortReason, HtmDomain};
 use adbt_mmu::{GuestMemory, Width};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator (the workspace builds
+/// air-gapped, without a property-testing crate).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % n as u64) as u32
+    }
+}
 
 #[derive(Clone, Debug)]
 enum TxnOp {
@@ -12,22 +32,25 @@ enum TxnOp {
     Store(u32, u32),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<TxnOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..64).prop_map(|w| TxnOp::Load(w * 4)),
-            (0u32..64, any::<u32>()).prop_map(|(w, v)| TxnOp::Store(w * 4, v)),
-        ],
-        1..24,
-    )
+fn arb_ops(rng: &mut Rng) -> Vec<TxnOp> {
+    (0..1 + rng.below(23))
+        .map(|_| {
+            if rng.next() & 1 == 0 {
+                TxnOp::Load(rng.below(64) * 4)
+            } else {
+                TxnOp::Store(rng.below(64) * 4, rng.next() as u32)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// A committed transaction equals the same ops applied directly.
-    #[test]
-    fn sequential_commit_equals_direct_execution(ops in arb_ops(), seed in any::<u32>()) {
+/// A committed transaction equals the same ops applied directly.
+#[test]
+fn sequential_commit_equals_direct_execution() {
+    let mut rng = Rng::new(0x5e9_c0de);
+    for _case in 0..512 {
+        let ops = arb_ops(&mut rng);
+        let seed = rng.next() as u32;
         let mem_txn = GuestMemory::new(4096);
         let mem_direct = GuestMemory::new(4096);
         for i in 0..64u32 {
@@ -52,19 +75,23 @@ proptest! {
             }
         }
         txn.commit(&mem_txn).unwrap();
-        prop_assert_eq!(txn_reads, direct_reads);
+        assert_eq!(txn_reads, direct_reads);
         for i in 0..64u32 {
-            prop_assert_eq!(
+            assert_eq!(
                 mem_txn.load(i * 4, Width::Word),
                 mem_direct.load(i * 4, Width::Word),
-                "word {}", i
+                "word {i}"
             );
         }
     }
+}
 
-    /// A dropped (aborted) transaction leaves memory untouched.
-    #[test]
-    fn aborted_transaction_is_invisible(ops in arb_ops()) {
+/// A dropped (aborted) transaction leaves memory untouched.
+#[test]
+fn aborted_transaction_is_invisible() {
+    let mut rng = Rng::new(0xab04_7ed5);
+    for _case in 0..512 {
+        let ops = arb_ops(&mut rng);
         let mem = GuestMemory::new(4096);
         let domain = HtmDomain::default();
         let before: Vec<u32> = (0..64).map(|i| mem.load(i * 4, Width::Word)).collect();
@@ -83,27 +110,28 @@ proptest! {
             // Dropped without commit.
         }
         let after: Vec<u32> = (0..64).map(|i| mem.load(i * 4, Width::Word)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    /// A plain store to any address in the read set kills the commit.
-    #[test]
-    fn read_set_conflicts_always_detected(
-        reads in proptest::collection::vec(0u32..64, 1..10),
-        victim_index in any::<prop::sample::Index>(),
-    ) {
+/// A plain store to any address in the read set kills the commit.
+#[test]
+fn read_set_conflicts_always_detected() {
+    let mut rng = Rng::new(0xc0f1_1c75);
+    for _case in 0..512 {
+        let reads: Vec<u32> = (0..1 + rng.below(9)).map(|_| rng.below(64)).collect();
         let mem = GuestMemory::new(4096);
         let domain = HtmDomain::default();
         let mut txn = domain.begin();
         for &w in &reads {
             txn.load_word(&mem, w * 4).unwrap();
         }
-        let victim = reads[victim_index.index(reads.len())] * 4;
+        let victim = reads[rng.below(reads.len() as u32) as usize] * 4;
         mem.store(victim, Width::Word, 0xdead);
         domain.notify_plain_store(victim);
         txn.store_word(0x900, 1).unwrap();
-        prop_assert_eq!(txn.commit(&mem), Err(AbortReason::Conflict));
-        prop_assert_eq!(mem.load(0x900, Width::Word), 0);
+        assert_eq!(txn.commit(&mem), Err(AbortReason::Conflict));
+        assert_eq!(mem.load(0x900, Width::Word), 0);
     }
 }
 

@@ -1,4 +1,68 @@
 use crate::{Cond, Op, Slot, Src};
+use std::sync::OnceLock;
+
+/// The most arguments a runtime helper can take ([`Op::Helper`]); the
+/// interpreter marshals arguments through a fixed buffer of this size,
+/// so [`BlockBuilder::push`] rejects longer lists at build time.
+pub const MAX_HELPER_ARGS: usize = 8;
+
+/// A write-once successor link on a cached block's exit: the arena id
+/// of the next block, patched by the first vCPU to traverse the edge.
+/// Sound only because the code cache is append-only (no self-modifying
+/// guest code): a patched id never goes stale.
+///
+/// Links are identity-free metadata of the *cache entry*, not of the
+/// translated code: `Clone` yields a fresh unpatched link and equality
+/// ignores patch state, so two blocks compare equal iff their code
+/// does.
+#[derive(Debug, Default)]
+pub struct ChainLink(OnceLock<u32>);
+
+impl ChainLink {
+    /// Creates an unpatched link.
+    pub fn new() -> ChainLink {
+        ChainLink::default()
+    }
+
+    /// The linked successor's cache id, if the edge has been traversed.
+    #[inline]
+    pub fn get(&self) -> Option<u32> {
+        self.0.get().copied()
+    }
+
+    /// Patches the link; the first writer wins and later writes are
+    /// ignored (all writers would store the same id — the cache maps
+    /// each guest PC to one id).
+    #[inline]
+    pub fn set(&self, id: u32) {
+        let _ = self.0.set(id);
+    }
+}
+
+impl Clone for ChainLink {
+    fn clone(&self) -> ChainLink {
+        ChainLink::default()
+    }
+}
+
+impl PartialEq for ChainLink {
+    fn eq(&self, _: &ChainLink) -> bool {
+        true
+    }
+}
+
+impl Eq for ChainLink {}
+
+/// The successor links of a block's exit: `taken` serves
+/// [`BlockExit::Jump`] and the taken leg of [`BlockExit::CondJump`];
+/// `fallthrough` serves the not-taken leg.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExitLinks {
+    /// Jump target / taken-branch successor.
+    pub taken: ChainLink,
+    /// Not-taken successor (CondJump only).
+    pub fallthrough: ChainLink,
+}
 
 /// How control leaves a translated block.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +120,9 @@ pub struct Block {
     pub guest_stores: u32,
     /// Whether the block contains an LL or SC (profile metadata).
     pub has_llsc: bool,
+    /// Per-exit successor links, patched on first traversal by the
+    /// dispatch loop (ignored by `Clone`/`PartialEq`; see [`ChainLink`]).
+    pub links: ExitLinks,
 }
 
 /// Incremental builder used by the frontend and by scheme lowering hooks.
@@ -123,7 +190,22 @@ impl BlockBuilder {
     }
 
     /// Appends an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Op::Helper`] carries more than [`MAX_HELPER_ARGS`]
+    /// arguments. The interpreter marshals helper arguments through a
+    /// fixed 8-word buffer, so a longer list would be silently
+    /// truncated at run time; rejecting it at block-build time turns a
+    /// scheme-lowering bug into an immediate, attributable failure.
     pub fn push(&mut self, op: Op) {
+        if let Op::Helper { id, args, .. } = &op {
+            assert!(
+                args.len() <= MAX_HELPER_ARGS,
+                "helper {id} takes {} args; the interpreter marshals at most {MAX_HELPER_ARGS}",
+                args.len(),
+            );
+        }
         self.ops.push(op);
     }
 
@@ -166,6 +248,7 @@ impl BlockBuilder {
             temps: self.next_temp,
             guest_stores,
             has_llsc: self.has_llsc,
+            links: ExitLinks::default(),
         }
     }
 }
@@ -204,6 +287,45 @@ mod tests {
         assert_ne!(t0, t1);
         let block = b.finish(BlockExit::Jump(4), 1);
         assert_eq!(block.temps, 2);
+    }
+
+    #[test]
+    fn helper_arg_limit_is_enforced_at_build_time() {
+        use crate::HelperId;
+        let mut b = BlockBuilder::new(0);
+        // Exactly MAX_HELPER_ARGS is fine.
+        b.push(Op::Helper {
+            id: HelperId(0),
+            args: vec![Src::Imm(0); MAX_HELPER_ARGS],
+            ret: None,
+        });
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "helper")]
+    fn over_long_helper_args_panic_at_build_time() {
+        let mut b = BlockBuilder::new(0);
+        b.push(Op::Helper {
+            id: crate::HelperId(3),
+            args: vec![Src::Imm(0); MAX_HELPER_ARGS + 1],
+            ret: None,
+        });
+    }
+
+    #[test]
+    fn chain_links_ignore_patch_state_for_eq_and_clone() {
+        let a = BlockBuilder::new(0).finish(BlockExit::Jump(4), 1);
+        let b = a.clone();
+        a.links.taken.set(7);
+        assert_eq!(a.links.taken.get(), Some(7));
+        // First writer wins.
+        a.links.taken.set(9);
+        assert_eq!(a.links.taken.get(), Some(7));
+        // Clone produced a fresh, unpatched link; blocks still compare
+        // equal because equality ignores link state.
+        assert_eq!(b.links.taken.get(), None);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod block;
 mod op;
 mod printer;
 
-pub use block::{Block, BlockBuilder, BlockExit};
+pub use block::{Block, BlockBuilder, BlockExit, ChainLink, ExitLinks, MAX_HELPER_ARGS};
 pub use op::{HelperId, Op, RmwOp, Slot, Src};
 pub use printer::print_block;
 

@@ -1,149 +1,237 @@
-//! Property tests: `decode(encode(insn)) == insn` for every well-formed
-//! instruction, and assembler → disassembler → assembler stability.
+//! Randomized tests: `decode(encode(insn)) == insn` for every
+//! well-formed instruction, and assembler → disassembler → assembler
+//! stability. Cases come from a seeded xorshift generator (the
+//! workspace builds air-gapped, without a property-testing crate), so
+//! every run exercises the identical case set.
 
 use adbt_isa::{
     asm::assemble, decode, disasm::disassemble, encode, Address, AluOp, Cond, Insn, Operand2, Reg,
     ShiftOp, Width,
 };
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|i| Reg::new(i).unwrap())
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % n as u64) as u32
+    }
+
+    fn word(&mut self) -> u32 {
+        self.next() as u32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::Byte), Just(Width::Half), Just(Width::Word)]
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.below(16) as u8).unwrap()
 }
 
-fn arb_shift_op() -> impl Strategy<Value = ShiftOp> {
-    prop_oneof![
-        Just(ShiftOp::Lsl),
-        Just(ShiftOp::Lsr),
-        Just(ShiftOp::Asr),
-        Just(ShiftOp::Ror)
-    ]
+fn arb_width(rng: &mut Rng) -> Width {
+    match rng.below(3) {
+        0 => Width::Byte,
+        1 => Width::Half,
+        _ => Width::Word,
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    proptest::sample::select(AluOp::ALL.to_vec())
+fn arb_shift_op(rng: &mut Rng) -> ShiftOp {
+    match rng.below(4) {
+        0 => ShiftOp::Lsl,
+        1 => ShiftOp::Lsr,
+        2 => ShiftOp::Asr,
+        _ => ShiftOp::Ror,
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    proptest::sample::select(Cond::ALL.to_vec())
+fn arb_alu_op(rng: &mut Rng) -> AluOp {
+    AluOp::ALL[rng.below(AluOp::ALL.len() as u32) as usize]
+}
+
+fn arb_cond(rng: &mut Rng) -> Cond {
+    Cond::ALL[rng.below(Cond::ALL.len() as u32) as usize]
 }
 
 /// Operand2 as produced by the decoder: `lsl #0` canonicalizes to `Reg`,
-/// so we never generate that redundant form.
-fn arb_op2(max_imm: u16) -> impl Strategy<Value = Operand2> {
-    prop_oneof![
-        (0..=max_imm).prop_map(Operand2::Imm),
-        arb_reg().prop_map(Operand2::Reg),
-        (arb_reg(), arb_shift_op(), 0u8..32)
-            .prop_filter("lsl #0 canonicalizes to Reg", |(_, op, amount)| {
-                !(*op == ShiftOp::Lsl && *amount == 0)
-            })
-            .prop_map(|(rm, op, amount)| Operand2::RegShift { rm, op, amount }),
-    ]
-}
-
-fn arb_address() -> impl Strategy<Value = Address> {
-    prop_oneof![
-        (arb_reg(), any::<i16>()).prop_map(|(base, offset)| Address::Imm { base, offset }),
-        (arb_reg(), arb_reg()).prop_map(|(base, index)| Address::Reg { base, index }),
-    ]
-}
-
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (
-            arb_alu_op(),
-            arb_reg(),
-            arb_reg(),
-            arb_op2(0xfff),
-            any::<bool>()
-        )
-            .prop_map(|(op, rd, rn, op2, set_flags)| Insn::Alu {
+/// so that redundant form is never generated.
+fn arb_op2(rng: &mut Rng, max_imm: u16) -> Operand2 {
+    match rng.below(3) {
+        0 => Operand2::Imm((rng.below(max_imm as u32 + 1)) as u16),
+        1 => Operand2::Reg(arb_reg(rng)),
+        _ => loop {
+            let (op, amount) = (arb_shift_op(rng), rng.below(32) as u8);
+            if op == ShiftOp::Lsl && amount == 0 {
+                continue; // canonicalizes to Reg
+            }
+            break Operand2::RegShift {
+                rm: arb_reg(rng),
                 op,
-                rd,
-                rn,
-                op2,
-                set_flags
-            }),
-        (arb_reg(), arb_op2(0xffff), any::<bool>()).prop_map(|(rd, op2, set_flags)| Insn::Mov {
-            rd,
-            op2,
-            set_flags
-        }),
-        (arb_reg(), arb_op2(0xffff), any::<bool>()).prop_map(|(rd, op2, set_flags)| Insn::Mvn {
-            rd,
-            op2,
-            set_flags
-        }),
-        (arb_reg(), arb_op2(0xffff)).prop_map(|(rn, op2)| Insn::Cmp { rn, op2 }),
-        (arb_reg(), arb_op2(0xffff)).prop_map(|(rn, op2)| Insn::Cmn { rn, op2 }),
-        (arb_reg(), arb_op2(0xffff)).prop_map(|(rn, op2)| Insn::Tst { rn, op2 }),
-        (arb_reg(), arb_op2(0xffff)).prop_map(|(rn, op2)| Insn::Teq { rn, op2 }),
-        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::Movw { rd, imm }),
-        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::Movt { rd, imm }),
-        (arb_reg(), arb_address(), arb_width()).prop_map(|(rd, addr, width)| Insn::Ldr {
-            rd,
-            addr,
-            width
-        }),
-        (arb_reg(), arb_address(), arb_width()).prop_map(|(rs, addr, width)| Insn::Str {
-            rs,
-            addr,
-            width
-        }),
-        (arb_reg(), arb_reg()).prop_map(|(rd, rn)| Insn::Ldrex { rd, rn }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rn)| Insn::Strex { rd, rs, rn }),
-        Just(Insn::Clrex),
-        Just(Insn::Dmb),
-        (arb_cond(), -(1i32 << 23)..(1 << 23)).prop_map(|(cond, offset)| Insn::B { cond, offset }),
-        (-(1i32 << 23)..(1 << 23)).prop_map(|offset| Insn::Bl { offset }),
-        arb_reg().prop_map(|rm| Insn::Bx { rm }),
-        any::<u16>().prop_map(|imm| Insn::Svc { imm }),
-        Just(Insn::Yield),
-        Just(Insn::Nop),
-        any::<u16>().prop_map(|imm| Insn::Udf { imm }),
-    ]
+                amount,
+            };
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// Encoding then decoding reproduces the instruction exactly.
-    #[test]
-    fn encode_decode_roundtrip(insn in arb_insn()) {
-        let word = encode(&insn);
-        prop_assert_eq!(decode(word), Ok(insn));
-    }
-
-    /// Decoding an arbitrary word either fails cleanly or yields an
-    /// instruction that re-encodes to something decoding to itself
-    /// (decode is a retraction of encode).
-    #[test]
-    fn decode_is_stable(word in any::<u32>()) {
-        if let Ok(insn) = decode(word) {
-            let reencoded = encode(&insn);
-            prop_assert_eq!(decode(reencoded), Ok(insn));
+fn arb_address(rng: &mut Rng) -> Address {
+    if rng.flag() {
+        Address::Imm {
+            base: arb_reg(rng),
+            offset: rng.word() as i16,
+        }
+    } else {
+        Address::Reg {
+            base: arb_reg(rng),
+            index: arb_reg(rng),
         }
     }
+}
 
-    /// Disassembling a non-branch instruction and reassembling it yields
-    /// the identical encoding (branches need label context, so they are
-    /// exercised separately below).
-    #[test]
-    fn disasm_asm_roundtrip(insn in arb_insn().prop_filter(
-        "direct branches need labels; ldr/str offsets can exceed asm range",
-        |i| !matches!(i, Insn::B { .. } | Insn::Bl { .. })
-    )) {
+fn arb_branch_offset(rng: &mut Rng) -> i32 {
+    (rng.below(1 << 24) as i32) - (1 << 23)
+}
+
+fn arb_insn(rng: &mut Rng) -> Insn {
+    match rng.below(22) {
+        0 => Insn::Alu {
+            op: arb_alu_op(rng),
+            rd: arb_reg(rng),
+            rn: arb_reg(rng),
+            op2: arb_op2(rng, 0xfff),
+            set_flags: rng.flag(),
+        },
+        1 => Insn::Mov {
+            rd: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+            set_flags: rng.flag(),
+        },
+        2 => Insn::Mvn {
+            rd: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+            set_flags: rng.flag(),
+        },
+        3 => Insn::Cmp {
+            rn: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+        },
+        4 => Insn::Cmn {
+            rn: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+        },
+        5 => Insn::Tst {
+            rn: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+        },
+        6 => Insn::Teq {
+            rn: arb_reg(rng),
+            op2: arb_op2(rng, 0xffff),
+        },
+        7 => Insn::Movw {
+            rd: arb_reg(rng),
+            imm: rng.word() as u16,
+        },
+        8 => Insn::Movt {
+            rd: arb_reg(rng),
+            imm: rng.word() as u16,
+        },
+        9 => Insn::Ldr {
+            rd: arb_reg(rng),
+            addr: arb_address(rng),
+            width: arb_width(rng),
+        },
+        10 => Insn::Str {
+            rs: arb_reg(rng),
+            addr: arb_address(rng),
+            width: arb_width(rng),
+        },
+        11 => Insn::Ldrex {
+            rd: arb_reg(rng),
+            rn: arb_reg(rng),
+        },
+        12 => Insn::Strex {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rn: arb_reg(rng),
+        },
+        13 => Insn::Clrex,
+        14 => Insn::Dmb,
+        15 => Insn::B {
+            cond: arb_cond(rng),
+            offset: arb_branch_offset(rng),
+        },
+        16 => Insn::Bl {
+            offset: arb_branch_offset(rng),
+        },
+        17 => Insn::Bx { rm: arb_reg(rng) },
+        18 => Insn::Svc {
+            imm: rng.word() as u16,
+        },
+        19 => Insn::Yield,
+        20 => Insn::Nop,
+        _ => Insn::Udf {
+            imm: rng.word() as u16,
+        },
+    }
+}
+
+/// Encoding then decoding reproduces the instruction exactly.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng::new(0x1157_c0de);
+    for case in 0..2048 {
+        let insn = arb_insn(&mut rng);
+        let word = encode(&insn);
+        assert_eq!(decode(word), Ok(insn), "case {case}: {insn:?}");
+    }
+}
+
+/// Decoding an arbitrary word either fails cleanly or yields an
+/// instruction that re-encodes to something decoding to itself
+/// (decode is a retraction of encode).
+#[test]
+fn decode_is_stable() {
+    let mut rng = Rng::new(0xdec0_9e5e);
+    for _ in 0..4096 {
+        let word = rng.word();
+        if let Ok(insn) = decode(word) {
+            let reencoded = encode(&insn);
+            assert_eq!(decode(reencoded), Ok(insn), "word {word:#010x}");
+        }
+    }
+}
+
+/// Disassembling a non-branch instruction and reassembling it yields
+/// the identical encoding (branches need label context, so they are
+/// exercised separately below).
+#[test]
+fn disasm_asm_roundtrip() {
+    let mut rng = Rng::new(0xd15a_a55e);
+    let mut cases = 0;
+    while cases < 2048 {
+        let insn = arb_insn(&mut rng);
+        if matches!(insn, Insn::B { .. } | Insn::Bl { .. }) {
+            continue; // direct branches need labels
+        }
+        cases += 1;
         let text = disassemble(&insn);
         let img = assemble(&format!("{text}\n"), 0)
             .unwrap_or_else(|e| panic!("reassembling `{text}` failed: {e}"));
-        prop_assert_eq!(img.bytes.len(), 4, "text was `{}`", text);
+        assert_eq!(img.bytes.len(), 4, "text was `{text}`");
         let word = u32::from_le_bytes(img.bytes[0..4].try_into().unwrap());
-        prop_assert_eq!(decode(word), Ok(insn), "text was `{}`", text);
+        assert_eq!(decode(word), Ok(insn), "text was `{text}`");
     }
 }
 

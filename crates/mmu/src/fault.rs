@@ -3,7 +3,6 @@ use std::fmt;
 
 /// The kind of access that caused (or is being checked for) a fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Access {
     /// A data load.
     Load,
@@ -25,7 +24,6 @@ impl fmt::Display for Access {
 
 /// Why an access faulted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FaultKind {
     /// The virtual page has no mapping — the analogue of `SEGV_MAPERR`.
     ///
@@ -63,7 +61,6 @@ impl fmt::Display for FaultKind {
 /// active atomic-emulation scheme's fault handler (PST, PST-REMAP) or
 /// terminates the guest thread with a fault report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageFault {
     /// The faulting virtual address.
     pub vaddr: u32,

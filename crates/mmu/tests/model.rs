@@ -1,9 +1,29 @@
-//! Property tests: the address space against a simple reference model
-//! (a byte map plus per-page permission/mapping state).
+//! Randomized model tests: the address space against a simple reference
+//! model (a byte map plus per-page permission/mapping state). Op
+//! sequences come from a seeded xorshift generator (the workspace
+//! builds air-gapped, without a property-testing crate).
 
 use adbt_mmu::{Access, AddressSpace, FaultKind, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
-use proptest::prelude::*;
-use std::collections::HashMap;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % n as u64) as u32
+    }
+}
 
 const PHYS_PAGES: u32 = 4;
 const EXTRA_PAGES: u32 = 2;
@@ -27,7 +47,7 @@ impl Model {
     }
 
     fn check(&self, vaddr: u32, access: Access, width: Width) -> Result<(u32, u32), FaultKind> {
-        if vaddr % width.bytes() != 0 {
+        if !vaddr.is_multiple_of(width.bytes()) {
             return Err(FaultKind::Unaligned);
         }
         let page = (vaddr >> PAGE_SHIFT) as usize;
@@ -85,61 +105,82 @@ enum OpCase {
     },
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::Byte), Just(Width::Half), Just(Width::Word)]
+fn arb_width(rng: &mut Rng) -> Width {
+    match rng.below(3) {
+        0 => Width::Byte,
+        1 => Width::Half,
+        _ => Width::Word,
+    }
 }
 
-fn arb_perms() -> impl Strategy<Value = Perms> {
-    prop_oneof![
-        Just(Perms::RWX),
-        Just(Perms::READ | Perms::EXEC),
-        Just(Perms::READ | Perms::WRITE),
-        Just(Perms::READ),
-        Just(Perms::NONE),
-    ]
+fn arb_perms(rng: &mut Rng) -> Perms {
+    match rng.below(5) {
+        0 => Perms::RWX,
+        1 => Perms::READ | Perms::EXEC,
+        2 => Perms::READ | Perms::WRITE,
+        3 => Perms::READ,
+        _ => Perms::NONE,
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = OpCase> {
+fn arb_op(rng: &mut Rng) -> OpCase {
     let total = (PHYS_PAGES + EXTRA_PAGES) * PAGE_SIZE;
-    prop_oneof![
-        4 => (0..total, arb_width()).prop_map(|(vaddr, width)| OpCase::Load { vaddr, width }),
-        4 => (0..total, arb_width(), any::<u32>())
-            .prop_map(|(vaddr, width, value)| OpCase::Store { vaddr, width, value }),
-        1 => (0..PHYS_PAGES + EXTRA_PAGES, arb_perms())
-            .prop_map(|(page, perms)| OpCase::Protect { page, perms }),
-        1 => (0..PHYS_PAGES + EXTRA_PAGES).prop_map(|page| OpCase::Unmap { page }),
-        1 => (0..PHYS_PAGES + EXTRA_PAGES, 0..PHYS_PAGES + EXTRA_PAGES)
-            .prop_map(|(from, to)| OpCase::Move { from, to }),
-    ]
+    let pages = PHYS_PAGES + EXTRA_PAGES;
+    match rng.below(11) {
+        0..=3 => OpCase::Load {
+            vaddr: rng.below(total),
+            width: arb_width(rng),
+        },
+        4..=7 => OpCase::Store {
+            vaddr: rng.below(total),
+            width: arb_width(rng),
+            value: rng.next() as u32,
+        },
+        8 => OpCase::Protect {
+            page: rng.below(pages),
+            perms: arb_perms(rng),
+        },
+        9 => OpCase::Unmap {
+            page: rng.below(pages),
+        },
+        _ => OpCase::Move {
+            from: rng.below(pages),
+            to: rng.below(pages),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any sequence of loads, stores, protections, unmaps and remaps
-    /// leaves the space agreeing with the model on every outcome.
-    #[test]
-    fn space_agrees_with_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+/// Any sequence of loads, stores, protections, unmaps and remaps
+/// leaves the space agreeing with the model on every outcome.
+#[test]
+fn space_agrees_with_model() {
+    let mut rng = Rng::new(0x9a6e_ab1e);
+    for _case in 0..256 {
         let space = AddressSpace::new(PHYS_PAGES * PAGE_SIZE, EXTRA_PAGES).unwrap();
         let mut model = Model::new();
+        let ops: Vec<OpCase> = (0..1 + rng.below(119)).map(|_| arb_op(&mut rng)).collect();
         for op in ops {
             match op {
                 OpCase::Load { vaddr, width } => {
                     let got = space.load(vaddr, width);
                     let want = model.load(vaddr, width);
                     match (got, want) {
-                        (Ok(g), Ok(w)) => prop_assert_eq!(g, w, "load {:#x}", vaddr),
-                        (Err(g), Err(w)) => prop_assert_eq!(g.kind, w, "load fault {:#x}", vaddr),
-                        (g, w) => prop_assert!(false, "load {:#x}: {:?} vs {:?}", vaddr, g, w),
+                        (Ok(g), Ok(w)) => assert_eq!(g, w, "load {:#x}", vaddr),
+                        (Err(g), Err(w)) => assert_eq!(g.kind, w, "load fault {:#x}", vaddr),
+                        (g, w) => panic!("load {vaddr:#x}: {g:?} vs {w:?}"),
                     }
                 }
-                OpCase::Store { vaddr, width, value } => {
+                OpCase::Store {
+                    vaddr,
+                    width,
+                    value,
+                } => {
                     let got = space.store(vaddr, width, value);
                     let want = model.store(vaddr, width, value);
                     match (got, want) {
                         (Ok(()), Ok(())) => {}
-                        (Err(g), Err(w)) => prop_assert_eq!(g.kind, w, "store fault {:#x}", vaddr),
-                        (g, w) => prop_assert!(false, "store {:#x}: {:?} vs {:?}", vaddr, g, w),
+                        (Err(g), Err(w)) => assert_eq!(g.kind, w, "store fault {:#x}", vaddr),
+                        (g, w) => panic!("store {vaddr:#x}: {g:?} vs {w:?}"),
                     }
                 }
                 OpCase::Protect { page, perms } => {
@@ -147,10 +188,10 @@ proptest! {
                     let entry = model.mapping.get_mut(page as usize);
                     match entry {
                         Some(Some((_, model_perms))) => {
-                            prop_assert_eq!(got, Some(*model_perms));
+                            assert_eq!(got, Some(*model_perms));
                             *model_perms = perms;
                         }
-                        _ => prop_assert_eq!(got, None),
+                        _ => assert_eq!(got, None),
                     }
                 }
                 OpCase::Unmap { page } => {
@@ -158,39 +199,35 @@ proptest! {
                     let entry = model.mapping.get_mut(page as usize);
                     match entry {
                         Some(slot @ Some(_)) => {
-                            prop_assert_eq!(got, slot.map(|(f, _)| f));
+                            assert_eq!(got, slot.map(|(f, _)| f));
                             *slot = None;
                         }
-                        _ => prop_assert_eq!(got, None),
+                        _ => assert_eq!(got, None),
                     }
                 }
                 OpCase::Move { from, to } => {
                     let got = space.move_page(from, to, Perms::RWX);
-                    let from_entry = model
-                        .mapping
-                        .get(from as usize)
-                        .copied()
-                        .flatten();
+                    let from_entry = model.mapping.get(from as usize).copied().flatten();
                     let to_in_range = (to as usize) < model.mapping.len();
                     match (from_entry, to_in_range, from == to) {
                         (Some((frame, _)), true, false) => {
-                            prop_assert_eq!(got, Ok(frame));
+                            assert_eq!(got, Ok(frame));
                             model.mapping[from as usize] = None;
                             model.mapping[to as usize] = Some((frame, Perms::RWX));
                         }
                         (Some((frame, _)), true, true) => {
                             // Move onto itself: unmapped then remapped.
-                            prop_assert_eq!(got, Ok(frame));
+                            assert_eq!(got, Ok(frame));
                             model.mapping[to as usize] = Some((frame, Perms::RWX));
                         }
                         (Some((frame, perms)), false, _) => {
                             // Destination out of range: restored with RWX
                             // (the implementation's documented recovery).
-                            prop_assert!(got.is_err());
+                            assert!(got.is_err());
                             let _ = perms;
                             model.mapping[from as usize] = Some((frame, Perms::RWX));
                         }
-                        (None, _, _) => prop_assert!(got.is_err()),
+                        (None, _, _) => assert!(got.is_err()),
                     }
                 }
             }

@@ -14,7 +14,7 @@
 use adbt_engine::{AtomicScheme, Atomicity, ExecCtx, HelperRegistry};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::Width;
-use parking_lot::{Mutex, MutexGuard};
+use adbt_sync::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;

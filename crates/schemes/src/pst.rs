@@ -25,7 +25,7 @@ use adbt_engine::{
 };
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{FaultKind, PageFault, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
-use parking_lot::{Mutex, MutexGuard};
+use adbt_sync::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;

@@ -30,8 +30,15 @@ fn all_schemes_run_all_kernels_correctly() {
 fn instruction_profile_is_scheme_independent() {
     let a = run_parsec(SchemeKind::PicoCas, Program::Swaptions, 2, 0.05).unwrap();
     let b = run_parsec(SchemeKind::Hst, Program::Swaptions, 2, 0.05).unwrap();
-    assert_eq!(a.report.stats.ll, b.report.stats.ll, "LL counts diverge");
-    assert_eq!(a.report.stats.sc, b.report.stats.sc, "SC counts diverge");
+    // A failed SC re-runs the guest retry loop (one extra LL + SC), and
+    // failures depend on real-thread timing — compare the successful
+    // pairs, which are a property of the guest alone.
+    let pairs = |s: &adbt::VcpuStats| (s.ll - s.sc_failures, s.sc - s.sc_failures);
+    assert_eq!(
+        pairs(&a.report.stats),
+        pairs(&b.report.stats),
+        "LL/SC profiles diverge"
+    );
     assert_eq!(
         a.report.stats.stores, b.report.stats.stores,
         "store counts diverge"
@@ -47,18 +54,22 @@ fn instruction_profile_is_scheme_independent() {
 /// Collision tracking measures the paper's "2.4% conflicts" quantity.
 #[test]
 fn collision_tracking_reports_rates() {
-    let mut config = MachineConfig::default();
-    config.track_collisions = true;
     // A small table forces collisions; the default 2^16 table keeps them
     // rare. Both must *work*; rates differ.
-    config.htable_bits = 6;
+    let config = MachineConfig {
+        track_collisions: true,
+        htable_bits: 6,
+        ..Default::default()
+    };
     let crowded = run_parsec_with(SchemeKind::Hst, Program::Fluidanimate, 4, 0.05, config).unwrap();
     let (collisions, sets) = crowded.report.collisions;
     assert!(sets > 0, "tracking must count sets");
     assert!(collisions > 0, "a 64-entry table must collide");
 
-    let mut config = MachineConfig::default();
-    config.track_collisions = true;
+    let config = MachineConfig {
+        track_collisions: true,
+        ..Default::default()
+    };
     let roomy = run_parsec_with(SchemeKind::Hst, Program::Fluidanimate, 4, 0.05, config).unwrap();
     let (roomy_collisions, roomy_sets) = roomy.report.collisions;
     assert!(roomy_sets > 0);
@@ -96,6 +107,72 @@ fn kernels_divide_work_across_threads() {
     let four = run_parsec(SchemeKind::HstWeak, Program::X264, 4, 0.05).unwrap();
     assert_eq!(two.report.stats.stores, four.report.stats.stores);
     assert!(two.valid && four.valid);
+}
+
+/// Block chaining is a dispatch optimization: under every scheme, the
+/// guest-visible result of a contended LL/SC counter is identical with
+/// chaining off (`chain_limit 1`) and on (default), and the simulated
+/// mode — which pins single-block dispatch internally — produces
+/// bit-identical virtual timing either way.
+#[test]
+fn chaining_preserves_results_under_every_scheme() {
+    const THREADS: u32 = 4;
+    const ITERS: u32 = 300;
+    let program = format!(
+        "    mov32 r5, counter\n\
+         \x20   mov32 r6, #{ITERS}\n\
+         loop:\n\
+         retry:\n\
+         \x20   ldrex r1, [r5]\n\
+         \x20   add   r1, r1, #1\n\
+         \x20   strex r2, r1, [r5]\n\
+         \x20   cmp   r2, #0\n\
+         \x20   bne   retry\n\
+         \x20   subs  r6, r6, #1\n\
+         \x20   bne   loop\n\
+         \x20   mov   r0, #0\n\
+         \x20   svc   #0\n\
+         \x20   .align 4096\n\
+         counter:\n\
+         \x20   .word 0\n"
+    );
+    for kind in SchemeKind::ALL {
+        let run = |chain_limit: u32, sim: bool| {
+            let mut machine = MachineBuilder::new(kind)
+                .memory(4 << 20)
+                .chain_limit(chain_limit)
+                .build()
+                .unwrap();
+            machine.load_asm(&program, 0x1_0000).unwrap();
+            let report = if sim {
+                machine.run_sim(THREADS, 0x1_0000)
+            } else {
+                machine.run(THREADS, 0x1_0000)
+            };
+            assert!(
+                report.all_ok(),
+                "{kind} chain={chain_limit}: {:?}",
+                report.outcomes
+            );
+            let counter = machine.symbol("counter").unwrap();
+            (machine.read_word(counter).unwrap(), report)
+        };
+        let (unchained, _) = run(1, false);
+        let (chained, chained_report) = run(64, false);
+        assert_eq!(unchained, THREADS * ITERS, "{kind} unchained");
+        assert_eq!(chained, THREADS * ITERS, "{kind} chained");
+        assert!(
+            chained_report.stats.chain_follows > 0,
+            "{kind}: the loop's static branches must chain"
+        );
+        let (_, sim_unchained) = run(1, true);
+        let (_, sim_chained) = run(64, true);
+        assert_eq!(
+            sim_unchained.stats.sim_time, sim_chained.stats.sim_time,
+            "{kind}: chain_limit leaked into the simulated schedule"
+        );
+        assert_eq!(sim_unchained.stats.insns, sim_chained.stats.insns);
+    }
 }
 
 /// The machine facade exposes enough to write custom experiments.
