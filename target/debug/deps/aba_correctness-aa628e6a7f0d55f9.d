@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-aa628e6a7f0d55f9.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-aa628e6a7f0d55f9: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

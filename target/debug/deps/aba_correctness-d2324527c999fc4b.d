@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-d2324527c999fc4b.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-d2324527c999fc4b: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

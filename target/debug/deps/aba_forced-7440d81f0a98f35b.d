@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_forced-7440d81f0a98f35b.d: tests/aba_forced.rs
+
+/root/repo/target/debug/deps/aba_forced-7440d81f0a98f35b: tests/aba_forced.rs
+
+tests/aba_forced.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_stack-055222e79e54e856.d: tests/aba_stack.rs
+
+/root/repo/target/debug/deps/aba_stack-055222e79e54e856: tests/aba_stack.rs
+
+tests/aba_stack.rs:

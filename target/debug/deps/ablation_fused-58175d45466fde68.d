@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-58175d45466fde68.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-58175d45466fde68: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-b111451a93b36457.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-b111451a93b36457: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt-0e1cce3b8abaae76.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/libadbt-0e1cce3b8abaae76.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/libadbt-0e1cce3b8abaae76.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt-5f4c133eb70f8211.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/adbt-5f4c133eb70f8211: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

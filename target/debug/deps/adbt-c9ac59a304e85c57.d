@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt-c9ac59a304e85c57.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt-c9ac59a304e85c57.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_bench-04d2c2a4b76105df.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/adbt_bench-04d2c2a4b76105df: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

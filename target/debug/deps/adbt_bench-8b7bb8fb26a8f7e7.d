@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_bench-8b7bb8fb26a8f7e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-8b7bb8fb26a8f7e7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-8b7bb8fb26a8f7e7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adbt_engine-99c73228d75d7fc5.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs
+
+/root/repo/target/debug/deps/adbt_engine-99c73228d75d7fc5: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/exclusive.rs:
+crates/engine/src/frontend.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/machine.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/scheme.rs:
+crates/engine/src/state.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/store_test.rs:

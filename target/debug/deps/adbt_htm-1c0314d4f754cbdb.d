@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adbt_htm-1c0314d4f754cbdb.d: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_htm-1c0314d4f754cbdb.rmeta: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs Cargo.toml
+
+crates/htm/src/lib.rs:
+crates/htm/src/domain.rs:
+crates/htm/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

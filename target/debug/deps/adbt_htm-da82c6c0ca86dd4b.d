@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_htm-da82c6c0ca86dd4b.d: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/libadbt_htm-da82c6c0ca86dd4b.rlib: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/libadbt_htm-da82c6c0ca86dd4b.rmeta: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/domain.rs:
+crates/htm/src/txn.rs:

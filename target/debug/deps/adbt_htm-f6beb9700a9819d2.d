@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_htm-f6beb9700a9819d2.d: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/adbt_htm-f6beb9700a9819d2: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/domain.rs:
+crates/htm/src/txn.rs:

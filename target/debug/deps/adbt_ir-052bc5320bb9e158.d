@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt_ir-052bc5320bb9e158.d: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+/root/repo/target/debug/deps/libadbt_ir-052bc5320bb9e158.rlib: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+/root/repo/target/debug/deps/libadbt_ir-052bc5320bb9e158.rmeta: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/block.rs:
+crates/ir/src/op.rs:
+crates/ir/src/printer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_ir-4291960f3d49ef81.d: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_ir-4291960f3d49ef81.rmeta: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/block.rs:
+crates/ir/src/op.rs:
+crates/ir/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

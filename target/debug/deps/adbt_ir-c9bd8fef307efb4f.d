@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_ir-c9bd8fef307efb4f.d: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_ir-c9bd8fef307efb4f.rmeta: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/block.rs:
+crates/ir/src/op.rs:
+crates/ir/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt_ir-f07c817b728266ac.d: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+/root/repo/target/debug/deps/adbt_ir-f07c817b728266ac: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/block.rs:
+crates/ir/src/op.rs:
+crates/ir/src/printer.rs:

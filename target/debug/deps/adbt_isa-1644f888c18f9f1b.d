@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adbt_isa-1644f888c18f9f1b.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libadbt_isa-1644f888c18f9f1b.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libadbt_isa-1644f888c18f9f1b.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm_impl.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/error.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/adbt_isa-1c98edf0c6b414ba.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_isa-1c98edf0c6b414ba.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm_impl.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/error.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adbt_isa-9bcbc6022ee371cd.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/adbt_isa-9bcbc6022ee371cd: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm_impl.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/error.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

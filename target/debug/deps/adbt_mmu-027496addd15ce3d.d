@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt_mmu-027496addd15ce3d.d: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+/root/repo/target/debug/deps/adbt_mmu-027496addd15ce3d: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/fault.rs:
+crates/mmu/src/mem.rs:
+crates/mmu/src/space.rs:

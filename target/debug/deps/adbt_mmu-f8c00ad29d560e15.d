@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt_mmu-f8c00ad29d560e15.d: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+/root/repo/target/debug/deps/libadbt_mmu-f8c00ad29d560e15.rlib: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+/root/repo/target/debug/deps/libadbt_mmu-f8c00ad29d560e15.rmeta: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/fault.rs:
+crates/mmu/src/mem.rs:
+crates/mmu/src/space.rs:

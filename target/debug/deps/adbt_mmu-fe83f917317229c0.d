@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_mmu-fe83f917317229c0.d: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_mmu-fe83f917317229c0.rmeta: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs Cargo.toml
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/fault.rs:
+crates/mmu/src/mem.rs:
+crates/mmu/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-339de6807d788a25.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-339de6807d788a25: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

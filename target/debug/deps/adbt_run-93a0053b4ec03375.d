@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-93a0053b4ec03375.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-93a0053b4ec03375: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_suite-1de87f828947f7c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/adbt_suite-1de87f828947f7c9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_suite-2a08cc6c96e296cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-2a08cc6c96e296cb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-2a08cc6c96e296cb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_sync-5c38654a46c0ffc1.d: crates/sync/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_sync-5c38654a46c0ffc1.rmeta: crates/sync/src/lib.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_sync-b7ad89d3b6e4188d.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_sync-b7ad89d3b6e4188d.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_sync-b7ad89d3b6e4188d.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

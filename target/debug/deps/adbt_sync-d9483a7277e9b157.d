@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_sync-d9483a7277e9b157.d: crates/sync/src/lib.rs
+
+/root/repo/target/debug/deps/adbt_sync-d9483a7277e9b157: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_sync-e10d075d72d326fe.d: crates/sync/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_sync-e10d075d72d326fe.rmeta: crates/sync/src/lib.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

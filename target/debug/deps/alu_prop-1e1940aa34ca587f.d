@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_prop-1e1940aa34ca587f.d: crates/engine/tests/alu_prop.rs
+
+/root/repo/target/debug/deps/alu_prop-1e1940aa34ca587f: crates/engine/tests/alu_prop.rs
+
+crates/engine/tests/alu_prop.rs:

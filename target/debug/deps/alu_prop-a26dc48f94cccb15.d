@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alu_prop-a26dc48f94cccb15.d: crates/engine/tests/alu_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalu_prop-a26dc48f94cccb15.rmeta: crates/engine/tests/alu_prop.rs Cargo.toml
+
+crates/engine/tests/alu_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaining-239cec7d8e514cb6.d: crates/engine/tests/chaining.rs
+
+/root/repo/target/debug/deps/chaining-239cec7d8e514cb6: crates/engine/tests/chaining.rs
+
+crates/engine/tests/chaining.rs:

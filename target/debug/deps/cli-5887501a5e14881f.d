@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5887501a5e14881f.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5887501a5e14881f: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_adbt_run=/root/repo/target/debug/adbt_run

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-58a6b1b5a8b87881.d: crates/schemes/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-58a6b1b5a8b87881: crates/schemes/tests/concurrent.rs
+
+crates/schemes/tests/concurrent.rs:

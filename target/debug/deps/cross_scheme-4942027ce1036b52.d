@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-4942027ce1036b52.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/cross_scheme-4942027ce1036b52: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

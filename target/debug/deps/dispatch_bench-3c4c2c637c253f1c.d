@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch_bench-3c4c2c637c253f1c.d: crates/bench/src/bin/dispatch_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch_bench-3c4c2c637c253f1c.rmeta: crates/bench/src/bin/dispatch_bench.rs Cargo.toml
+
+crates/bench/src/bin/dispatch_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-5da55314333200fb.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-5da55314333200fb: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-61752970f822f137.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-61752970f822f137: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec-a61f97110e2577c4.d: crates/engine/tests/exec.rs
+
+/root/repo/target/debug/deps/exec-a61f97110e2577c4: crates/engine/tests/exec.rs
+
+crates/engine/tests/exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-6809682511522232.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-6809682511522232: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

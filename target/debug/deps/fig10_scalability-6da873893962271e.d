@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-6da873893962271e.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-6da873893962271e: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-063ee030ab1fec44.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-063ee030ab1fec44: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-4242e2c3f753e3f6.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-4242e2c3f753e3f6: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-9ec768bcfbfe8a2f.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-9ec768bcfbfe8a2f: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

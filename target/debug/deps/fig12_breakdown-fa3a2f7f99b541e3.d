@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-fa3a2f7f99b541e3.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-fa3a2f7f99b541e3: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_atomics-0f04e603f9e4b377.d: tests/fused_atomics.rs
+
+/root/repo/target/debug/deps/fused_atomics-0f04e603f9e4b377: tests/fused_atomics.rs
+
+tests/fused_atomics.rs:

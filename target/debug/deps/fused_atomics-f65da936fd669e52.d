@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_atomics-f65da936fd669e52.d: tests/fused_atomics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_atomics-f65da936fd669e52.rmeta: tests/fused_atomics.rs Cargo.toml
+
+tests/fused_atomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

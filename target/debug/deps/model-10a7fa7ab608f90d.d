@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-10a7fa7ab608f90d.d: crates/mmu/tests/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-10a7fa7ab608f90d.rmeta: crates/mmu/tests/model.rs Cargo.toml
+
+crates/mmu/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

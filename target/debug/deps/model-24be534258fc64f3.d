@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-24be534258fc64f3.d: crates/mmu/tests/model.rs
+
+/root/repo/target/debug/deps/model-24be534258fc64f3: crates/mmu/tests/model.rs
+
+crates/mmu/tests/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-273d6f8bab378245.d: crates/isa/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-273d6f8bab378245: crates/isa/tests/roundtrip.rs
+
+crates/isa/tests/roundtrip.rs:

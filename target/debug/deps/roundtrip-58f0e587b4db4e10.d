@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-58f0e587b4db4e10.d: crates/isa/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-58f0e587b4db4e10.rmeta: crates/isa/tests/roundtrip.rs Cargo.toml
+
+crates/isa/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

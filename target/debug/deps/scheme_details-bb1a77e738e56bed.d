@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_details-bb1a77e738e56bed.d: crates/schemes/tests/scheme_details.rs
+
+/root/repo/target/debug/deps/scheme_details-bb1a77e738e56bed: crates/schemes/tests/scheme_details.rs
+
+crates/schemes/tests/scheme_details.rs:

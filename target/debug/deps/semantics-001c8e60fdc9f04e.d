@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-001c8e60fdc9f04e.d: crates/htm/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-001c8e60fdc9f04e.rmeta: crates/htm/tests/semantics.rs Cargo.toml
+
+crates/htm/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

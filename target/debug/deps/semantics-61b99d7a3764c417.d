@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-61b99d7a3764c417.d: crates/htm/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-61b99d7a3764c417: crates/htm/tests/semantics.rs
+
+crates/htm/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-c15edbd783811e6c.d: crates/engine/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-c15edbd783811e6c: crates/engine/tests/sim.rs
+
+crates/engine/tests/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-498bc10ad69493ea.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-498bc10ad69493ea: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

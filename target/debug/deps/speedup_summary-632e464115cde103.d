@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-632e464115cde103.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-632e464115cde103: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

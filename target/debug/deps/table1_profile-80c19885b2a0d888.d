@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-80c19885b2a0d888.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-80c19885b2a0d888: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-ae65bed45582e76f.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-ae65bed45582e76f: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

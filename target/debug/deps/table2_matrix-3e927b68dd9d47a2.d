@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-3e927b68dd9d47a2.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-3e927b68dd9d47a2: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

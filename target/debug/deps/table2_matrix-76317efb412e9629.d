@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-76317efb412e9629.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-76317efb412e9629: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aba_demo-a3ef320b069df3fd.d: examples/aba_demo.rs
+
+/root/repo/target/debug/examples/aba_demo-a3ef320b069df3fd: examples/aba_demo.rs
+
+examples/aba_demo.rs:

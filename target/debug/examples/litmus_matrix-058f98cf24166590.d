@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/litmus_matrix-058f98cf24166590.d: examples/litmus_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblitmus_matrix-058f98cf24166590.rmeta: examples/litmus_matrix.rs Cargo.toml
+
+examples/litmus_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_matrix-295064a8f1b90f1c.d: examples/litmus_matrix.rs
+
+/root/repo/target/debug/examples/litmus_matrix-295064a8f1b90f1c: examples/litmus_matrix.rs
+
+examples/litmus_matrix.rs:

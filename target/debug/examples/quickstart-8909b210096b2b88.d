@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8909b210096b2b88.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8909b210096b2b88: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_tour-02605dc5d9e03cbc.d: examples/scheme_tour.rs
+
+/root/repo/target/debug/examples/scheme_tour-02605dc5d9e03cbc: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libadbt_sync.rlib: /root/repo/crates/sync/src/lib.rs

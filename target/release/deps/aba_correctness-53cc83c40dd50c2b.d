@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aba_correctness-53cc83c40dd50c2b.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/release/deps/aba_correctness-53cc83c40dd50c2b: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fused-7943d60eb670acae.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/release/deps/ablation_fused-7943d60eb670acae: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

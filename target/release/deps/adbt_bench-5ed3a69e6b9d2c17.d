@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_bench-5ed3a69e6b9d2c17.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-5ed3a69e6b9d2c17.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-5ed3a69e6b9d2c17.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

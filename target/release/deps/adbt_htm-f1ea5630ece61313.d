@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adbt_htm-f1ea5630ece61313.d: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+/root/repo/target/release/deps/libadbt_htm-f1ea5630ece61313.rlib: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+/root/repo/target/release/deps/libadbt_htm-f1ea5630ece61313.rmeta: crates/htm/src/lib.rs crates/htm/src/domain.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/domain.rs:
+crates/htm/src/txn.rs:

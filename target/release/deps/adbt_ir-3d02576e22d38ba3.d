@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adbt_ir-3d02576e22d38ba3.d: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+/root/repo/target/release/deps/libadbt_ir-3d02576e22d38ba3.rlib: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+/root/repo/target/release/deps/libadbt_ir-3d02576e22d38ba3.rmeta: crates/ir/src/lib.rs crates/ir/src/block.rs crates/ir/src/op.rs crates/ir/src/printer.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/block.rs:
+crates/ir/src/op.rs:
+crates/ir/src/printer.rs:

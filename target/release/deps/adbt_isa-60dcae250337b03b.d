@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/adbt_isa-60dcae250337b03b.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libadbt_isa-60dcae250337b03b.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libadbt_isa-60dcae250337b03b.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm_impl.rs crates/isa/src/encode.rs crates/isa/src/error.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm_impl.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/error.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adbt_mmu-d0b5c7b7212771d3.d: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+/root/repo/target/release/deps/libadbt_mmu-d0b5c7b7212771d3.rlib: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+/root/repo/target/release/deps/libadbt_mmu-d0b5c7b7212771d3.rmeta: crates/mmu/src/lib.rs crates/mmu/src/fault.rs crates/mmu/src/mem.rs crates/mmu/src/space.rs
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/fault.rs:
+crates/mmu/src/mem.rs:
+crates/mmu/src/space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adbt_run-bfc86f73414a4f49.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/release/deps/adbt_run-bfc86f73414a4f49: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_suite-7abaae688bb4d27b.d: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-7abaae688bb4d27b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-7abaae688bb4d27b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_sync-8f1edd17e651eb76.d: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_sync-8f1edd17e651eb76.rlib: crates/sync/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_sync-8f1edd17e651eb76.rmeta: crates/sync/src/lib.rs
+
+crates/sync/src/lib.rs:

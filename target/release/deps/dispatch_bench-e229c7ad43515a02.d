@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch_bench-e229c7ad43515a02.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/release/deps/dispatch_bench-e229c7ad43515a02: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scalability-c0cc70e8255e74bc.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/release/deps/fig10_scalability-c0cc70e8255e74bc: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_htm-f69469341f1b6b37.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/release/deps/fig11_htm-f69469341f1b6b37: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

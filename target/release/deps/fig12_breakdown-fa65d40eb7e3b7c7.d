@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_breakdown-fa65d40eb7e3b7c7.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/release/deps/fig12_breakdown-fa65d40eb7e3b7c7: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

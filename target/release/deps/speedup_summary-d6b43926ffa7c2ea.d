@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedup_summary-d6b43926ffa7c2ea.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/release/deps/speedup_summary-d6b43926ffa7c2ea: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

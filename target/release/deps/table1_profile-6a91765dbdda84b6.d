@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_profile-6a91765dbdda84b6.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/release/deps/table1_profile-6a91765dbdda84b6: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrix-fb92eaea4fd1ea6f.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/release/deps/table2_matrix-fb92eaea4fd1ea6f: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-09a1f7f981e5cd71.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-09a1f7f981e5cd71: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libadbt_mmu.rlib: /root/repo/crates/mmu/src/fault.rs /root/repo/crates/mmu/src/lib.rs /root/repo/crates/mmu/src/mem.rs /root/repo/crates/mmu/src/space.rs

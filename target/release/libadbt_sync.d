@@ -1,0 +1,1 @@
+/root/repo/target/release/libadbt_sync.rlib: /root/repo/crates/sync/src/lib.rs
