@@ -8,3 +8,10 @@ cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all --check
+
+# Seed-pinned chaos soak (release, ~seconds): two schemes run the ABA
+# stack under rate-0.05 fault injection with the watchdog armed; the
+# run must stay linearizable or fail cleanly — never hang or corrupt.
+# The seed lives in tests/chaos_soak.rs, so failures replay exactly.
+cargo test -q --release --offline --test chaos_soak \
+    threaded_soak_with_watchdog_terminates_cleanly

@@ -4,6 +4,8 @@
 //! adbt-run <program.s> [--scheme hst] [--threads 4] [--base 0x10000]
 //!          [--entry <symbol|addr>] [--sim] [--fuse-atomics]
 //!          [--dump <symbol|addr>] [--memory BYTES] [--stats]
+//!          [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
+//!          [--htm-degrade-after N]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -11,7 +13,7 @@
 //! r1 = thread count, sp = a private stack), and the process exit code
 //! is the first non-zero guest exit code (0 if all succeed).
 
-use adbt::{MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
+use adbt::{ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -19,10 +21,27 @@ fn usage() -> ! {
         "usage: adbt-run <program.s> [--scheme NAME] [--threads N] [--base ADDR]\n\
          \x20               [--entry SYM|ADDR] [--sim] [--fuse-atomics] [--dump SYM|ADDR]\n\
          \x20               [--memory BYTES] [--stats]\n\
+         \x20               [--chaos seed=U64,rate=F64] [--watchdog-ms N]\n\
+         \x20               [--htm-degrade-after N]\n\
          schemes: {}",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
     std::process::exit(2)
+}
+
+/// Parses `seed=<u64>,rate=<f64>` (either order; both required).
+fn parse_chaos(text: &str) -> Option<ChaosCfg> {
+    let mut seed: Option<u64> = None;
+    let mut rate: Option<f64> = None;
+    for part in text.split(',') {
+        let (key, value) = part.split_once('=')?;
+        match key.trim() {
+            "seed" => seed = Some(value.trim().parse().ok()?),
+            "rate" => rate = Some(value.trim().parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(ChaosCfg::new(seed?, rate?))
 }
 
 fn parse_u32(text: &str) -> Option<u32> {
@@ -44,6 +63,9 @@ fn main() -> ExitCode {
     let mut sim = false;
     let mut fuse = false;
     let mut stats = false;
+    let mut chaos: Option<ChaosCfg> = None;
+    let mut watchdog_ms: u64 = 0;
+    let mut htm_degrade_after: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +93,25 @@ fn main() -> ExitCode {
                 memory = args
                     .next()
                     .and_then(|v| parse_u32(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                chaos = Some(parse_chaos(&spec).unwrap_or_else(|| {
+                    eprintln!("bad --chaos spec `{spec}` (want seed=U64,rate=F64)");
+                    usage()
+                }));
+            }
+            "--watchdog-ms" => {
+                watchdog_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--htm-degrade-after" => {
+                htm_degrade_after = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
@@ -101,6 +142,9 @@ fn main() -> ExitCode {
     let mut machine = match MachineBuilder::new(scheme)
         .memory(memory)
         .fuse_atomics(fuse)
+        .chaos(chaos)
+        .watchdog_ms(watchdog_ms)
+        .htm_degrade_after(htm_degrade_after)
         .build()
     {
         Ok(machine) => machine,
@@ -182,11 +226,31 @@ fn main() -> ExitCode {
             "dispatch_lookups={} chain_follows={} l1_hits={} l1_misses={} translations={}",
             s.dispatch_lookups, s.chain_follows, s.l1_hits, s.l1_misses, s.translations,
         );
+        eprintln!(
+            "injected_faults={} degradations={} lock_wait_ns={}",
+            s.injected_faults, s.degradations, s.lock_wait_ns,
+        );
+        if let Some(snapshot) = &report.chaos {
+            let sites = snapshot
+                .fired()
+                .map(|(site, n)| format!("{}={n}", site.name()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            eprintln!("chaos_total={} {}", snapshot.total(), sites);
+        }
         if let Some(t) = report.sim_time() {
             eprintln!("sim_time={t} units");
         } else {
             eprintln!("wall={:?}", report.wall);
         }
+    }
+
+    if let Some(dump) = &report.watchdog {
+        eprintln!(
+            "watchdog: no vCPU progressed for {watchdog_ms} ms; stalled tids {:?}",
+            dump.stalled_tids
+        );
+        eprint!("{}", dump.report);
     }
 
     let mut exit = 0;

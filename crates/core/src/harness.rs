@@ -40,7 +40,24 @@ impl StackRun {
 ///
 /// Propagates machine-construction and assembly errors.
 pub fn run_stack(kind: SchemeKind, threads: u32, config: StackConfig) -> Result<StackRun, Error> {
-    run_stack_inner(kind, threads, config, None)
+    run_stack_inner(kind, threads, config, MachineConfig::default(), None)
+}
+
+/// [`run_stack`] with an explicit engine configuration — the entry point
+/// the chaos-soak tests use to run the ABA workload under fault
+/// injection, a watchdog, or a degradation budget.
+///
+/// # Errors
+///
+/// Propagates machine-construction and assembly errors.
+pub fn run_stack_with(
+    kind: SchemeKind,
+    threads: u32,
+    config: StackConfig,
+    machine_config: MachineConfig,
+    sim: Option<SimCosts>,
+) -> Result<StackRun, Error> {
+    run_stack_inner(kind, threads, config, machine_config, sim)
 }
 
 /// [`run_stack`] on the simulated multicore: fine-grained deterministic
@@ -55,17 +72,25 @@ pub fn run_stack_sim(
     threads: u32,
     config: StackConfig,
 ) -> Result<StackRun, Error> {
-    run_stack_inner(kind, threads, config, Some(SimCosts::default()))
+    run_stack_inner(
+        kind,
+        threads,
+        config,
+        MachineConfig::default(),
+        Some(SimCosts::default()),
+    )
 }
 
 fn run_stack_inner(
     kind: SchemeKind,
     threads: u32,
     config: StackConfig,
+    mut machine_config: MachineConfig,
     sim: Option<SimCosts>,
 ) -> Result<StackRun, Error> {
     let program = stack::program(config);
-    let mut machine = MachineBuilder::new(kind).memory(16 << 20).build()?;
+    machine_config.mem_size = machine_config.mem_size.max(16 << 20);
+    let mut machine = MachineBuilder::new(kind).config(machine_config).build()?;
     machine.load_asm(&program.source, IMAGE_BASE)?;
     let layout = StackLayout {
         top: machine.symbol(program.layout_symbols.0)?,

@@ -54,8 +54,8 @@ pub use machine::{Machine, MachineBuilder};
 
 // The substrate, re-exported under stable paths.
 pub use adbt_engine::{
-    Atomicity, Breakdown, MachineConfig, RunReport, Schedule, SimBreakdown, SimCosts, Trap, Vcpu,
-    VcpuOutcome, VcpuStats,
+    Atomicity, Breakdown, ChaosCfg, ChaosSite, ChaosSnapshot, MachineConfig, RetryPolicy,
+    RunReport, Schedule, SimBreakdown, SimCosts, Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
 };
 pub use adbt_isa::asm::{assemble, Image};
 pub use adbt_schemes::SchemeKind;

@@ -1,7 +1,7 @@
 //! The user-facing machine wrapper.
 
 use crate::Error;
-use adbt_engine::{MachineConfig, MachineCore, RunReport, Schedule, Vcpu};
+use adbt_engine::{ChaosCfg, MachineConfig, MachineCore, RunReport, Schedule, Vcpu};
 
 use adbt_isa::asm::{assemble, Image};
 use adbt_mmu::Width;
@@ -69,6 +69,29 @@ impl MachineBuilder {
     /// simulated runs always dispatch single blocks regardless).
     pub fn chain_limit(mut self, n: u32) -> MachineBuilder {
         self.config.chain_limit = n.max(1);
+        self
+    }
+
+    /// Enables deterministic chaos injection (fault injection at every
+    /// scheme/engine failure edge, replayable from the seed). `None`
+    /// keeps the zero-overhead default.
+    pub fn chaos(mut self, cfg: Option<ChaosCfg>) -> MachineBuilder {
+        self.config.chaos = cfg;
+        self
+    }
+
+    /// Arms the liveness watchdog: if no live vCPU makes progress for
+    /// `ms` milliseconds, the run halts with a diagnostic dump and
+    /// `Livelocked` outcomes instead of hanging. `0` disables.
+    pub fn watchdog_ms(mut self, ms: u64) -> MachineBuilder {
+        self.config.watchdog_ms = ms;
+        self
+    }
+
+    /// Degrades an HTM region to a stop-the-world exclusive section once
+    /// it has aborted `n` times (threaded runs only). `0` disables.
+    pub fn htm_degrade_after(mut self, n: u64) -> MachineBuilder {
+        self.config.htm_degrade_after = n;
         self
     }
 

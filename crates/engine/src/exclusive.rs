@@ -13,8 +13,12 @@
 //! [`crate::VcpuStats::exclusive_ns`].
 
 use adbt_sync::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Instant;
+
+/// `holder` value when no exclusive section names an owner (plain
+/// `start_exclusive`, or no section at all). Real tids are 1-based.
+const NO_HOLDER: u32 = 0;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -32,6 +36,14 @@ pub struct ExclusiveBarrier {
     /// Fast-path flag mirroring `exclusive_active`, checked lock-free at
     /// every safepoint.
     pending: AtomicBool,
+    /// The tid owning the current exclusive section, when entered via
+    /// [`ExclusiveBarrier::start_exclusive_as`]; the owner's own
+    /// safepoints then pass through (a section spanning block dispatches
+    /// must not park its holder).
+    holder: AtomicU32,
+    /// Watchdog teardown: when set, every wait loop exits so wedged
+    /// threads drain instead of hanging.
+    halted: AtomicBool,
 }
 
 impl ExclusiveBarrier {
@@ -45,7 +57,7 @@ impl ExclusiveBarrier {
     pub fn register(&self) {
         let mut inner = self.inner.lock();
         // A newly arriving vCPU may not start running mid-exclusive.
-        while inner.exclusive_active {
+        while inner.exclusive_active && !self.halted() {
             self.cond.wait(&mut inner);
         }
         inner.running += 1;
@@ -70,7 +82,7 @@ impl ExclusiveBarrier {
     pub fn start_exclusive(&self) -> u64 {
         let start = Instant::now();
         let mut inner = self.inner.lock();
-        while inner.exclusive_active {
+        while inner.exclusive_active && !self.halted() {
             // Park while another exclusive section runs.
             inner.running -= 1;
             self.cond.notify_all();
@@ -79,17 +91,30 @@ impl ExclusiveBarrier {
         }
         inner.exclusive_active = true;
         self.pending.store(true, Ordering::SeqCst);
-        while inner.running > 1 {
+        while inner.running > 1 && !self.halted() {
             self.cond.wait(&mut inner);
         }
         start.elapsed().as_nanos() as u64
+    }
+
+    /// Like [`ExclusiveBarrier::start_exclusive`], but records `tid` as the
+    /// section's holder so that the holder's own safepoints
+    /// ([`ExclusiveBarrier::safepoint_for`]) pass through. Required when an
+    /// exclusive section spans block dispatches (degraded-HTM regions):
+    /// the holder crosses its own safepoint while the section is active.
+    #[must_use = "add the returned wait time to VcpuStats::exclusive_ns"]
+    pub fn start_exclusive_as(&self, tid: u32) -> u64 {
+        let waited = self.start_exclusive();
+        self.holder.store(tid, Ordering::SeqCst);
+        waited
     }
 
     /// Leaves the exclusive section entered by
     /// [`ExclusiveBarrier::start_exclusive`], resuming all parked vCPUs.
     pub fn end_exclusive(&self) {
         let mut inner = self.inner.lock();
-        debug_assert!(inner.exclusive_active);
+        debug_assert!(inner.exclusive_active || self.halted());
+        self.holder.store(NO_HOLDER, Ordering::SeqCst);
         inner.exclusive_active = false;
         self.pending.store(false, Ordering::SeqCst);
         self.cond.notify_all();
@@ -108,11 +133,28 @@ impl ExclusiveBarrier {
         self.park_slow()
     }
 
+    /// Holder-aware safepoint: behaves like
+    /// [`ExclusiveBarrier::safepoint`], except that when `tid` itself owns
+    /// the active exclusive section (entered via
+    /// [`ExclusiveBarrier::start_exclusive_as`]) the call is a no-op —
+    /// the holder must not park at its own safepoint.
+    #[inline]
+    #[must_use = "add the returned park time to VcpuStats::exclusive_ns"]
+    pub fn safepoint_for(&self, tid: u32) -> u64 {
+        if !self.pending.load(Ordering::SeqCst) {
+            return 0;
+        }
+        if self.holder.load(Ordering::SeqCst) == tid {
+            return 0;
+        }
+        self.park_slow()
+    }
+
     #[cold]
     fn park_slow(&self) -> u64 {
         let start = Instant::now();
         let mut inner = self.inner.lock();
-        while inner.exclusive_active {
+        while inner.exclusive_active && !self.halted() {
             inner.running -= 1;
             self.cond.notify_all();
             self.cond.wait(&mut inner);
@@ -125,6 +167,28 @@ impl ExclusiveBarrier {
     /// and by handlers that must avoid blocking across safepoints).
     pub fn exclusive_pending(&self) -> bool {
         self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Watchdog teardown: releases every wait loop in the barrier so
+    /// stalled vCPU threads drain and exit instead of hanging forever.
+    /// After `halt()`, exclusivity guarantees no longer hold — callers
+    /// are expected to abandon guest execution and report failure.
+    pub fn halt(&self) {
+        self.halted.store(true, Ordering::SeqCst);
+        let _inner = self.inner.lock();
+        self.cond.notify_all();
+    }
+
+    /// Clears a previous [`ExclusiveBarrier::halt`], restoring normal
+    /// blocking behaviour (used by tests that reuse a barrier).
+    pub fn reset_halt(&self) {
+        self.halted.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether [`ExclusiveBarrier::halt`] has fired.
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
     }
 }
 
@@ -248,5 +312,80 @@ mod tests {
         barrier.end_exclusive();
         barrier.unregister();
         worker.join().unwrap();
+    }
+
+    /// A vCPU registering while an exclusive section is active must park
+    /// until the section ends — it may not start running mid-exclusive.
+    #[test]
+    fn register_during_exclusive_parks_until_end() {
+        let barrier = Arc::new(ExclusiveBarrier::new());
+        barrier.register(); // main
+        let _ = barrier.start_exclusive();
+
+        let registered = Arc::new(AtomicBool::new(false));
+        let late = {
+            let barrier = Arc::clone(&barrier);
+            let registered = Arc::clone(&registered);
+            std::thread::spawn(move || {
+                barrier.register(); // must block here
+                registered.store(true, Ordering::SeqCst);
+                barrier.unregister();
+            })
+        };
+
+        // Give the late arrival ample time to (incorrectly) get through.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !registered.load(Ordering::SeqCst),
+            "a vCPU registered while an exclusive section was active"
+        );
+
+        barrier.end_exclusive();
+        late.join().unwrap();
+        assert!(registered.load(Ordering::SeqCst));
+        barrier.unregister();
+    }
+
+    /// The holder of a named exclusive section passes through its own
+    /// safepoint, while a bystander parks.
+    #[test]
+    fn holder_safepoint_is_a_no_op() {
+        let barrier = ExclusiveBarrier::new();
+        barrier.register();
+        let _ = barrier.start_exclusive_as(7);
+        assert!(barrier.exclusive_pending());
+        // The holder's safepoint must return immediately (no park, hence
+        // effectively zero wait) even though an exclusive is pending.
+        let waited = barrier.safepoint_for(7);
+        assert_eq!(waited, 0);
+        barrier.end_exclusive();
+        barrier.unregister();
+    }
+
+    /// `halt()` must release a parked safepoint waiter even though the
+    /// exclusive section never ends.
+    #[test]
+    fn halt_releases_parked_waiters() {
+        let barrier = Arc::new(ExclusiveBarrier::new());
+        barrier.register(); // main (will hold exclusivity forever)
+        let waiter = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.register();
+                // Wait until the exclusive request is pending, then park.
+                while !barrier.exclusive_pending() {
+                    std::hint::spin_loop();
+                }
+                let _ = barrier.safepoint();
+                barrier.unregister();
+            })
+        };
+        let _ = barrier.start_exclusive();
+        // Never end_exclusive: simulate a wedged holder. The watchdog
+        // path must still free the parked waiter.
+        barrier.halt();
+        waiter.join().unwrap();
+        barrier.end_exclusive();
+        barrier.unregister();
     }
 }

@@ -234,12 +234,19 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
                 ctx.stats.sc += 1;
                 let vaddr = eval(ctx, *addr);
                 let new = eval(ctx, *new);
-                let ok = match ctx.cpu.monitor.addr {
-                    Some(armed) if armed == vaddr => {
-                        let expected = ctx.cpu.monitor.value;
-                        ctx.cas_word(vaddr, expected, new)?
+                // Injected spurious SC failure (architecturally legal on
+                // ARM). Sits here rather than in `cas_word`, which also
+                // serves plain guest CAS — those must never fail spuriously.
+                let ok = if ctx.robust && ctx.chaos_roll(adbt_chaos::ChaosSite::ScFail) {
+                    false
+                } else {
+                    match ctx.cpu.monitor.addr {
+                        Some(armed) if armed == vaddr => {
+                            let expected = ctx.cpu.monitor.value;
+                            ctx.cas_word(vaddr, expected, new)?
+                        }
+                        _ => false,
                     }
-                    _ => false,
                 };
                 ctx.cpu.monitor.addr = None;
                 if !ok {

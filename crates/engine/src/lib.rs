@@ -72,7 +72,9 @@ mod scheme;
 mod state;
 mod stats;
 mod store_test;
+pub mod watchdog;
 
+pub use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, ChaosStream, RetryPolicy};
 pub use exclusive::ExclusiveBarrier;
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};
@@ -80,3 +82,4 @@ pub use scheme::{AtomicScheme, Atomicity};
 pub use state::{Flags, Monitor, Vcpu, VcpuSnapshot};
 pub use stats::{calibration, Breakdown, Calibration, SimBreakdown, SimCosts, VcpuStats};
 pub use store_test::StoreTestTable;
+pub use watchdog::{VcpuBeat, WatchdogDump};

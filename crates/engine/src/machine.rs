@@ -10,6 +10,8 @@ use crate::scheme::AtomicScheme;
 use crate::state::Vcpu;
 use crate::stats::{Breakdown, SimBreakdown, SimCosts, SimSnapshot, VcpuStats};
 use crate::store_test::StoreTestTable;
+use crate::watchdog::{self, VcpuBeat, WatchdogDump};
+use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, RetryPolicy};
 use adbt_htm::{HtmDomain, HtmStats};
 use adbt_ir::{BlockExit, ChainLink};
 use adbt_isa::asm::Image;
@@ -59,6 +61,19 @@ pub struct MachineConfig {
     /// dispatch one block at a time (their schedulers *are* the outer
     /// loop), so chaining never changes deterministic-mode results.
     pub chain_limit: u32,
+    /// Deterministic fault-injection campaign (`None` = chaos off; the
+    /// dispatch hot path then pays a single predicted branch).
+    pub chaos: Option<ChaosCfg>,
+    /// Liveness watchdog interval in milliseconds for threaded runs
+    /// (0 = off). Fires only when **no** live vCPU retires a block for a
+    /// whole interval, so it must comfortably exceed the longest
+    /// legitimate stop-the-world pause.
+    pub watchdog_ms: u64,
+    /// Consecutive HTM region aborts before the next region degrades to
+    /// the stop-the-world fallback (0 = never degrade). Only effective
+    /// in threaded runs: a degraded region spans block dispatches, which
+    /// the single-threaded deterministic schedulers cannot host.
+    pub htm_degrade_after: u64,
 }
 
 impl Default for MachineConfig {
@@ -77,6 +92,9 @@ impl Default for MachineConfig {
             max_lockstep_steps: 200_000_000,
             fuse_atomics: false,
             chain_limit: 64,
+            chaos: None,
+            watchdog_ms: 0,
+            htm_degrade_after: 0,
         }
     }
 }
@@ -119,6 +137,11 @@ pub struct RunReport {
     pub output: Vec<u8>,
     /// Store-test collision stats `(collisions, tracked sets)`.
     pub collisions: (u64, u64),
+    /// Watchdog diagnostic, present when the liveness watchdog fired and
+    /// halted a stalled run.
+    pub watchdog: Option<WatchdogDump>,
+    /// Per-site injected-fault counts when a chaos campaign was active.
+    pub chaos: Option<ChaosSnapshot>,
 }
 
 impl RunReport {
@@ -152,6 +175,11 @@ impl RunReport {
         String::from_utf8_lossy(&self.output).into_owned()
     }
 }
+
+/// Blocks a degraded (stop-the-world) HTM region may span before the
+/// engine declares the region livelocked; generous against any real LL→SC
+/// window, tiny against a guest loop that never reaches its SC.
+const REGION_BLOCK_CAP: u32 = 10_000;
 
 /// The lockstep scheduler's policy.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -189,6 +217,11 @@ pub struct MachineCore {
     pub htm_enabled: bool,
     /// Guest `putc` output.
     pub output: Mutex<Vec<u8>>,
+    /// The fault-injection plane, when a chaos campaign is configured.
+    pub chaos: Option<Arc<ChaosPlane>>,
+    /// The shared retry policy for HTM region rollbacks (and any other
+    /// engine retry loop): one place for budgets and backoff stages.
+    pub retry: RetryPolicy,
     cache: TranslationCache,
     threaded: AtomicBool,
 }
@@ -219,6 +252,22 @@ impl MachineCore {
             helper_names,
             htm_enabled,
             output: Mutex::new(Vec::new()),
+            chaos: config.chaos.map(|cfg| Arc::new(ChaosPlane::new(cfg))),
+            retry: RetryPolicy {
+                max_attempts: config.htm_retry_limit,
+                yield_after: 8,
+                // Sleeping starts exactly where degradation does, so the
+                // storm path never sleeps (each µs-sleep is a real
+                // millisecond-scale deschedule on a loaded host); only
+                // retry loops without a degraded rung reach the stage.
+                sleep_after: 32,
+                max_sleep_us: 2_000,
+                // A storm that survives this much backoff is structural
+                // (every granted requester finds its claim clobbered by
+                // a competitor's retry); degrade the next attempt to a
+                // held stop-the-world SC window so it must complete.
+                degrade_after: 32,
+            },
             cache: TranslationCache::new(),
             threaded: AtomicBool::new(false),
             config,
@@ -301,7 +350,17 @@ impl MachineCore {
         // with the successor's id so the next traversal skips the lookup.
         let mut link: Option<&ChainLink> = None;
         for _ in 0..chain_limit.max(1) {
-            ctx.stats.exclusive_ns += self.exclusive.safepoint();
+            // Holder-aware safepoint: identical single-load fast path, but
+            // a degraded region's holder passes through its own pending
+            // exclusive instead of self-deadlocking.
+            ctx.stats.exclusive_ns += self.exclusive.safepoint_for(ctx.cpu.tid);
+            // The entire robustness plane (chaos, watchdog, degradation)
+            // costs exactly this one predicted-false branch when disabled.
+            if ctx.robust {
+                if let Some(outcome) = self.robust_hop(ctx) {
+                    return Some(outcome);
+                }
+            }
             let pc = ctx.cpu.pc;
             let id = match link.and_then(ChainLink::get) {
                 Some(id) => {
@@ -379,20 +438,28 @@ impl MachineCore {
                             ctx.cpu.pc = restart_pc;
                             link = None;
                             ctx.txn_retries += 1;
-                            if ctx.txn_retries > self.config.htm_retry_limit {
+                            if self.retry.exhausted(ctx.txn_retries) {
                                 return Some(VcpuOutcome::Livelocked { pc: restart_pc });
                             }
-                            // Exponentialish backoff under abort storms keeps
-                            // the threaded engine live on hot regions (real
-                            // RTM users do the same in their retry path).
-                            if self.is_threaded() && ctx.txn_retries > 8 {
-                                if ctx.txn_retries > 64 {
-                                    std::thread::sleep(std::time::Duration::from_micros(
-                                        (ctx.txn_retries / 64).min(50),
-                                    ));
-                                } else {
-                                    std::thread::yield_now();
-                                }
+                            // Degradation ladder: once the configured abort
+                            // budget for a region is spent, retry it under
+                            // the stop-the-world fallback, which cannot
+                            // abort. Threaded runs only — a degraded region
+                            // spans dispatches, and the single-threaded
+                            // schedulers cannot park the other vCPUs.
+                            if self.config.htm_degrade_after > 0
+                                && self.is_threaded()
+                                && ctx.txn_retries >= self.config.htm_degrade_after
+                            {
+                                ctx.degrade_next_region = true;
+                            }
+                            // Staged backoff under abort storms keeps the
+                            // threaded engine live on hot regions (real RTM
+                            // users do the same in their retry path). The
+                            // deterministic schedulers have nothing to
+                            // yield to, so they skip it.
+                            if self.is_threaded() {
+                                ctx.stats.lock_wait_ns += self.retry.backoff(ctx.txn_retries);
                             }
                         }
                         // An abort with no restart point is a scheme bug;
@@ -407,19 +474,137 @@ impl MachineCore {
         None
     }
 
+    /// The slow lane of the dispatch loop, entered once per hop only when
+    /// a robustness feature is live: publishes the liveness heartbeat,
+    /// observes a watchdog halt, caps degraded regions, and rolls the
+    /// block-boundary chaos sites.
+    #[inline(never)]
+    fn robust_hop(&self, ctx: &mut ExecCtx<'_>) -> Option<VcpuOutcome> {
+        if let Some(beat) = &ctx.beat {
+            beat.tick(ctx.stats.blocks, ctx.cpu.pc);
+        }
+        if self.exclusive.halted() {
+            // The watchdog declared the machine stalled: abandon guest
+            // execution cleanly (releasing any open region so nobody else
+            // stays parked) instead of hanging.
+            let pc = ctx.cpu.pc;
+            ctx.release_region();
+            return Some(VcpuOutcome::Livelocked { pc });
+        }
+        if ctx.sc_window && ctx.stats.sc > ctx.sc_window_mark {
+            // An SC ran inside the held window: the attempt is over
+            // either way and the world restarts. Account for it here so
+            // the storm detector below never sees windowed attempts.
+            ctx.close_sc_window();
+            let attempts = ctx.stats.sc - ctx.sc_seen;
+            let failures = ctx.stats.sc_failures - ctx.sc_fail_seen;
+            ctx.sc_seen = ctx.stats.sc;
+            ctx.sc_fail_seen = ctx.stats.sc_failures;
+            if failures >= attempts {
+                // Failed even running alone — the guest's SC can never
+                // succeed (e.g. a retry loop that skips its LL). Spend
+                // the budget so this becomes a verdict, not a loop.
+                ctx.sc_fail_streak += failures;
+                if self.retry.exhausted(ctx.sc_fail_streak) {
+                    return Some(VcpuOutcome::Livelocked { pc: ctx.cpu.pc });
+                }
+            } else {
+                // Completed under the window. Stay primed at the
+                // degradation threshold (sticky, like a real HTM's
+                // lemming path): while the storm persists the very next
+                // failure re-opens a window instead of re-climbing the
+                // whole backoff ladder; the first natural success
+                // outside a window resets to fully optimistic.
+                ctx.sc_fail_streak = self.retry.degrade_after;
+            }
+        }
+        if ctx.region_exclusive || ctx.sc_window {
+            // A degraded region (or held SC window) keeps the whole
+            // machine stopped; a guest loop that never reaches its SC
+            // must become a clean livelock verdict, not a permanent
+            // freeze.
+            ctx.region_blocks += 1;
+            if ctx.region_blocks > REGION_BLOCK_CAP {
+                let pc = ctx.cpu.pc;
+                ctx.release_region();
+                return Some(VcpuOutcome::Livelocked { pc });
+            }
+            // No injections inside the degraded rungs: they are the
+            // ladder's guaranteed-completion fallback.
+            return None;
+        }
+        // SC-storm escape. Stop-the-world SC schemes can rotate forever
+        // under injected stalls: the barrier grants exclusivity roughly
+        // FIFO, and a failed SC's retry re-arms its hash entry / monitor
+        // *before* its next park, so the oldest waiter — the one granted
+        // next — always finds its claim clobbered. Consecutive SC
+        // failures therefore climb the shared retry ladder: staged
+        // backoff desynchronizes the rotation; a persistent storm
+        // degrades the next attempt to a held stop-the-world window
+        // (LL→SC runs alone, so it must succeed); and a spent budget
+        // becomes a clean livelock verdict instead of an unbounded spin.
+        let attempts = ctx.stats.sc - ctx.sc_seen;
+        if attempts > 0 {
+            let failures = ctx.stats.sc_failures - ctx.sc_fail_seen;
+            ctx.sc_seen = ctx.stats.sc;
+            ctx.sc_fail_seen = ctx.stats.sc_failures;
+            if failures >= attempts {
+                ctx.sc_fail_streak += failures;
+                if self.retry.exhausted(ctx.sc_fail_streak) {
+                    return Some(VcpuOutcome::Livelocked { pc: ctx.cpu.pc });
+                }
+                if self.is_threaded() {
+                    if ctx.sc_fail_streak >= self.retry.degrade_after && !ctx.region_active() {
+                        ctx.open_sc_window();
+                    } else {
+                        ctx.stats.lock_wait_ns += self.retry.backoff(ctx.sc_fail_streak);
+                    }
+                }
+            } else {
+                // Geometric decay, not a hard reset: under a persistent
+                // storm a lone natural success should not force the full
+                // re-climb to the degradation threshold (each sleep-stage
+                // hop costs a real deschedule on a loaded host). Away
+                // from storms the streak is already ~0 and this is one.
+                ctx.sc_fail_streak /= 2;
+            }
+        }
+        if ctx.chaos.is_some() {
+            if ctx.cpu.monitor.addr.is_some() && ctx.chaos_roll(ChaosSite::MonitorClear) {
+                // Spurious monitor clear at a block boundary —
+                // architecturally legal at any time on ARM.
+                ctx.cpu.monitor.addr = None;
+            }
+            if ctx.chaos_roll(ChaosSite::SafepointDelay) {
+                ctx.stats.exclusive_ns += ctx.chaos_stall();
+            }
+        }
+        None
+    }
+
     /// Runs the vCPUs on real OS threads until all exit (or fail); the
     /// mode every performance experiment uses.
     pub fn run_threaded(&self, vcpus: Vec<Vcpu>) -> RunReport {
         self.threaded.store(true, Ordering::Relaxed);
+        self.exclusive.reset_halt();
         let n = vcpus.len() as u32;
+        let watch = self.config.watchdog_ms > 0;
+        let beats: Vec<Arc<VcpuBeat>> = (0..n).map(|_| Arc::new(VcpuBeat::new())).collect();
+        let fired: Mutex<Option<WatchdogDump>> = Mutex::new(None);
         let start = Instant::now();
         let mut results: Vec<(VcpuOutcome, VcpuStats)> = Vec::with_capacity(vcpus.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = vcpus
                 .into_iter()
-                .map(|cpu| {
+                .zip(&beats)
+                .map(|(cpu, beat)| {
+                    let beat = Arc::clone(beat);
                     scope.spawn(move || {
                         let mut ctx = ExecCtx::new(cpu, self, n);
+                        if watch {
+                            ctx.robust = true;
+                            ctx.beat = Some(Arc::clone(&beat));
+                        }
                         let mut l1 = L1Cache::new();
                         self.exclusive.register();
                         let chain_limit = self.config.chain_limit;
@@ -428,17 +613,58 @@ impl MachineCore {
                                 break outcome;
                             }
                         };
+                        // Leave nothing open (uncommitted transaction or a
+                        // degraded region's exclusive section) on the way out.
+                        ctx.release_region();
+                        beat.done.store(true, Ordering::Relaxed);
                         self.exclusive.unregister();
                         (outcome, ctx.stats)
                     })
                 })
                 .collect();
+            if watch {
+                scope.spawn(|| self.watchdog_loop(&beats, &fired));
+            }
             for handle in handles {
                 results.push(handle.join().expect("vCPU thread panicked"));
             }
         });
         let wall = start.elapsed();
-        self.report(results, wall)
+        // Leave the machine reusable after a halt-based teardown.
+        self.exclusive.reset_halt();
+        let dump = fired.lock().take();
+        self.report(results, wall, dump)
+    }
+
+    /// The watchdog sampler: wakes every `watchdog_ms`, and halts the
+    /// machine with a diagnostic dump when no live vCPU made progress for
+    /// a whole interval. Exits when every vCPU is done.
+    fn watchdog_loop(&self, beats: &[Arc<VcpuBeat>], fired: &Mutex<Option<WatchdogDump>>) {
+        let interval = Duration::from_millis(self.config.watchdog_ms.max(1));
+        // Sentinel priming gives every vCPU a full first interval of grace.
+        let mut last = vec![u64::MAX; beats.len()];
+        loop {
+            // Sleep in short slices so the sampler notices completion
+            // promptly instead of overstaying a long interval.
+            let deadline = Instant::now() + interval;
+            loop {
+                if beats.iter().all(|b| b.done.load(Ordering::Relaxed)) {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+            }
+            if let Some(dump) = watchdog::sample(beats, &mut last) {
+                *fired.lock() = Some(dump);
+                // Release every parked or waiting thread; robust_hop turns
+                // each survivor into a clean Livelocked outcome.
+                self.exclusive.halt();
+                return;
+            }
+        }
     }
 
     /// Runs the vCPUs deterministically on the calling thread, one block
@@ -490,6 +716,7 @@ impl MachineCore {
             // One block per scheduled step: chaining would let a vCPU run
             // ahead of the schedule, so lockstep always dispatches singly.
             if let Some(outcome) = self.step(&mut ctxs[idx], &mut l1s[idx], 1) {
+                ctxs[idx].release_region();
                 outcomes[idx] = Some(outcome);
                 remaining -= 1;
             }
@@ -506,7 +733,7 @@ impl MachineCore {
                 )
             })
             .collect();
-        self.report(results, wall)
+        self.report(results, wall, None)
     }
 
     /// Runs the vCPUs on a **simulated multicore**: a deterministic
@@ -602,6 +829,7 @@ impl MachineCore {
                     }
                 }
                 if let Some(outcome) = done {
+                    ctxs[idx].release_region();
                     ctxs[idx].stats.sim_time = vtimes[idx];
                     outcomes[idx] = Some(outcome);
                     remaining -= 1;
@@ -623,10 +851,15 @@ impl MachineCore {
                 )
             })
             .collect();
-        self.report(results, wall)
+        self.report(results, wall, None)
     }
 
-    fn report(&self, results: Vec<(VcpuOutcome, VcpuStats)>, wall: Duration) -> RunReport {
+    fn report(
+        &self,
+        results: Vec<(VcpuOutcome, VcpuStats)>,
+        wall: Duration,
+        watchdog: Option<WatchdogDump>,
+    ) -> RunReport {
         let mut merged = VcpuStats::default();
         let mut outcomes = Vec::with_capacity(results.len());
         let mut per_cpu = Vec::with_capacity(results.len());
@@ -643,6 +876,8 @@ impl MachineCore {
             htm: self.htm.stats(),
             output: self.output.lock().clone(),
             collisions: self.store_test.collision_stats(),
+            watchdog,
+            chaos: self.chaos.as_ref().map(|plane| plane.snapshot()),
         }
     }
 

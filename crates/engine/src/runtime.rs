@@ -4,11 +4,14 @@
 use crate::machine::MachineCore;
 use crate::state::{Vcpu, VcpuSnapshot};
 use crate::stats::VcpuStats;
+use crate::watchdog::VcpuBeat;
+use adbt_chaos::{ChaosSite, ChaosStream};
 use adbt_htm::{AbortReason, Txn};
 use adbt_ir::HelperId;
 use adbt_mmu::{Access, PageFault, Width};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An event that aborts normal translated-code execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -152,11 +155,49 @@ pub struct ExecCtx<'m> {
     /// Consecutive aborts of the current transactional region, for
     /// livelock detection.
     pub txn_retries: u64,
+    /// This vCPU's deterministic fault-injection stream, when the machine
+    /// runs with a chaos plane.
+    pub chaos: Option<ChaosStream>,
+    /// Liveness heartbeat sampled by the watchdog (threaded runs only).
+    pub beat: Option<Arc<VcpuBeat>>,
+    /// True while a *degraded* region is open: instead of an HTM
+    /// transaction, the LL→SC window runs under the machine's exclusive
+    /// section (the stop-the-world fallback on the degradation ladder).
+    pub region_exclusive: bool,
+    /// Set when the retry budget for HTM regions is spent: the next
+    /// [`ExecCtx::begin_region_txn`] opens a degraded region instead.
+    pub degrade_next_region: bool,
+    /// Blocks retired inside the current degraded region (capped by the
+    /// run loop to turn a wedged region into a clean livelock verdict).
+    pub region_blocks: u32,
+    /// True when any robustness feature (chaos, watchdog, degradation)
+    /// is live; the dispatch loop's single extra branch keys off this.
+    pub robust: bool,
+    /// Consecutive failed SCs with no intervening success, fed to the
+    /// retry policy by the robust hop (SC-storm backoff + livelock
+    /// verdict).
+    pub(crate) sc_fail_streak: u64,
+    /// `stats.sc` as of the last robust hop, for per-hop deltas.
+    pub(crate) sc_seen: u64,
+    /// `stats.sc_failures` as of the last robust hop.
+    pub(crate) sc_fail_seen: u64,
+    /// True while a *degraded SC window* holds the machine stopped: a
+    /// persistently storming SC retry loop runs its next LL→SC attempt
+    /// alone, so the attempt cannot be clobbered and must make progress
+    /// (the stop-the-world rung of the ladder for non-HTM schemes).
+    pub(crate) sc_window: bool,
+    /// `stats.sc` when the window opened; the boundary hop closes the
+    /// window once an SC has run under it.
+    pub(crate) sc_window_mark: u64,
 }
 
 impl<'m> ExecCtx<'m> {
     /// Creates a context for `cpu` on `machine`.
     pub fn new(cpu: Vcpu, machine: &'m MachineCore, num_threads: u32) -> ExecCtx<'m> {
+        let chaos = machine.chaos.as_ref().map(|plane| plane.stream(cpu.tid));
+        let robust = chaos.is_some()
+            || machine.config.watchdog_ms > 0
+            || machine.config.htm_degrade_after > 0;
         ExecCtx {
             cpu,
             stats: VcpuStats::default(),
@@ -165,7 +206,126 @@ impl<'m> ExecCtx<'m> {
             txn: None,
             txn_restart: None,
             txn_retries: 0,
+            chaos,
+            beat: None,
+            region_exclusive: false,
+            degrade_next_region: false,
+            region_blocks: 0,
+            robust,
+            sc_fail_streak: 0,
+            sc_seen: 0,
+            sc_fail_seen: 0,
+            sc_window: false,
+            sc_window_mark: 0,
         }
+    }
+
+    /// Rolls the chaos dice for `site`: returns `true` (and records the
+    /// injection) when a fault should fire here. Always `false` without a
+    /// chaos plane.
+    #[inline]
+    pub fn chaos_roll(&mut self, site: ChaosSite) -> bool {
+        // Degraded rungs (exclusive HTM regions, held SC windows) are
+        // injection-free: they are the ladder's guaranteed-completion
+        // fallback, so nothing may spuriously fail inside them.
+        if self.region_exclusive || self.sc_window {
+            return false;
+        }
+        let Some(stream) = &mut self.chaos else {
+            return false;
+        };
+        if !stream.roll() {
+            return false;
+        }
+        self.stats.injected_faults += 1;
+        if let Some(plane) = &self.machine.chaos {
+            plane.record(site);
+        }
+        true
+    }
+
+    /// A deterministic coin flip from the chaos stream (used to pick
+    /// between abort flavours). `false` without a chaos plane.
+    #[inline]
+    pub fn chaos_flip(&mut self) -> bool {
+        self.chaos.as_mut().is_some_and(|stream| stream.flip())
+    }
+
+    /// Injects a deterministic-length latency spike and returns the
+    /// nanoseconds to charge to the caller's profile bucket.
+    ///
+    /// In threaded runs the stall is a short bounded spin followed by
+    /// one `yield_now` — the thread loses the CPU at an inconvenient
+    /// moment, which is exactly the event being modelled. It must NOT
+    /// busy-spin the whole drawn duration: a multi-millisecond spin on
+    /// an oversubscribed host starves the very threads a stop-the-world
+    /// requester is waiting on, convoying every exclusive section behind
+    /// OS timeslice expiry (observed as a near-hang on a 1-core host).
+    /// The single-threaded schedulers have nothing to overlap a real
+    /// delay with, so they charge a synthetic duration without burning
+    /// wall time at all — which also makes their stall accounting
+    /// replayable.
+    #[cold]
+    pub fn chaos_stall(&mut self) -> u64 {
+        let units = self.chaos.as_mut().map_or(0, |stream| stream.stall_units());
+        if !self.machine.is_threaded() {
+            return u64::from(units) * 16;
+        }
+        let start = Instant::now();
+        for _ in 0..units.min(256) {
+            std::hint::spin_loop();
+        }
+        std::thread::yield_now();
+        start.elapsed().as_nanos() as u64
+    }
+
+    /// Whether an LL→SC region (transactional or degraded) is open.
+    #[inline]
+    pub fn region_active(&self) -> bool {
+        self.txn.is_some() || self.region_exclusive
+    }
+
+    /// Drops any open region state: discards an uncommitted transaction
+    /// and, crucially, leaves a degraded region's (or SC window's)
+    /// exclusive section so a trap or halt inside it cannot wedge every
+    /// other vCPU.
+    pub fn release_region(&mut self) {
+        self.txn = None;
+        self.txn_restart = None;
+        self.txn_retries = 0;
+        self.region_blocks = 0;
+        if self.region_exclusive {
+            self.region_exclusive = false;
+            self.machine.exclusive.end_exclusive();
+        }
+        if self.sc_window {
+            self.sc_window = false;
+            self.machine.exclusive.end_exclusive();
+        }
+    }
+
+    /// Opens a degraded SC window: holds the machine stopped (as the
+    /// named holder, so this vCPU's own safepoints pass through) across
+    /// the next LL→SC attempt of a persistently storming SC retry loop.
+    /// With the world stopped from *before* the LL, no competitor can
+    /// clobber the claim, so the attempt is guaranteed to succeed —
+    /// the stop-the-world rung of the degradation ladder, generalized
+    /// from HTM regions to every LL/SC scheme. The boundary hop closes
+    /// the window once an SC has run under it (or caps a runaway one).
+    pub(crate) fn open_sc_window(&mut self) {
+        self.stats.degradations += 1;
+        self.stats.exclusive_entries += 1;
+        self.stats.exclusive_ns += self.machine.exclusive.start_exclusive_as(self.cpu.tid);
+        self.sc_window = true;
+        self.sc_window_mark = self.stats.sc;
+        self.region_blocks = 0;
+    }
+
+    /// Closes a degraded SC window, resuming every parked vCPU.
+    pub(crate) fn close_sc_window(&mut self) {
+        self.sc_window = false;
+        self.region_blocks = 0;
+        self.machine.exclusive.end_exclusive();
     }
 
     /// Performs a guest load, routing faults to the scheme handler and
@@ -387,6 +547,12 @@ impl<'m> ExecCtx<'m> {
         retries: &mut u64,
     ) -> Result<FaultOutcome, Trap> {
         self.stats.page_faults += 1;
+        if self.robust && self.chaos_roll(ChaosSite::FaultDelay) {
+            // A latency spike in the fault-handler path (PST's SIGSEGV
+            // round trip being slow); charged to the mprotect bucket the
+            // page-protection schemes already use.
+            self.stats.mprotect_ns += self.chaos_stall();
+        }
         let scheme = Arc::clone(&self.machine.scheme);
         match scheme.on_page_fault(self, fault, access) {
             FaultOutcome::Fatal => Err(Trap::Fault(fault)),
@@ -404,14 +570,30 @@ impl<'m> ExecCtx<'m> {
     }
 
     /// Enters the machine's stop-the-world exclusive section, charging
-    /// the wait to the exclusive profile bucket.
+    /// the wait to the exclusive profile bucket. A no-op while a
+    /// degraded SC window is held — the machine is already stopped and
+    /// this vCPU is the holder.
     pub fn start_exclusive(&mut self) {
+        if self.sc_window {
+            return;
+        }
         self.stats.exclusive_entries += 1;
+        if self.robust && self.chaos_roll(ChaosSite::ExclusiveStall) {
+            // An injected stall on the way into the exclusive section
+            // (requester descheduled at the worst moment).
+            self.stats.exclusive_ns += self.chaos_stall();
+        }
         self.stats.exclusive_ns += self.machine.exclusive.start_exclusive();
     }
 
-    /// Leaves the exclusive section.
+    /// Leaves the exclusive section. Under a degraded SC window the
+    /// section is *kept*: the boundary hop owns the close decision, so
+    /// the window reliably spans the whole LL→SC attempt regardless of
+    /// which scheme helper runs inside it.
     pub fn end_exclusive(&mut self) {
+        if self.sc_window {
+            return;
+        }
         self.machine.exclusive.end_exclusive();
     }
 
@@ -419,35 +601,73 @@ impl<'m> ExecCtx<'m> {
     /// back to `restart_pc` with the current register state (PICO-HTM's
     /// `xbegin` at LL).
     pub fn begin_region_txn(&mut self, restart_pc: u32) {
+        if self.degrade_next_region {
+            // Retry budget spent: run this LL→SC region under the
+            // stop-the-world exclusive section instead of a transaction.
+            // Guaranteed to complete (no conflicts are possible), at the
+            // cost of serializing the whole machine.
+            self.degrade_next_region = false;
+            self.stats.degradations += 1;
+            self.stats.exclusive_entries += 1;
+            self.stats.exclusive_ns += self.machine.exclusive.start_exclusive_as(self.cpu.tid);
+            self.region_exclusive = true;
+            self.region_blocks = 0;
+            self.txn_restart = None;
+            self.txn_retries = 0;
+            return;
+        }
         self.stats.htm_txns += 1;
         self.txn_restart = Some((restart_pc, self.cpu.snapshot()));
         self.txn = Some(self.machine.htm.begin());
     }
 
-    /// Commits the open region transaction.
+    /// Commits the open region transaction (or closes the degraded
+    /// exclusive region standing in for one).
     ///
     /// # Errors
     ///
     /// [`Trap::HtmAbort`] if validation fails; the run loop rolls back.
     pub fn commit_region_txn(&mut self) -> Result<(), Trap> {
+        if self.region_exclusive {
+            self.region_exclusive = false;
+            self.region_blocks = 0;
+            self.txn_restart = None;
+            self.txn_retries = 0;
+            self.machine.exclusive.end_exclusive();
+            return Ok(());
+        }
         match self.txn.take() {
-            Some(txn) => match txn.commit(self.machine.space.mem()) {
-                Ok(()) => {
-                    // Committing runs engine code that touches the shared
-                    // dispatcher structures — the write half of the
-                    // QEMU-inside-the-transaction conflict (see
-                    // `HtmDomain::engine_token`).
-                    self.machine
-                        .htm
-                        .notify_plain_store(adbt_htm::HtmDomain::engine_token(
-                            self.stats.htm_txns as usize,
-                        ));
-                    self.txn_restart = None;
-                    self.txn_retries = 0;
-                    Ok(())
+            Some(txn) => {
+                if self.robust && self.chaos_roll(ChaosSite::HtmCommit) {
+                    // Spurious abort at commit, as real HTM is free to do
+                    // at any time for any reason (interrupt, cache
+                    // eviction, ...). Buffered writes are discarded.
+                    let _ = txn.abort();
+                    let reason = if self.chaos_flip() {
+                        AbortReason::Conflict
+                    } else {
+                        AbortReason::Capacity
+                    };
+                    return Err(Trap::HtmAbort(reason));
                 }
-                Err(reason) => Err(Trap::HtmAbort(reason)),
-            },
+                match txn.commit(self.machine.space.mem()) {
+                    Ok(()) => {
+                        // Committing runs engine code that touches the
+                        // shared dispatcher structures — the write half of
+                        // the QEMU-inside-the-transaction conflict (see
+                        // `HtmDomain::engine_token`).
+                        self.machine
+                            .htm
+                            .notify_plain_store(adbt_htm::HtmDomain::engine_token(
+                                self.stats.htm_txns as usize,
+                            ));
+                        self.txn_restart = None;
+                        self.txn_retries = 0;
+                        Ok(())
+                    }
+                    Err(reason) => Err(Trap::HtmAbort(reason)),
+                }
+            }
             None => Ok(()), // SC without LL: scheme already failed it.
         }
     }

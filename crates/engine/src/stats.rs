@@ -81,6 +81,13 @@ pub struct VcpuStats {
     /// Of `dispatch_lookups`, those that missed the L1 and went to the
     /// sharded shared cache (translating on a shared-cache miss).
     pub l1_misses: u64,
+    /// Faults fired into this vCPU by the chaos injection plane (zero
+    /// unless the machine was built with `MachineConfig::chaos`).
+    pub injected_faults: u64,
+    /// Times an HTM-backed path spent its retry budget and downgraded to
+    /// the stop-the-world fallback (HST-HTM's exclusive SC, PICO-HTM's
+    /// exclusive region when `htm_degrade_after` is enabled).
+    pub degradations: u64,
 
     /// Nanoseconds spent waiting for + holding exclusive sections and
     /// parked at safepoints.
@@ -137,6 +144,8 @@ impl VcpuStats {
             chain_follows,
             l1_hits,
             l1_misses,
+            injected_faults,
+            degradations,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -171,6 +180,8 @@ impl VcpuStats {
         self.chain_follows += chain_follows;
         self.l1_hits += l1_hits;
         self.l1_misses += l1_misses;
+        self.injected_faults += injected_faults;
+        self.degradations += degradations;
         self.exclusive_ns += exclusive_ns;
         self.mprotect_ns += mprotect_ns;
         self.lock_wait_ns += lock_wait_ns;

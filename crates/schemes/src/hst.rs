@@ -15,9 +15,10 @@
 //!   transaction (validate entry, transactionally store), falling back to
 //!   the stop-the-world path after repeated aborts. *Strong.*
 
-use adbt_engine::{AtomicScheme, Atomicity, ExecCtx, HelperRegistry, Trap};
+use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry, RetryPolicy, Trap};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{Access, Width};
+use std::time::Instant;
 
 /// Emits the shared HST-family LL sequence: claim the hash entry, then
 /// load and arm the monitor — all inline, no helper.
@@ -52,6 +53,13 @@ impl Hst {
 /// The body of HST's SC: runs with the world stopped.
 fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, Trap> {
     ctx.stats.sc += 1;
+    // Injected spurious SC failure (always architecturally legal), taken
+    // before paying for the stop-the-world section.
+    if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+        ctx.cpu.monitor.addr = None;
+        ctx.stats.sc_failures += 1;
+        return Ok(1);
+    }
     ctx.start_exclusive();
     let ok = sc_precondition(ctx, addr);
     let result = if ok {
@@ -142,12 +150,18 @@ impl AtomicScheme for HstWeak {
                 // Claim the entry without clobbering a locked one: a
                 // plain-store claim racing into another SC's critical
                 // window would let our own SC "lock" the entry while the
-                // previous SC is still writing.
+                // previous SC is still writing. Contended spins are timed
+                // into the same lock-wait bucket PST's registry lock uses.
                 let machine = ctx.machine;
                 let tid = ctx.cpu.tid;
+                let mut contended: Option<Instant> = None;
                 machine.store_test.claim_unlocked(addr, tid, || {
+                    contended.get_or_insert_with(Instant::now);
                     std::hint::spin_loop();
                 });
+                if let Some(since) = contended {
+                    ctx.stats.lock_wait_ns += since.elapsed().as_nanos() as u64;
+                }
                 let value = ctx.load(addr, Width::Word)?;
                 ctx.cpu.monitor.addr = Some(addr);
                 ctx.cpu.monitor.value = value;
@@ -159,6 +173,11 @@ impl AtomicScheme for HstWeak {
             Box::new(|ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
+                if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    ctx.cpu.monitor.addr = None;
+                    ctx.stats.sc_failures += 1;
+                    return Ok(1);
+                }
                 let armed = ctx.cpu.monitor.addr == Some(addr);
                 ctx.cpu.monitor.addr = None;
                 // One CAS locks the entry iff it still belongs to us; a
@@ -208,16 +227,27 @@ impl AtomicScheme for HstWeak {
 #[derive(Debug)]
 pub struct HstHtm {
     sc: Option<HelperId>,
-    /// Transaction attempts before falling back to stop-the-world.
-    max_retries: u32,
+    /// Transaction attempt budget and backoff staging before falling
+    /// back to stop-the-world (the degradation ladder's bottom rung).
+    retry: RetryPolicy,
 }
 
 impl HstHtm {
-    /// Creates the scheme with the default retry budget (8 attempts).
+    /// Creates the scheme with the default retry budget (8 attempts,
+    /// spinning through the first 4, yielding after, never sleeping —
+    /// the SC window is far too short to justify a sleep).
     pub fn new() -> HstHtm {
         HstHtm {
             sc: None,
-            max_retries: 8,
+            retry: RetryPolicy {
+                max_attempts: 8,
+                yield_after: 4,
+                sleep_after: u64::MAX,
+                max_sleep_us: 0,
+                // Degradation is driven by the attempt budget here, not
+                // by the engine's storm detector.
+                degrade_after: u64::MAX,
+            },
         }
     }
 }
@@ -242,12 +272,17 @@ impl AtomicScheme for HstHtm {
     }
 
     fn install(&mut self, reg: &mut HelperRegistry) {
-        let max_retries = self.max_retries;
+        let retry = self.retry;
         self.sc = Some(reg.register(
             "hst_htm_sc",
             Box::new(move |ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
+                if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    ctx.cpu.monitor.addr = None;
+                    ctx.stats.sc_failures += 1;
+                    return Ok(1);
+                }
                 // Fail fast outside any transaction when the precondition
                 // is already gone.
                 if !sc_precondition(ctx, addr) {
@@ -264,7 +299,20 @@ impl AtomicScheme for HstHtm {
                     Err(fault) => return Err(Trap::Fault(fault)),
                 };
                 let entry_token = ctx.machine.store_test.htm_token(addr);
-                for _ in 0..max_retries {
+                let threaded = ctx.machine.is_threaded();
+                let mut attempt = 0u64;
+                // One unified retry shape: spin, then yield, then — once
+                // the budget is spent — degrade to stop-the-world.
+                let backoff = |ctx: &mut ExecCtx<'_>, attempt| {
+                    ctx.stats.htm_aborts += 1;
+                    if threaded {
+                        ctx.stats.lock_wait_ns += retry.backoff(attempt);
+                    }
+                };
+                while {
+                    attempt += 1;
+                    !retry.exhausted(attempt)
+                } {
                     ctx.stats.htm_txns += 1;
                     let mut txn = ctx.machine.htm.begin();
                     // Pull the hash entry's conflict token into the read
@@ -272,14 +320,14 @@ impl AtomicScheme for HstHtm {
                     // the entry after our check below aborts this commit
                     // (the entry's cache line, on real HTM).
                     if txn.observe(entry_token).is_err() {
-                        ctx.stats.htm_aborts += 1;
+                        backoff(ctx, attempt);
                         continue;
                     }
                     // Transactionally read the word so any concurrent
                     // plain store (which bumps the version) aborts us,
                     // then re-validate the hash entry inside the window.
                     if txn.load_word(ctx.machine.space.mem(), paddr).is_err() {
-                        ctx.stats.htm_aborts += 1;
+                        backoff(ctx, attempt);
                         continue;
                     }
                     if !sc_precondition(ctx, addr) {
@@ -288,7 +336,14 @@ impl AtomicScheme for HstHtm {
                         return Ok(1);
                     }
                     if txn.store_word(paddr, new).is_err() {
-                        ctx.stats.htm_aborts += 1;
+                        backoff(ctx, attempt);
+                        continue;
+                    }
+                    // Injected spurious abort at commit, the point real
+                    // HTM is most likely to fail for external reasons.
+                    if ctx.robust && ctx.chaos_roll(ChaosSite::HtmCommit) {
+                        let _ = txn.abort();
+                        backoff(ctx, attempt);
                         continue;
                     }
                     match txn.commit(ctx.machine.space.mem()) {
@@ -297,11 +352,13 @@ impl AtomicScheme for HstHtm {
                             return Ok(0);
                         }
                         Err(_) => {
-                            ctx.stats.htm_aborts += 1;
+                            backoff(ctx, attempt);
                         }
                     }
                 }
-                // Abort budget exhausted: take the HST fallback path.
+                // Abort budget exhausted: degrade to the HST stop-the-world
+                // path (counted — the degradation ladder's bottom rung).
+                ctx.stats.degradations += 1;
                 hst_sc_exclusive(ctx, addr, new).inspect(|_status| {
                     // `hst_sc_exclusive` counted a second SC; undo it so
                     // the profile counts one SC per guest strex.

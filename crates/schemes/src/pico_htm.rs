@@ -11,7 +11,7 @@
 //! [`adbt_engine::VcpuOutcome::Livelocked`] once the per-region retry
 //! budget is exhausted.
 
-use adbt_engine::{AtomicScheme, Atomicity, HelperRegistry};
+use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, HelperRegistry};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::Width;
 
@@ -51,11 +51,14 @@ impl AtomicScheme for PicoHtm {
                 ctx.stats.ll += 1;
                 // A fresh LL while a region is open re-arms: abort the
                 // old region first (nesting is architecturally invalid).
-                if let Some(old) = ctx.txn.take() {
-                    let _ = old.abort();
-                    ctx.txn_restart = None;
+                // `release_region` also unwinds a degraded region's
+                // exclusive section, which a bare `txn.take()` would leak.
+                if ctx.region_active() {
+                    ctx.release_region();
                 }
-                // `xbegin` with full register rollback to the LL itself.
+                // `xbegin` with full register rollback to the LL itself
+                // (or, when the abort budget is spent, the stop-the-world
+                // fallback region standing in for a transaction).
                 ctx.begin_region_txn(restart_pc);
                 let value = ctx.load(addr, Width::Word)?;
                 ctx.cpu.monitor.addr = Some(addr);
@@ -69,17 +72,22 @@ impl AtomicScheme for PicoHtm {
             Box::new(|ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
-                let armed = ctx.cpu.monitor.addr == Some(addr);
+                let mut armed = ctx.cpu.monitor.addr == Some(addr);
+                // Injected spurious SC failure; the open region (if any)
+                // is released below exactly as for a genuine failure.
+                if armed && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    armed = false;
+                }
                 ctx.cpu.monitor.addr = None;
-                if !armed || ctx.txn.is_none() {
-                    if let Some(txn) = ctx.txn.take() {
-                        let _ = txn.abort();
-                    }
-                    ctx.txn_restart = None;
+                // `region_active` (not `txn.is_some()`): a degraded region
+                // holds exclusivity instead of a transaction.
+                if !armed || !ctx.region_active() {
+                    ctx.release_region();
                     ctx.stats.sc_failures += 1;
                     return Ok(1);
                 }
-                // The store joins the transaction, then `xend`.
+                // The store joins the transaction (or happens directly,
+                // world-stopped, in a degraded region), then `xend`.
                 ctx.store(addr, Width::Word, new, true)?;
                 ctx.commit_region_txn()?;
                 Ok(0)
@@ -89,10 +97,7 @@ impl AtomicScheme for PicoHtm {
         self.clrex = Some(reg.register(
             "pico_htm_clrex",
             Box::new(|ctx, _args| {
-                if let Some(txn) = ctx.txn.take() {
-                    let _ = txn.abort();
-                }
-                ctx.txn_restart = None;
+                ctx.release_region();
                 ctx.cpu.monitor.addr = None;
                 Ok(0)
             }),

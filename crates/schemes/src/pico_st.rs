@@ -11,7 +11,7 @@
 //! This scheme is strongly atomic and correct; HST's contribution is
 //! matching its correctness at a fraction of this cost.
 
-use adbt_engine::{AtomicScheme, Atomicity, ExecCtx, HelperRegistry};
+use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::Width;
 use adbt_sync::{Mutex, MutexGuard};
@@ -39,6 +39,10 @@ fn lock_registry<'a>(
 ) -> MutexGuard<'a, Registry> {
     if global {
         ctx.stats.lock_acquisitions += 1;
+    }
+    // Injected lock-acquire stall: models a descheduled lock holder.
+    if ctx.robust && ctx.chaos_roll(ChaosSite::LockStall) {
+        ctx.stats.lock_wait_ns += ctx.chaos_stall();
     }
     if let Some(guard) = shared.try_lock() {
         return guard;
@@ -125,7 +129,13 @@ impl AtomicScheme for PicoSt {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
                 let mut guard = lock_registry(&shared, ctx, true);
-                let ok = guard.monitors.get(&ctx.cpu.tid) == Some(&addr);
+                let mut ok = guard.monitors.get(&ctx.cpu.tid) == Some(&addr);
+                // Injected spurious SC failure (architecturally legal on
+                // ARM); the registry entry is dropped below either way,
+                // exactly as for a genuine failure.
+                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    ok = false;
+                }
                 let result = if ok {
                     // The SC's store breaks every monitor on the stored
                     // word — competing threads' included (Seq2–Seq4) —
@@ -135,6 +145,10 @@ impl AtomicScheme for PicoSt {
                         .retain(|_, &mut monitored| !overlaps(monitored, addr, Width::Word));
                     ctx.store(addr, Width::Word, new, false).map(|()| 0)
                 } else {
+                    // A failed SC still clears the monitor: drop the
+                    // registry entry so a retry without a fresh LL
+                    // cannot spuriously succeed.
+                    guard.monitors.remove(&ctx.cpu.tid);
                     ctx.stats.sc_failures += 1;
                     Ok(1)
                 };

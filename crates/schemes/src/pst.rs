@@ -21,7 +21,7 @@
 //! tables + TLB shootdown (see DESIGN.md for the substitution argument).
 
 use adbt_engine::{
-    AtomicScheme, Atomicity, ExecCtx, FaultAccess, FaultOutcome, HelperRegistry, Trap,
+    AtomicScheme, Atomicity, ChaosSite, ExecCtx, FaultAccess, FaultOutcome, HelperRegistry, Trap,
 };
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{FaultKind, PageFault, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
@@ -55,6 +55,12 @@ struct PstShared {
 /// waiters must keep servicing safepoints or the machine deadlocks.
 fn lock_registry<'a>(shared: &'a PstShared, ctx: &mut ExecCtx<'_>) -> MutexGuard<'a, PstRegistry> {
     ctx.stats.lock_acquisitions += 1;
+    if ctx.robust && ctx.chaos_roll(ChaosSite::LockStall) {
+        // Injected stall on the way to the registry lock (holder
+        // descheduled mid-acquire); widens the contention windows the
+        // fault handler and SC race through.
+        ctx.stats.lock_wait_ns += ctx.chaos_stall();
+    }
     if let Some(guard) = shared.registry.try_lock() {
         return guard;
     }
@@ -81,6 +87,12 @@ fn timed_protect(ctx: &mut ExecCtx<'_>, page: u32, perms: Perms) {
     // is attributed to the mprotect bucket per the paper's Fig. 12.
     ctx.stats.exclusive_entries += 1;
     let _wait = ctx.machine.exclusive.start_exclusive();
+    if ctx.robust && ctx.chaos_roll(ChaosSite::MprotectDelay) {
+        // Injected mprotect latency spike, taken with the world stopped —
+        // the worst possible moment. The stall lands in `mprotect_ns`
+        // through the surrounding timer.
+        let _ = ctx.chaos_stall();
+    }
     ctx.machine.space.protect(page, perms);
     ctx.machine.exclusive.end_exclusive();
     ctx.stats.mprotect_ns += start.elapsed().as_nanos() as u64;
@@ -91,20 +103,29 @@ fn overlaps(monitored: u32, addr: u32, width: Width) -> bool {
     addr < monitored.wrapping_add(4) && monitored < addr.wrapping_add(width.bytes())
 }
 
-/// Drops the calling thread's armed monitor (if any) from the registry,
-/// unprotecting the page when it was the last one. Registry must be held.
+/// Drops every registry entry of the calling thread, unprotecting pages
+/// it was the last monitor on. Registry must be held.
+///
+/// Scans by tid rather than by the local monitor address: the local
+/// monitor can be cleared independently of the registry (a failed SC, a
+/// spurious/injected monitor clear), and an address-keyed removal would
+/// then leak the stale entry — keeping the page write-protected and the
+/// one-monitor-per-thread invariant broken forever.
 fn drop_own_monitor_locked(ctx: &mut ExecCtx<'_>, reg: &mut PstRegistry) {
-    let Some(addr) = ctx.cpu.monitor.addr else {
-        return;
-    };
-    let page = addr >> PAGE_SHIFT;
     let tid = ctx.cpu.tid;
-    if let Some(list) = reg.pages.get_mut(&page) {
-        list.retain(|m| !(m.tid == tid && m.addr == addr));
-        if list.is_empty() {
-            reg.pages.remove(&page);
-            timed_protect(ctx, page, Perms::RWX);
+    let mut emptied: Vec<u32> = Vec::new();
+    reg.pages.retain(|&page, list| {
+        let before = list.len();
+        list.retain(|m| m.tid != tid);
+        if list.is_empty() && before > 0 {
+            emptied.push(page);
+            false
+        } else {
+            true
         }
+    });
+    for page in emptied {
+        timed_protect(ctx, page, Perms::RWX);
     }
 }
 
@@ -248,7 +269,13 @@ impl AtomicScheme for Pst {
                 ctx.stats.sc += 1;
                 let mut guard = lock_registry(&shared, ctx);
                 let registry = &mut *guard;
-                let ok = sc_registered(ctx, registry, addr);
+                let mut ok = sc_registered(ctx, registry, addr);
+                // Injected spurious SC failure; the registry entry stays,
+                // exactly as after a genuine failure, and the next LL's
+                // tid-scan cleanup reclaims it.
+                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    ok = false;
+                }
                 if ok {
                     let page = addr >> PAGE_SHIFT;
                     // The paper's SC sequence: suspend everyone, reopen
@@ -384,7 +411,10 @@ impl AtomicScheme for PstRemap {
                 ctx.stats.sc += 1;
                 let mut guard = lock_registry(&shared, ctx);
                 let registry = &mut *guard;
-                let ok = sc_registered(ctx, registry, addr);
+                let mut ok = sc_registered(ctx, registry, addr);
+                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                    ok = false;
+                }
                 if ok {
                     let page = addr >> PAGE_SHIFT;
                     // Per-thread alias slot in the high window, so two
@@ -401,6 +431,11 @@ impl AtomicScheme for PstRemap {
                         .expect("monitored page is mapped");
                     // The original page is now unmapped: concurrent
                     // accesses fault MAPERR and wait in the handler.
+                    if ctx.robust && ctx.chaos_roll(ChaosSite::MprotectDelay) {
+                        // Injected remap latency while the page is away —
+                        // stretches the MAPERR window other threads wait in.
+                        let _ = ctx.chaos_stall();
+                    }
                     let alias_addr = (alias_page << PAGE_SHIFT) | (addr & (PAGE_SIZE - 1));
                     ctx.machine
                         .space

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-2a950080e272750a.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-2a950080e272750a: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

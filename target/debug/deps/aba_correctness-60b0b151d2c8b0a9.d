@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-60b0b151d2c8b0a9.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-60b0b151d2c8b0a9: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_forced-15aaa76077e38ad4.d: tests/aba_forced.rs
+
+/root/repo/target/debug/deps/aba_forced-15aaa76077e38ad4: tests/aba_forced.rs
+
+tests/aba_forced.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aba_stack-2d095b4d78fd17c7.d: tests/aba_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaba_stack-2d095b4d78fd17c7.rmeta: tests/aba_stack.rs Cargo.toml
+
+tests/aba_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

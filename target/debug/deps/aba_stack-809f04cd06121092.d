@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_stack-809f04cd06121092.d: tests/aba_stack.rs
+
+/root/repo/target/debug/deps/aba_stack-809f04cd06121092: tests/aba_stack.rs
+
+tests/aba_stack.rs:

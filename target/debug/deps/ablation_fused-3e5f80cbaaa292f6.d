@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-3e5f80cbaaa292f6.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-3e5f80cbaaa292f6: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-74a3f6641eef1fe0.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-74a3f6641eef1fe0: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

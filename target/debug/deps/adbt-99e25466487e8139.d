@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt-99e25466487e8139.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/adbt-99e25466487e8139: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt-dd6193708a30d9c4.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/libadbt-dd6193708a30d9c4.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/libadbt-dd6193708a30d9c4.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

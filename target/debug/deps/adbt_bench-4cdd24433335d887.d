@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_bench-4cdd24433335d887.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-4cdd24433335d887.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-4cdd24433335d887.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

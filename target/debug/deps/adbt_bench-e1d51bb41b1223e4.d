@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_bench-e1d51bb41b1223e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/adbt_bench-e1d51bb41b1223e4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_chaos-0df4af994d7152b5.d: crates/chaos/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_chaos-0df4af994d7152b5.rmeta: crates/chaos/src/lib.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_chaos-3f021d04bcaaf296.d: crates/chaos/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_chaos-3f021d04bcaaf296.rmeta: crates/chaos/src/lib.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_chaos-65d2f4cf88447b37.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_chaos-65d2f4cf88447b37.rlib: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_chaos-65d2f4cf88447b37.rmeta: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

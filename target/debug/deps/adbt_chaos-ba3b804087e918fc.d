@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_chaos-ba3b804087e918fc.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/adbt_chaos-ba3b804087e918fc: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

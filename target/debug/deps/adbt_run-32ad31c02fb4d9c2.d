@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_run-32ad31c02fb4d9c2.d: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_run-32ad31c02fb4d9c2.rmeta: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+crates/core/src/bin/adbt_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

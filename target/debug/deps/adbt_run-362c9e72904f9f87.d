@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-362c9e72904f9f87.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-362c9e72904f9f87: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

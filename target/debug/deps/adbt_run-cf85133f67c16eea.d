@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-cf85133f67c16eea.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-cf85133f67c16eea: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

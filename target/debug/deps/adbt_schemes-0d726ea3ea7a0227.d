@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt_schemes-0d726ea3ea7a0227.d: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/debug/deps/adbt_schemes-0d726ea3ea7a0227: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/hst.rs:
+crates/schemes/src/pico_cas.rs:
+crates/schemes/src/pico_htm.rs:
+crates/schemes/src/pico_st.rs:
+crates/schemes/src/pst.rs:

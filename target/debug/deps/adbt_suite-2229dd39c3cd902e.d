@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_suite-2229dd39c3cd902e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-2229dd39c3cd902e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-2229dd39c3cd902e.rmeta: src/lib.rs
+
+src/lib.rs:

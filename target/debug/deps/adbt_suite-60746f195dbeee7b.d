@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_suite-60746f195dbeee7b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_suite-60746f195dbeee7b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

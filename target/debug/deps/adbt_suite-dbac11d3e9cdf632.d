@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_suite-dbac11d3e9cdf632.d: src/lib.rs
+
+/root/repo/target/debug/deps/adbt_suite-dbac11d3e9cdf632: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_prop-f2a112704aeac859.d: crates/engine/tests/alu_prop.rs
+
+/root/repo/target/debug/deps/alu_prop-f2a112704aeac859: crates/engine/tests/alu_prop.rs
+
+crates/engine/tests/alu_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaining-3a4b15e5a63235c5.d: crates/engine/tests/chaining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaining-3a4b15e5a63235c5.rmeta: crates/engine/tests/chaining.rs Cargo.toml
+
+crates/engine/tests/chaining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaining-c6ec2a1a92c56c85.d: crates/engine/tests/chaining.rs
+
+/root/repo/target/debug/deps/chaining-c6ec2a1a92c56c85: crates/engine/tests/chaining.rs
+
+crates/engine/tests/chaining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-953e456003d5483c.d: tests/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-953e456003d5483c: tests/chaos_soak.rs
+
+tests/chaos_soak.rs:

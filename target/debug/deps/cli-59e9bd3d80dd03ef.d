@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-59e9bd3d80dd03ef.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-59e9bd3d80dd03ef: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_adbt_run=/root/repo/target/debug/adbt_run

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-aa320eb01a79e4bd.d: crates/schemes/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-aa320eb01a79e4bd: crates/schemes/tests/concurrent.rs
+
+crates/schemes/tests/concurrent.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent-d4e6899f6db97071.d: crates/schemes/tests/concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent-d4e6899f6db97071.rmeta: crates/schemes/tests/concurrent.rs Cargo.toml
+
+crates/schemes/tests/concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

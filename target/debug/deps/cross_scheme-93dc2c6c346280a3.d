@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-93dc2c6c346280a3.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/cross_scheme-93dc2c6c346280a3: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-1fb22b28885d69e0.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-1fb22b28885d69e0: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

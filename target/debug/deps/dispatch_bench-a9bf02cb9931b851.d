@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-a9bf02cb9931b851.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-a9bf02cb9931b851: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

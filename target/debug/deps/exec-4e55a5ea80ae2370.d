@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec-4e55a5ea80ae2370.d: crates/engine/tests/exec.rs
+
+/root/repo/target/debug/deps/exec-4e55a5ea80ae2370: crates/engine/tests/exec.rs
+
+crates/engine/tests/exec.rs:

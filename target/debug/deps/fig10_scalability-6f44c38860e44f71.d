@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_scalability-6f44c38860e44f71.d: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_scalability-6f44c38860e44f71.rmeta: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-b2bd2ec367be1599.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-b2bd2ec367be1599: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

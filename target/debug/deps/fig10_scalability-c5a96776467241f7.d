@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-c5a96776467241f7.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-c5a96776467241f7: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

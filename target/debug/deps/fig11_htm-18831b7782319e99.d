@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-18831b7782319e99.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-18831b7782319e99: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-f0c65c1f94acea80.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-f0c65c1f94acea80: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-1c0d966da1615506.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-1c0d966da1615506: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-efdc39843993af14.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-efdc39843993af14: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

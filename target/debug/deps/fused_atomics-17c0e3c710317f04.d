@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_atomics-17c0e3c710317f04.d: tests/fused_atomics.rs
+
+/root/repo/target/debug/deps/fused_atomics-17c0e3c710317f04: tests/fused_atomics.rs
+
+tests/fused_atomics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_details-c07c9063a605465b.d: crates/schemes/tests/scheme_details.rs
+
+/root/repo/target/debug/deps/scheme_details-c07c9063a605465b: crates/schemes/tests/scheme_details.rs
+
+crates/schemes/tests/scheme_details.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-b82a048ac5462b04.d: crates/engine/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-b82a048ac5462b04: crates/engine/tests/sim.rs
+
+crates/engine/tests/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-f950438c6b07b7c3.d: crates/engine/tests/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-f950438c6b07b7c3.rmeta: crates/engine/tests/sim.rs Cargo.toml
+
+crates/engine/tests/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

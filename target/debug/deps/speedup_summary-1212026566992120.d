@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-1212026566992120.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-1212026566992120: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup_summary-f7c51d5d5f8e8054.d: crates/bench/src/bin/speedup_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup_summary-f7c51d5d5f8e8054.rmeta: crates/bench/src/bin/speedup_summary.rs Cargo.toml
+
+crates/bench/src/bin/speedup_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

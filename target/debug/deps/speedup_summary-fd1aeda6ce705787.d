@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-fd1aeda6ce705787.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-fd1aeda6ce705787: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

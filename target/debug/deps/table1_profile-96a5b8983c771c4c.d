@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-96a5b8983c771c4c.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-96a5b8983c771c4c: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-dceb83897fd86479.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-dceb83897fd86479: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

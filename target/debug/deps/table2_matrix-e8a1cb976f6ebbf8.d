@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-e8a1cb976f6ebbf8.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-e8a1cb976f6ebbf8: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

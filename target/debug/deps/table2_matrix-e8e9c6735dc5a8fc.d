@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-e8e9c6735dc5a8fc.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-e8e9c6735dc5a8fc: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aba_demo-9404182bbf6cc61f.d: examples/aba_demo.rs
+
+/root/repo/target/debug/examples/aba_demo-9404182bbf6cc61f: examples/aba_demo.rs
+
+examples/aba_demo.rs:

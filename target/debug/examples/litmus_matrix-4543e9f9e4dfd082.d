@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_matrix-4543e9f9e4dfd082.d: examples/litmus_matrix.rs
+
+/root/repo/target/debug/examples/litmus_matrix-4543e9f9e4dfd082: examples/litmus_matrix.rs
+
+examples/litmus_matrix.rs:

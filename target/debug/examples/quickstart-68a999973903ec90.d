@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-68a999973903ec90.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-68a999973903ec90: examples/quickstart.rs
+
+examples/quickstart.rs:

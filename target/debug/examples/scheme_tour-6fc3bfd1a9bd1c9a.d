@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_tour-6fc3bfd1a9bd1c9a.d: examples/scheme_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_tour-6fc3bfd1a9bd1c9a.rmeta: examples/scheme_tour.rs Cargo.toml
+
+examples/scheme_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

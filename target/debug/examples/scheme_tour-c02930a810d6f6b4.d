@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_tour-c02930a810d6f6b4.d: examples/scheme_tour.rs
+
+/root/repo/target/debug/examples/scheme_tour-c02930a810d6f6b4: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:

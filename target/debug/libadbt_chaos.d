@@ -1,0 +1,1 @@
+/root/repo/target/debug/libadbt_chaos.rlib: /root/repo/crates/chaos/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aba_correctness-646f35684ac12f98.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/release/deps/aba_correctness-646f35684ac12f98: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fused-b3dcc0684e02d929.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/release/deps/ablation_fused-b3dcc0684e02d929: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adbt-3491aaa7c6c4a7ee.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/release/deps/libadbt-3491aaa7c6c4a7ee.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/release/deps/libadbt-3491aaa7c6c4a7ee.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

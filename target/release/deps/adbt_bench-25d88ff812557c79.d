@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_bench-25d88ff812557c79.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-25d88ff812557c79.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-25d88ff812557c79.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_chaos-76e86d46eae06183.d: crates/chaos/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_chaos-76e86d46eae06183.rlib: crates/chaos/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_chaos-76e86d46eae06183.rmeta: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adbt_run-9d10d1b6c8e640c1.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/release/deps/adbt_run-9d10d1b6c8e640c1: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/adbt_schemes-f595704cb4f4128e.d: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/release/deps/libadbt_schemes-f595704cb4f4128e.rlib: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/release/deps/libadbt_schemes-f595704cb4f4128e.rmeta: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/hst.rs:
+crates/schemes/src/pico_cas.rs:
+crates/schemes/src/pico_htm.rs:
+crates/schemes/src/pico_st.rs:
+crates/schemes/src/pst.rs:

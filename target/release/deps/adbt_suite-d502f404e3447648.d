@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_suite-d502f404e3447648.d: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-d502f404e3447648.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-d502f404e3447648.rmeta: src/lib.rs
+
+src/lib.rs:

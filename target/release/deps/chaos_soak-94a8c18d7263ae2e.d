@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_soak-94a8c18d7263ae2e.d: tests/chaos_soak.rs
+
+/root/repo/target/release/deps/chaos_soak-94a8c18d7263ae2e: tests/chaos_soak.rs
+
+tests/chaos_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_scheme-0745235d99297349.d: tests/cross_scheme.rs
+
+/root/repo/target/release/deps/cross_scheme-0745235d99297349: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

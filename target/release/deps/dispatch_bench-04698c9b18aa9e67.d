@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch_bench-04698c9b18aa9e67.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/release/deps/dispatch_bench-04698c9b18aa9e67: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scalability-614cafbc3268ad90.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/release/deps/fig10_scalability-614cafbc3268ad90: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_htm-c250c93a2999a98e.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/release/deps/fig11_htm-c250c93a2999a98e: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_breakdown-88b528cf9e94c2c2.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/release/deps/fig12_breakdown-88b528cf9e94c2c2: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedup_summary-feda243c63ef654d.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/release/deps/speedup_summary-feda243c63ef654d: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

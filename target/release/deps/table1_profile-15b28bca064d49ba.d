@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_profile-15b28bca064d49ba.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/release/deps/table1_profile-15b28bca064d49ba: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrix-722d5d635246565f.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/release/deps/table2_matrix-722d5d635246565f: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

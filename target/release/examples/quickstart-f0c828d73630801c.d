@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f0c828d73630801c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f0c828d73630801c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libadbt_chaos.rlib: /root/repo/crates/chaos/src/lib.rs
