@@ -15,3 +15,12 @@ cargo fmt --all --check
 # The seed lives in tests/chaos_soak.rs, so failures replay exactly.
 cargo test -q --release --offline --test chaos_soak \
     threaded_soak_with_watchdog_terminates_cleanly
+
+# Systematic interleaving check (release, ~a second): all 8 schemes ×
+# all 3 litmus programs under the bounded-preemption explorer. The
+# search is fully deterministic (no seeds — it *enumerates* schedules),
+# and --ci exits non-zero unless the verdict matrix matches the paper:
+# PICO-CAS flagged on both ABA litmuses, PICO-ST on the store-test
+# window, every other scheme clean.
+cargo run -q --release --offline -p adbt-check --bin adbt_check -- \
+    --ci --budget 800 --preemptions 2

@@ -57,7 +57,7 @@ fn bench_exclusive() {
     let barrier = ExclusiveBarrier::new();
     barrier.register();
     bench("exclusive_section_uncontended", 50_000, 5, || {
-        let waited = barrier.start_exclusive();
+        let waited = barrier.start_exclusive().expect("not halted");
         barrier.end_exclusive();
         black_box(waited);
     });

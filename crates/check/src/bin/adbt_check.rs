@@ -1,0 +1,157 @@
+//! `adbt_check` — run the systematic interleaving checker and print the
+//! scheme × litmus verdict matrix.
+//!
+//! ```text
+//! adbt_check [--scheme NAME] [--litmus NAME] [--budget N]
+//!            [--preemptions N] [--max-atoms N] [--ci]
+//! ```
+//!
+//! Without filters, checks all 8 schemes against all 3 litmus programs.
+//! Violations print a minimized, replayable trace — feed it straight to
+//! `adbt_run --replay`. `--ci` exits non-zero when any verdict differs
+//! from the paper's prediction (Table II): PICO-CAS flagged on both ABA
+//! litmuses, PICO-ST on the store window, everything else clean.
+
+use adbt::workloads::interleave::Litmus;
+use adbt::SchemeKind;
+use adbt_check::{check_pair, expected_violation, CheckOpts, PairReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adbt_check [--scheme NAME] [--litmus NAME] [--budget N] \
+         [--preemptions N] [--max-atoms N] [--ci]\n\
+         schemes: {}\n\
+         litmus:  {}",
+        SchemeKind::ALL.map(|s| s.name()).join(" "),
+        Litmus::ALL.map(|l| l.name()).join(" "),
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    schemes: Vec<SchemeKind>,
+    litmuses: Vec<Litmus>,
+    opts: CheckOpts,
+    ci: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        schemes: SchemeKind::ALL.to_vec(),
+        litmuses: Litmus::ALL.to_vec(),
+        opts: CheckOpts::default(),
+        ci: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let name = value("--scheme");
+                let scheme = SchemeKind::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scheme '{name}'");
+                    usage()
+                });
+                args.schemes = vec![scheme];
+            }
+            "--litmus" => {
+                let name = value("--litmus");
+                let litmus = Litmus::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown litmus '{name}'");
+                    usage()
+                });
+                args.litmuses = vec![litmus];
+            }
+            "--budget" => args.opts.budget = parse_num(&value("--budget"), "--budget"),
+            "--preemptions" => {
+                args.opts.max_preemptions =
+                    parse_num(&value("--preemptions"), "--preemptions") as usize
+            }
+            "--max-atoms" => args.opts.max_atoms = parse_num(&value("--max-atoms"), "--max-atoms"),
+            "--ci" => args.ci = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(text: &str, flag: &str) -> u64 {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: bad number '{text}'");
+        usage()
+    })
+}
+
+fn print_report(report: &PairReport) {
+    let pair = format!("{} × {}", report.scheme.name(), report.litmus);
+    match &report.violation {
+        Some(v) => {
+            println!(
+                "{pair:<28} VIOLATION  p={} runs={}  --replay '{}'",
+                v.preemptions, report.runs, v.trace
+            );
+            println!("{:<28}   {}", "", v.detail);
+        }
+        None => {
+            let note = if report.budget_exhausted {
+                "budget exhausted"
+            } else {
+                "space exhausted"
+            };
+            println!("{pair:<28} clean      runs={} ({note})", report.runs);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut reports = Vec::new();
+    for &scheme in &args.schemes {
+        for &litmus in &args.litmuses {
+            let report = check_pair(scheme, litmus, &args.opts);
+            print_report(&report);
+            reports.push(report);
+        }
+    }
+
+    let mismatches: Vec<&PairReport> = reports
+        .iter()
+        .filter(|r| !r.matches_expectation())
+        .collect();
+    println!();
+    println!(
+        "{} pairs checked, {} violations, {} mismatches vs. the paper's matrix",
+        reports.len(),
+        reports.iter().filter(|r| r.violation.is_some()).count(),
+        mismatches.len()
+    );
+    for r in &mismatches {
+        println!(
+            "  MISMATCH: {} × {} — expected {}, got {}",
+            r.scheme.name(),
+            r.litmus,
+            if expected_violation(r.scheme, r.litmus) {
+                "a violation"
+            } else {
+                "clean"
+            },
+            if r.violation.is_some() {
+                "a violation"
+            } else {
+                "clean"
+            },
+        );
+    }
+    if args.ci && !mismatches.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,241 @@
+//! The shadow-monitor oracle: architectural LL/SC legality, judged from
+//! the scheduler's event stream.
+//!
+//! The oracle keeps one *shadow monitor* per vCPU — an independent,
+//! trivially-correct model of what an exclusive monitor is allowed to
+//! observe — and replays the run's [`SchedEvent`] stream against it. A
+//! scheme is wrong when a store-conditional it reported as *successful*
+//! is one the architecture would have to fail.
+//!
+//! Rules, per §2 of the ARM-style LL/SC contract the guest ISA models:
+//!
+//! * `ldrex` arms the executing vCPU's monitor on the loaded word;
+//!   `clrex` disarms it; any own SC (either outcome) consumes it.
+//! * A **successful** SC by *another* vCPU overlapping the monitored
+//!   word breaks the monitor — under every atomicity class (an SC is an
+//!   explicit synchronization store; even weak schemes track those).
+//! * A **plain guest store** by another vCPU overlapping the monitored
+//!   word breaks it only under [`Atomicity::Strong`] judging. Weak
+//!   schemes are *allowed* to miss plain stores — that is precisely the
+//!   paper's strong/weak split — so runs of weakly-classified schemes
+//!   are judged against the weak rules and plain-store interference is
+//!   legal for them.
+//! * An SC may *fail* spuriously at any time (the architecture permits
+//!   it), so `ok = false` is never a violation. Only `ok = true` while
+//!   the shadow monitor is unarmed, armed on a different word, or broken
+//!   is flagged.
+//!
+//! [`Atomicity::Incorrect`] (PICO-CAS) is judged against the **weak**
+//! rules: the scheme claims at least LL/SC-vs-LL/SC correctness, and
+//! that is already the claim ABA refutes. Judging it as strong would
+//! only add plain-store counterexamples to a scheme we already flag.
+
+use adbt::engine::SchedEvent;
+use adbt::Atomicity;
+use std::collections::HashMap;
+
+/// One vCPU's shadow monitor: armed on a word, possibly broken by a
+/// remembered interferer (kept for the diagnostic message).
+struct Shadow {
+    addr: u32,
+    broken_by: Option<String>,
+}
+
+/// Monitors cover one aligned word; stores of any width break them if
+/// the byte ranges overlap.
+fn overlaps(mon: u32, addr: u32, bytes: u32) -> bool {
+    let (mon_lo, mon_hi) = (mon as u64, mon as u64 + 4);
+    let (lo, hi) = (addr as u64, addr as u64 + bytes as u64);
+    lo < mon_hi && mon_lo < hi
+}
+
+/// Replays `events` against the shadow monitors, judging with the rules
+/// for `atomicity`. Returns the first violation as a human-readable
+/// description, or `None` for a clean run.
+pub fn judge(atomicity: Atomicity, events: &[(u64, SchedEvent)]) -> Option<String> {
+    let strong = matches!(atomicity, Atomicity::Strong);
+    let mut shadows: HashMap<u32, Shadow> = HashMap::new();
+    for &(atom, event) in events {
+        match event {
+            SchedEvent::Ll { tid, addr } => {
+                shadows.insert(
+                    tid,
+                    Shadow {
+                        addr,
+                        broken_by: None,
+                    },
+                );
+            }
+            SchedEvent::Clrex { tid } => {
+                shadows.remove(&tid);
+            }
+            SchedEvent::GuestStore { tid, addr, width } if strong => {
+                for (&owner, shadow) in shadows.iter_mut() {
+                    if owner != tid
+                        && shadow.broken_by.is_none()
+                        && overlaps(shadow.addr, addr, width.bytes())
+                    {
+                        shadow.broken_by = Some(format!(
+                            "plain store by tid {tid} to {addr:#x} at atom {atom}"
+                        ));
+                    }
+                }
+            }
+            SchedEvent::Sc {
+                tid,
+                addr,
+                ok,
+                value,
+            } => {
+                if ok {
+                    let verdict = match shadows.get(&tid) {
+                        None => Some("its monitor was never armed".to_string()),
+                        Some(s) if s.addr != addr => Some(format!(
+                            "its monitor is armed on {:#x}, not {addr:#x}",
+                            s.addr
+                        )),
+                        Some(Shadow {
+                            broken_by: Some(why),
+                            ..
+                        }) => Some(format!("its monitor was broken by {why}")),
+                        Some(_) => None,
+                    };
+                    if let Some(why) = verdict {
+                        return Some(format!(
+                            "atom {atom}: tid {tid} SC({value}) to {addr:#x} \
+                             succeeded, but {why}"
+                        ));
+                    }
+                    // A successful SC is visible interference to every
+                    // other armed monitor on the word — all classes.
+                    for (&owner, shadow) in shadows.iter_mut() {
+                        if owner != tid
+                            && shadow.broken_by.is_none()
+                            && overlaps(shadow.addr, addr, 4)
+                        {
+                            shadow.broken_by =
+                                Some(format!("SC by tid {tid} to {addr:#x} at atom {atom}"));
+                        }
+                    }
+                }
+                // Either outcome consumes the monitor (ARM: strex clears
+                // the exclusive state).
+                shadows.remove(&tid);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt::mmu::Width;
+
+    fn ll(tid: u32, addr: u32) -> SchedEvent {
+        SchedEvent::Ll { tid, addr }
+    }
+    fn sc(tid: u32, addr: u32, ok: bool) -> SchedEvent {
+        SchedEvent::Sc {
+            tid,
+            addr,
+            ok,
+            value: 7,
+        }
+    }
+    fn st(tid: u32, addr: u32) -> SchedEvent {
+        SchedEvent::GuestStore {
+            tid,
+            addr,
+            width: Width::Word,
+        }
+    }
+    fn seq(events: &[SchedEvent]) -> Vec<(u64, SchedEvent)> {
+        events
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i as u64, e))
+            .collect()
+    }
+
+    #[test]
+    fn clean_ll_sc_pair_is_legal() {
+        let ev = seq(&[ll(1, 0x100), sc(1, 0x100, true)]);
+        assert_eq!(judge(Atomicity::Strong, &ev), None);
+    }
+
+    #[test]
+    fn sc_without_ll_is_a_violation() {
+        let ev = seq(&[sc(1, 0x100, true)]);
+        assert!(judge(Atomicity::Weak, &ev).unwrap().contains("never armed"));
+    }
+
+    #[test]
+    fn sc_failure_is_always_legal() {
+        // Spurious failure: no arming, failed SC — fine.
+        let ev = seq(&[sc(1, 0x100, false)]);
+        assert_eq!(judge(Atomicity::Strong, &ev), None);
+    }
+
+    #[test]
+    fn interfering_sc_breaks_even_weak_monitors() {
+        let ev = seq(&[
+            ll(1, 0x100),
+            ll(2, 0x100),
+            sc(2, 0x100, true),
+            sc(1, 0x100, true),
+        ]);
+        let why = judge(Atomicity::Weak, &ev).unwrap();
+        assert!(why.contains("broken by SC by tid 2"), "{why}");
+    }
+
+    #[test]
+    fn plain_store_breaks_only_strong_monitors() {
+        let ev = seq(&[ll(1, 0x100), st(2, 0x102), sc(1, 0x100, true)]);
+        assert!(judge(Atomicity::Strong, &ev).is_some());
+        assert_eq!(judge(Atomicity::Weak, &ev), None);
+        assert_eq!(judge(Atomicity::Incorrect, &ev), None);
+    }
+
+    #[test]
+    fn own_store_does_not_break_own_monitor() {
+        let ev = seq(&[ll(1, 0x100), st(1, 0x100), sc(1, 0x100, true)]);
+        assert_eq!(judge(Atomicity::Strong, &ev), None);
+    }
+
+    #[test]
+    fn non_overlapping_store_is_ignored() {
+        let ev = seq(&[ll(1, 0x100), st(2, 0x104), sc(1, 0x100, true)]);
+        assert_eq!(judge(Atomicity::Strong, &ev), None);
+    }
+
+    #[test]
+    fn monitor_is_consumed_by_failed_sc() {
+        // The failed SC disarms; the next success has no armed monitor.
+        let ev = seq(&[ll(1, 0x100), sc(1, 0x100, false), sc(1, 0x100, true)]);
+        assert!(judge(Atomicity::Strong, &ev).is_some());
+    }
+
+    #[test]
+    fn clrex_disarms() {
+        let ev = seq(&[
+            ll(1, 0x100),
+            SchedEvent::Clrex { tid: 1 },
+            sc(1, 0x100, true),
+        ]);
+        assert!(judge(Atomicity::Strong, &ev).is_some());
+    }
+
+    #[test]
+    fn rearming_clears_breakage() {
+        let ev = seq(&[
+            ll(1, 0x100),
+            ll(2, 0x100),
+            sc(2, 0x100, true),
+            ll(1, 0x100),
+            sc(1, 0x100, true),
+        ]);
+        assert_eq!(judge(Atomicity::Strong, &ev), None);
+    }
+}

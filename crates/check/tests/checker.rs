@@ -1,0 +1,192 @@
+//! Acceptance tests for the interleaving checker: it must find the two
+//! seeded deficiencies (PICO-CAS's ABA, PICO-ST's store-test window)
+//! with minimized replayable traces, and must clear every other scheme
+//! on the whole litmus suite within the same budget.
+
+use adbt::engine::ScriptedScheduler;
+use adbt::workloads::interleave::Litmus;
+use adbt::workloads::IMAGE_BASE;
+use adbt::{assemble, MachineBuilder, SchemeKind, Vcpu};
+use adbt_check::{check_pair, expected_violation, CheckOpts, PairReport};
+
+fn opts() -> CheckOpts {
+    CheckOpts::default()
+}
+
+/// Replays a violation trace through `ScriptedScheduler` — the exact
+/// path `adbt_run --replay` takes — and re-judges it with the oracle.
+fn replay_flags_violation(scheme: SchemeKind, litmus: Litmus, trace: &str) -> bool {
+    let program = litmus.program();
+    let mut machine = MachineBuilder::new(scheme)
+        .memory(1 << 20)
+        .max_block_insns(1)
+        .build()
+        .unwrap();
+    machine.load_asm(&program.source, IMAGE_BASE).unwrap();
+    let vcpus = if program.entries.iter().all(Option::is_none) {
+        machine.make_vcpus(program.entries.len() as u32, IMAGE_BASE)
+    } else {
+        program
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Vcpu::new(i as u32 + 1, machine.symbol(e.unwrap()).unwrap()))
+            .collect()
+    };
+    let mut sched = ScriptedScheduler::parse(trace).unwrap();
+    machine.run_scheduled(vcpus, &mut sched, 20_000);
+    adbt_check::oracle::judge(scheme.atomicity(), &sched.events).is_some()
+}
+
+fn assert_violation(scheme: SchemeKind, litmus: Litmus, max_preemptions: usize) -> PairReport {
+    let report = check_pair(scheme, litmus, &opts());
+    let violation = report.violation.as_ref().unwrap_or_else(|| {
+        panic!(
+            "{} × {litmus}: expected a violation within {} runs",
+            scheme.name(),
+            report.runs
+        )
+    });
+    assert!(
+        violation.preemptions <= max_preemptions,
+        "{} × {litmus}: minimized to {} preemptions, expected ≤ {max_preemptions}",
+        scheme.name(),
+        violation.preemptions
+    );
+    assert!(
+        replay_flags_violation(scheme, litmus, &violation.trace),
+        "{} × {litmus}: trace '{}' did not replay the violation",
+        scheme.name(),
+        violation.trace
+    );
+    report
+}
+
+#[test]
+fn pico_cas_admits_aba_on_the_llsc_litmus() {
+    // The seeded ABA bug: one preemption (victim descheduled between LL
+    // and SC while the attacker drives 100 → 200 → 100) suffices.
+    assert_violation(SchemeKind::PicoCas, Litmus::AbaLlsc, 1);
+}
+
+#[test]
+fn pico_cas_admits_aba_on_the_stack_litmus() {
+    assert_violation(SchemeKind::PicoCas, Litmus::AbaStack, 1);
+}
+
+#[test]
+fn pico_st_store_window_misses_an_overlapping_llsc() {
+    // The seeded check-then-store window: needs two preemptions (pause
+    // the storer inside its lowered sequence, let the LL land, resume
+    // the store, then the SC wrongly succeeds).
+    assert_violation(SchemeKind::PicoSt, Litmus::StoreWindow, 2);
+}
+
+#[test]
+fn correct_schemes_are_clean_across_the_suite() {
+    let clean = [
+        SchemeKind::Hst,
+        SchemeKind::HstWeak,
+        SchemeKind::HstHtm,
+        SchemeKind::Pst,
+        SchemeKind::PstRemap,
+        SchemeKind::PicoHtm,
+    ];
+    // A reduced budget keeps this test quick; the seeded bugs above are
+    // found in far fewer runs, and the nightly `adbt_check --ci` sweep
+    // runs the full default budget.
+    let opts = CheckOpts {
+        budget: 300,
+        ..CheckOpts::default()
+    };
+    for scheme in clean {
+        for litmus in Litmus::ALL {
+            let report = check_pair(scheme, litmus, &opts);
+            assert!(
+                report.violation.is_none(),
+                "{} × {litmus}: false positive: {:?}",
+                scheme.name(),
+                report.violation
+            );
+        }
+    }
+}
+
+#[test]
+fn off_diagonal_pico_pairs_are_clean() {
+    // The buggy schemes must only be flagged where the paper predicts:
+    // PICO-CAS survives the plain-store race (its value compare sees
+    // 200 ≠ 100) and PICO-ST's window needs a plain store to matter.
+    let opts = CheckOpts {
+        budget: 300,
+        ..CheckOpts::default()
+    };
+    for (scheme, litmus) in [
+        (SchemeKind::PicoCas, Litmus::StoreWindow),
+        (SchemeKind::PicoSt, Litmus::AbaLlsc),
+        (SchemeKind::PicoSt, Litmus::AbaStack),
+    ] {
+        assert!(!expected_violation(scheme, litmus));
+        let report = check_pair(scheme, litmus, &opts);
+        assert!(
+            report.violation.is_none(),
+            "{} × {litmus}: {:?}",
+            scheme.name(),
+            report.violation
+        );
+    }
+}
+
+#[test]
+fn violation_traces_parse_as_schedules() {
+    let report = check_pair(SchemeKind::PicoCas, Litmus::AbaLlsc, &opts());
+    let trace = report.violation.unwrap().trace;
+    assert!(ScriptedScheduler::parse(&trace).is_ok(), "{trace}");
+}
+
+#[test]
+fn litmus_programs_assemble_at_image_base() {
+    for litmus in Litmus::ALL {
+        assemble(&litmus.program().source, IMAGE_BASE).unwrap();
+    }
+}
+
+#[test]
+fn non_preemptive_base_run_is_clean_and_sequential() {
+    // The explorer's scheduler and the replay scheduler share the
+    // non-preemptive fallback; the empty script must run vCPU 0 to
+    // completion and then vCPU 1, or traces would not replay.
+    let litmus = Litmus::AbaLlsc;
+    let base = check_pair(
+        SchemeKind::Hst,
+        litmus,
+        &CheckOpts {
+            budget: 1,
+            max_preemptions: 0,
+            ..CheckOpts::default()
+        },
+    );
+    assert!(base.violation.is_none());
+
+    let program = litmus.program();
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .max_block_insns(1)
+        .build()
+        .unwrap();
+    machine.load_asm(&program.source, IMAGE_BASE).unwrap();
+    let vcpus: Vec<Vcpu> = program
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Vcpu::new(i as u32 + 1, machine.symbol(e.unwrap()).unwrap()))
+        .collect();
+    let mut sched = ScriptedScheduler::new();
+    machine.run_scheduled(vcpus, &mut sched, 20_000);
+    let trace = sched.trace();
+    assert!(
+        trace.starts_with("0x") && trace.ends_with(",1"),
+        "expected one 0-segment then vCPU 1 to completion, got '{trace}'"
+    );
+    assert!(adbt_check::oracle::judge(SchemeKind::Hst.atomicity(), &sched.events).is_none());
+}

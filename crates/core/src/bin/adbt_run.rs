@@ -2,24 +2,34 @@
 //!
 //! ```text
 //! adbt-run <program.s> [--scheme hst] [--threads 4] [--base 0x10000]
-//!          [--entry <symbol|addr>] [--sim] [--fuse-atomics]
-//!          [--dump <symbol|addr>] [--memory BYTES] [--stats]
-//!          [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
+//!          [--entry <symbol|addr>] [--sim] [--replay <trace>]
+//!          [--fuse-atomics] [--dump <symbol|addr>] [--memory BYTES]
+//!          [--stats] [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
 //!          [--htm-degrade-after N]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
 //! (default: the image base) with the launch ABI (r0 = thread index,
 //! r1 = thread count, sp = a private stack), and the process exit code
-//! is the first non-zero guest exit code (0 if all succeed).
+//! is the first non-zero guest exit code (0 if all succeed). `--entry`
+//! also accepts a comma-separated list assigned to vCPUs round-robin,
+//! for programs whose threads run different code.
+//!
+//! `--replay` takes a schedule trace in the `VxN,…,V` segment form the
+//! interleaving checker (`adbt_check`) prints for a violation, and runs
+//! it deterministically on the scheduled engine (one guest instruction
+//! per atom, same as the checker), so a found interleaving bug can be
+//! re-executed and inspected outside the checker.
 
+use adbt::engine::ScriptedScheduler;
 use adbt::{ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: adbt-run <program.s> [--scheme NAME] [--threads N] [--base ADDR]\n\
-         \x20               [--entry SYM|ADDR] [--sim] [--fuse-atomics] [--dump SYM|ADDR]\n\
+         \x20               [--entry SYM|ADDR[,SYM…]] [--sim] [--replay TRACE]\n\
+         \x20               [--fuse-atomics] [--dump SYM|ADDR]\n\
          \x20               [--memory BYTES] [--stats]\n\
          \x20               [--chaos seed=U64,rate=F64] [--watchdog-ms N]\n\
          \x20               [--htm-degrade-after N]\n\
@@ -29,19 +39,52 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-/// Parses `seed=<u64>,rate=<f64>` (either order; both required).
-fn parse_chaos(text: &str) -> Option<ChaosCfg> {
+/// Parses and validates `seed=<u64>,rate=<f64>` (either order; both
+/// required, each exactly once).
+///
+/// Validation is strict *before* [`ChaosCfg::new`] ever sees the
+/// values: `ChaosCfg` clamps its rate to [0, 1] for internal callers,
+/// which on the command line would silently turn a typo like
+/// `rate=1e9` (or `rate=NaN`) into a full-blast or zero-rate campaign.
+fn parse_chaos(text: &str) -> Result<ChaosCfg, String> {
     let mut seed: Option<u64> = None;
     let mut rate: Option<f64> = None;
     for part in text.split(',') {
-        let (key, value) = part.split_once('=')?;
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(format!("`{part}` is not a key=value pair"));
+        };
+        let value = value.trim();
         match key.trim() {
-            "seed" => seed = Some(value.trim().parse().ok()?),
-            "rate" => rate = Some(value.trim().parse().ok()?),
-            _ => return None,
+            "seed" => {
+                if seed.is_some() {
+                    return Err("duplicate `seed` key".to_string());
+                }
+                seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad seed `{value}` (want a u64)"))?,
+                );
+            }
+            "rate" => {
+                if rate.is_some() {
+                    return Err("duplicate `rate` key".to_string());
+                }
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad rate `{value}` (want a float in [0, 1])"))?;
+                if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+                    return Err(format!("rate `{value}` is outside [0, 1]"));
+                }
+                rate = Some(parsed);
+            }
+            other => return Err(format!("unknown key `{other}` (want seed, rate)")),
         }
     }
-    Some(ChaosCfg::new(seed?, rate?))
+    match (seed, rate) {
+        (Some(seed), Some(rate)) => Ok(ChaosCfg::new(seed, rate)),
+        (None, _) => Err("missing `seed`".to_string()),
+        (_, None) => Err("missing `rate`".to_string()),
+    }
 }
 
 fn parse_u32(text: &str) -> Option<u32> {
@@ -61,6 +104,7 @@ fn main() -> ExitCode {
     let mut dump: Option<String> = None;
     let mut memory: u32 = 32 << 20;
     let mut sim = false;
+    let mut replay: Option<ScriptedScheduler> = None;
     let mut fuse = false;
     let mut stats = false;
     let mut chaos: Option<ChaosCfg> = None;
@@ -97,8 +141,8 @@ fn main() -> ExitCode {
             }
             "--chaos" => {
                 let spec = args.next().unwrap_or_else(|| usage());
-                chaos = Some(parse_chaos(&spec).unwrap_or_else(|| {
-                    eprintln!("bad --chaos spec `{spec}` (want seed=U64,rate=F64)");
+                chaos = Some(parse_chaos(&spec).unwrap_or_else(|why| {
+                    eprintln!("bad --chaos spec `{spec}`: {why}");
                     usage()
                 }));
             }
@@ -106,7 +150,21 @@ fn main() -> ExitCode {
                 watchdog_ms = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
+                if watchdog_ms == 0 {
+                    eprintln!(
+                        "--watchdog-ms 0 would silently disarm the watchdog; \
+                         omit the flag to run without one"
+                    );
+                    usage()
+                }
+            }
+            "--replay" => {
+                let trace = args.next().unwrap_or_else(|| usage());
+                replay = Some(ScriptedScheduler::parse(&trace).unwrap_or_else(|why| {
+                    eprintln!("bad --replay trace `{trace}`: {why}");
+                    usage()
+                }));
             }
             "--htm-degrade-after" => {
                 htm_degrade_after = args
@@ -139,14 +197,23 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut machine = match MachineBuilder::new(scheme)
+    if replay.is_some() && sim {
+        eprintln!("--replay and --sim are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let mut builder = MachineBuilder::new(scheme)
         .memory(memory)
         .fuse_atomics(fuse)
         .chaos(chaos)
         .watchdog_ms(watchdog_ms)
-        .htm_degrade_after(htm_degrade_after)
-        .build()
-    {
+        .htm_degrade_after(htm_degrade_after);
+    if replay.is_some() {
+        // Checker traces count atoms at instruction granularity; replay
+        // must translate the same single-instruction blocks.
+        builder = builder.max_block_insns(1);
+    }
+    let mut machine = match builder.build() {
         Ok(machine) => machine,
         Err(e) => {
             eprintln!("{e}");
@@ -179,24 +246,37 @@ fn main() -> ExitCode {
         }
     }
 
-    let entry_addr = match entry {
-        Some(text) => match resolve(&machine, &text) {
-            Some(addr) => addr,
-            None => {
-                eprintln!("cannot resolve entry `{text}`");
-                return ExitCode::from(2);
+    // `--entry` takes one entry, or a comma-separated list assigned
+    // per-vCPU round-robin (`--entry victim,attacker --threads 2`) —
+    // the form checker litmuses with asymmetric threads need.
+    let mut entry_addrs: Vec<u32> = Vec::new();
+    match &entry {
+        Some(text) => {
+            for part in text.split(',') {
+                match resolve(&machine, part.trim()) {
+                    Some(addr) => entry_addrs.push(addr),
+                    None => {
+                        eprintln!("cannot resolve entry `{part}`");
+                        return ExitCode::from(2);
+                    }
+                }
             }
-        },
-        None => base,
-    };
+        }
+        None => entry_addrs.push(base),
+    }
+    let mut vcpus = machine.make_vcpus(threads, entry_addrs[0]);
+    for (i, vcpu) in vcpus.iter_mut().enumerate() {
+        vcpu.pc = entry_addrs[i % entry_addrs.len()];
+    }
 
-    let report = if sim {
-        machine.core().run_sim(
-            machine.make_vcpus(threads, entry_addr),
-            &SimCosts::default(),
-        )
+    let report = if let Some(mut sched) = replay {
+        let report = machine.run_scheduled(vcpus, &mut sched, 10_000_000);
+        eprintln!("replayed schedule: {}", sched.trace());
+        report
+    } else if sim {
+        machine.core().run_sim(vcpus, &SimCosts::default())
     } else {
-        machine.run(threads, entry_addr)
+        machine.run_vcpus(vcpus)
     };
 
     if !report.output.is_empty() {
@@ -270,4 +350,45 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::from(exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_chaos;
+
+    #[test]
+    fn chaos_spec_round_trips() {
+        assert!(parse_chaos("seed=42,rate=0.5").is_ok());
+        assert!(parse_chaos("rate=1,seed=0").is_ok());
+        assert!(parse_chaos(" seed = 7 , rate = 0 ").is_ok());
+    }
+
+    #[test]
+    fn chaos_spec_rejects_out_of_range_rates_instead_of_clamping() {
+        for bad in [
+            "seed=1,rate=1.5",
+            "seed=1,rate=-0.1",
+            "seed=1,rate=NaN",
+            "seed=1,rate=inf",
+        ] {
+            let why = parse_chaos(bad).unwrap_err();
+            assert!(
+                why.contains("[0, 1]") || why.contains("outside"),
+                "{bad}: {why}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_spec_rejects_malformed_input() {
+        assert!(parse_chaos("").is_err());
+        assert!(parse_chaos("seed=1").is_err());
+        assert!(parse_chaos("rate=0.5").is_err());
+        assert!(parse_chaos("seed=1,rate=0.5,rate=0.7").is_err());
+        assert!(parse_chaos("seed=1,seed=2,rate=0.5").is_err());
+        assert!(parse_chaos("seed=1,rate=0.5,").is_err());
+        assert!(parse_chaos("seed=1,rate=0.5,extra=9").is_err());
+        assert!(parse_chaos("seed=-1,rate=0.5").is_err());
+        assert!(parse_chaos("seed=1 rate=0.5").is_err());
+    }
 }

@@ -186,6 +186,19 @@ impl Machine {
         self.core.run_lockstep(vcpus, schedule)
     }
 
+    /// Runs pre-built vCPUs one atom at a time under an external
+    /// [`adbt_engine::Scheduler`] — the mode `adbt_check` enumerates
+    /// interleavings with and `adbt_run --replay` replays (see
+    /// [`MachineCore::run_scheduled`]).
+    pub fn run_scheduled(
+        &self,
+        vcpus: Vec<Vcpu>,
+        sched: &mut dyn adbt_engine::Scheduler,
+        max_atoms: u64,
+    ) -> RunReport {
+        self.core.run_scheduled(vcpus, sched, max_atoms)
+    }
+
     /// Runs `threads` vCPUs from `entry` on the simulated multicore with
     /// the default cost model (see [`adbt_engine::SimCosts`]).
     pub fn run_sim(&self, threads: u32, entry: u32) -> RunReport {

@@ -20,6 +20,14 @@ use std::time::Instant;
 /// `start_exclusive`, or no section at all). Real tids are 1-based.
 const NO_HOLDER: u32 = 0;
 
+/// Error returned by [`ExclusiveBarrier::start_exclusive`] when
+/// [`ExclusiveBarrier::halt`] fires before (or while) exclusivity is
+/// granted. A halted machine grants no exclusivity: the requester must
+/// abandon guest execution, not run its critical section against a
+/// world that is no longer stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Halted;
+
 #[derive(Debug, Default)]
 struct Inner {
     /// Number of vCPUs currently running (registered and not parked).
@@ -74,12 +82,14 @@ impl ExclusiveBarrier {
     /// Enters an exclusive section: waits until every other registered
     /// vCPU is parked, then returns with exclusivity held. Returns the
     /// nanoseconds spent waiting (the requester side of the "exclusive"
-    /// profile bucket).
+    /// profile bucket), or [`Halted`] if [`ExclusiveBarrier::halt`]
+    /// fired — in which case the section was **not** entered and the
+    /// caller must not run its critical work.
     ///
     /// Concurrent requesters serialize; while waiting for another
     /// requester, the caller counts as parked so the two cannot deadlock.
     #[must_use = "add the returned wait time to VcpuStats::exclusive_ns"]
-    pub fn start_exclusive(&self) -> u64 {
+    pub fn start_exclusive(&self) -> Result<u64, Halted> {
         let start = Instant::now();
         let mut inner = self.inner.lock();
         while inner.exclusive_active && !self.halted() {
@@ -89,12 +99,28 @@ impl ExclusiveBarrier {
             self.cond.wait(&mut inner);
             inner.running += 1;
         }
+        // A requester woken from the park above by `halt()` must observe
+        // the halt *before* claiming the section: the previous holder may
+        // still be mid-critical-work (wedged), and the watchdog already
+        // declared the stop-the-world protocol dead.
+        if self.halted() {
+            return Err(Halted);
+        }
         inner.exclusive_active = true;
         self.pending.store(true, Ordering::SeqCst);
         while inner.running > 1 && !self.halted() {
             self.cond.wait(&mut inner);
         }
-        start.elapsed().as_nanos() as u64
+        if self.halted() {
+            // Claimed, but the world never finished stopping. Undo the
+            // claim so late safepoint checks and `end_exclusive` debug
+            // assertions see a consistent barrier, then report failure.
+            inner.exclusive_active = false;
+            self.pending.store(false, Ordering::SeqCst);
+            self.cond.notify_all();
+            return Err(Halted);
+        }
+        Ok(start.elapsed().as_nanos() as u64)
     }
 
     /// Like [`ExclusiveBarrier::start_exclusive`], but records `tid` as the
@@ -103,10 +129,10 @@ impl ExclusiveBarrier {
     /// exclusive section spans block dispatches (degraded-HTM regions):
     /// the holder crosses its own safepoint while the section is active.
     #[must_use = "add the returned wait time to VcpuStats::exclusive_ns"]
-    pub fn start_exclusive_as(&self, tid: u32) -> u64 {
-        let waited = self.start_exclusive();
+    pub fn start_exclusive_as(&self, tid: u32) -> Result<u64, Halted> {
+        let waited = self.start_exclusive()?;
         self.holder.store(tid, Ordering::SeqCst);
-        waited
+        Ok(waited)
     }
 
     /// Leaves the exclusive section entered by
@@ -202,7 +228,7 @@ mod tests {
     fn single_thread_enters_immediately() {
         let b = ExclusiveBarrier::new();
         b.register();
-        let waited = b.start_exclusive();
+        let waited = b.start_exclusive().unwrap();
         b.end_exclusive();
         b.unregister();
         assert!(waited < 1_000_000_000);
@@ -241,7 +267,7 @@ mod tests {
                 let mut stable_reads = 0;
                 for _ in 0..EXCLUSIVE_ROUNDS {
                     let _ = barrier.safepoint();
-                    let _ = barrier.start_exclusive();
+                    let _ = barrier.start_exclusive().unwrap();
                     // While exclusive, the counter must not move.
                     let before = counter.load(Ordering::Relaxed);
                     for _ in 0..50 {
@@ -280,7 +306,7 @@ mod tests {
                 barrier.register();
                 for _ in 0..500 {
                     let _ = barrier.safepoint();
-                    let _ = barrier.start_exclusive();
+                    let _ = barrier.start_exclusive().unwrap();
                     barrier.end_exclusive();
                 }
                 barrier.unregister();
@@ -308,7 +334,7 @@ mod tests {
         // The point is deadlock-freedom: the requester must return even
         // though the worker never parks (it exits instead). The wait
         // duration itself is scheduling-dependent, so it is not asserted.
-        let _waited = barrier.start_exclusive();
+        let _waited = barrier.start_exclusive().unwrap();
         barrier.end_exclusive();
         barrier.unregister();
         worker.join().unwrap();
@@ -320,7 +346,7 @@ mod tests {
     fn register_during_exclusive_parks_until_end() {
         let barrier = Arc::new(ExclusiveBarrier::new());
         barrier.register(); // main
-        let _ = barrier.start_exclusive();
+        let _ = barrier.start_exclusive().unwrap();
 
         let registered = Arc::new(AtomicBool::new(false));
         let late = {
@@ -352,7 +378,7 @@ mod tests {
     fn holder_safepoint_is_a_no_op() {
         let barrier = ExclusiveBarrier::new();
         barrier.register();
-        let _ = barrier.start_exclusive_as(7);
+        let _ = barrier.start_exclusive_as(7).unwrap();
         assert!(barrier.exclusive_pending());
         // The holder's safepoint must return immediately (no park, hence
         // effectively zero wait) even though an exclusive is pending.
@@ -380,12 +406,96 @@ mod tests {
                 barrier.unregister();
             })
         };
-        let _ = barrier.start_exclusive();
+        let _ = barrier.start_exclusive().unwrap();
         // Never end_exclusive: simulate a wedged holder. The watchdog
         // path must still free the parked waiter.
         barrier.halt();
         waiter.join().unwrap();
         barrier.end_exclusive();
+        barrier.unregister();
+    }
+
+    /// Halt/park race regression: a requester parked inside
+    /// `start_exclusive` (waiting out another holder's section) that is
+    /// woken by `halt()` must observe the halt and report [`Halted`] —
+    /// it must **not** claim the section and run "exclusively" against
+    /// an unstopped world, which is what the pre-fix code did.
+    #[test]
+    fn halted_requester_never_claims_the_section() {
+        let barrier = Arc::new(ExclusiveBarrier::new());
+        barrier.register(); // main (the wedged holder)
+        barrier.register(); // the requester thread's slot
+
+        let requester = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Let main claim the section first, then park in
+                // start_exclusive's first wait loop behind it.
+                while !barrier.exclusive_pending() {
+                    std::hint::spin_loop();
+                }
+                barrier.start_exclusive()
+            })
+        };
+
+        // Granted once the requester parks; then wedge and halt.
+        let _ = barrier.start_exclusive().unwrap();
+        barrier.halt();
+
+        let granted = requester.join().unwrap();
+        assert_eq!(
+            granted,
+            Err(Halted),
+            "a requester parked across halt() re-entered the exclusive section"
+        );
+        assert!(
+            barrier.exclusive_pending(),
+            "the failed requester must not have torn down the holder's section"
+        );
+        barrier.end_exclusive();
+        barrier.unregister();
+        barrier.unregister();
+    }
+
+    /// Same race on the second wait loop: the requester has claimed the
+    /// section but `halt()` fires before the world finishes stopping.
+    /// The claim must be undone (no dangling `pending` flag) and the
+    /// requester told [`Halted`].
+    #[test]
+    fn halt_during_world_stop_undoes_the_claim() {
+        let barrier = Arc::new(ExclusiveBarrier::new());
+        barrier.register(); // main
+        barrier.register(); // a peer that never parks
+
+        let requester = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || barrier.start_exclusive())
+        };
+        // The requester claims immediately (no active section) and then
+        // waits for the peer — which never parks. Halt it loose.
+        while !barrier.exclusive_pending() {
+            std::hint::spin_loop();
+        }
+        barrier.halt();
+        assert_eq!(requester.join().unwrap(), Err(Halted));
+        assert!(
+            !barrier.exclusive_pending(),
+            "a halted half-claimed section left the pending flag set"
+        );
+        barrier.unregister();
+        barrier.unregister();
+    }
+
+    /// `start_exclusive_as` propagates the halt without naming a holder.
+    #[test]
+    fn halted_named_requester_sets_no_holder() {
+        let barrier = ExclusiveBarrier::new();
+        barrier.register();
+        barrier.halt();
+        assert_eq!(barrier.start_exclusive_as(3), Err(Halted));
+        // No section, no holder: a bystander safepoint passes through.
+        assert_eq!(barrier.safepoint_for(9), 0);
+        barrier.reset_halt();
         barrier.unregister();
     }
 }

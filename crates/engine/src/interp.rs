@@ -100,6 +100,16 @@ fn set_nz(flags: &mut Flags, value: u32) {
     flags.z = value == 0;
 }
 
+/// How a (possibly resumable) block execution ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockRun {
+    /// The block ran to its exit; the value is the next guest PC.
+    Done(u32),
+    /// Scheduled mode only: execution paused at an [`Op::Yield`] /
+    /// [`Op::Window`] point; the value is the op index to resume from.
+    Paused(usize),
+}
+
 /// Executes a translated block and returns the next guest PC.
 ///
 /// # Errors
@@ -107,13 +117,37 @@ fn set_nz(flags: &mut Flags, value: u32) {
 /// Propagates traps from memory ops, helpers, syscalls and undefined
 /// instructions; the run loop decides what each trap means for the vCPU.
 pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
-    ctx.stats.blocks += 1;
-    ctx.stats.insns += block.guest_len as u64;
-    if ctx.cpu.temps.len() < block.temps as usize {
-        ctx.cpu.temps.resize(block.temps as usize, 0);
+    match run_block_from(ctx, block, 0)? {
+        BlockRun::Done(next_pc) => Ok(next_pc),
+        // Pause points only fire when a scheduler asked for them, and
+        // only scheduled dispatch does; every other mode runs blocks
+        // whole.
+        BlockRun::Paused(_) => unreachable!("block paused outside scheduled mode"),
+    }
+}
+
+/// Executes a translated block starting at op index `start` (0 for a
+/// fresh entry; a [`BlockRun::Paused`] value to resume). Per-block
+/// statistics are charged on fresh entry only, so a paused-and-resumed
+/// block counts once.
+///
+/// # Errors
+///
+/// See [`run_block`].
+pub fn run_block_from(
+    ctx: &mut ExecCtx<'_>,
+    block: &Block,
+    start: usize,
+) -> Result<BlockRun, Trap> {
+    if start == 0 {
+        ctx.stats.blocks += 1;
+        ctx.stats.insns += block.guest_len as u64;
+        if ctx.cpu.temps.len() < block.temps as usize {
+            ctx.cpu.temps.resize(block.temps as usize, 0);
+        }
     }
 
-    for op in &block.ops {
+    for (i, op) in block.ops.iter().enumerate().skip(start) {
         match op {
             Op::Mov {
                 dst,
@@ -218,8 +252,17 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
             }
             Op::Yield => {
                 ctx.stats.yields += 1;
+                if ctx.pause_on_yield {
+                    return Ok(BlockRun::Paused(i + 1));
+                }
                 if ctx.machine.is_threaded() {
                     std::thread::yield_now();
+                }
+            }
+            Op::Window => {
+                // No-op outside scheduled runs; see `Op::Window` docs.
+                if ctx.pause_on_yield {
+                    return Ok(BlockRun::Paused(i + 1));
                 }
             }
             Op::MonitorArm { dst, addr } => {
@@ -228,6 +271,7 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
                 let value = ctx.load(vaddr, adbt_mmu::Width::Word)?;
                 ctx.cpu.monitor.addr = Some(vaddr);
                 ctx.cpu.monitor.value = value;
+                ctx.note_ll(vaddr);
                 write(ctx, *dst, value);
             }
             Op::MonitorScCas { dst, addr, new } => {
@@ -252,10 +296,12 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
                 if !ok {
                     ctx.stats.sc_failures += 1;
                 }
+                ctx.note_sc(vaddr, ok, new);
                 write(ctx, *dst, !ok as u32);
             }
             Op::MonitorClear => {
                 ctx.cpu.monitor.addr = None;
+                ctx.note_clrex();
             }
             Op::AtomicRmw {
                 dst,
@@ -279,32 +325,41 @@ pub fn run_block(ctx: &mut ExecCtx<'_>, block: &Block) -> Result<u32, Trap> {
                     adbt_ir::RmwOp::Xor => adbt_mmu::RmwKind::Xor,
                 };
                 let old = ctx.atomic_rmw(vaddr, kind, operand)?;
+                // A fused RMW is an LL immediately followed by an SC
+                // that cannot fail — report it as that pair.
+                ctx.note_ll(vaddr);
+                ctx.note_sc(vaddr, true, old);
                 write(ctx, *dst, old);
             }
         }
     }
 
-    match &block.exit {
-        BlockExit::Jump(target) => Ok(*target),
+    let next_pc = match &block.exit {
+        BlockExit::Jump(target) => *target,
         BlockExit::CondJump {
             cond,
             taken,
             fallthrough,
-        } => Ok(if ctx.cpu.flags.holds(*cond) {
-            *taken
-        } else {
-            *fallthrough
-        }),
-        BlockExit::Indirect { target } => Ok(eval(ctx, *target)),
+        } => {
+            if ctx.cpu.flags.holds(*cond) {
+                *taken
+            } else {
+                *fallthrough
+            }
+        }
+        BlockExit::Indirect { target } => eval(ctx, *target),
         BlockExit::Svc { num, ret_addr } => {
             ctx.syscall(*num)?;
-            Ok(*ret_addr)
+            *ret_addr
         }
-        BlockExit::Undefined { addr, info } => Err(Trap::Undefined {
-            addr: *addr,
-            info: *info,
-        }),
-    }
+        BlockExit::Undefined { addr, info } => {
+            return Err(Trap::Undefined {
+                addr: *addr,
+                info: *info,
+            })
+        }
+    };
+    Ok(BlockRun::Done(next_pc))
 }
 
 #[cfg(test)]

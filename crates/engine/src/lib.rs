@@ -18,9 +18,12 @@
 //!   guest **syscall** layer,
 //! * per-vCPU **statistics** with the paper's four-bucket overhead
 //!   breakdown ([`VcpuStats`], [`Breakdown`]),
-//! * two execution modes: **threaded** (real concurrency; all
-//!   performance results) and **lockstep** (deterministic scheduled
-//!   interleaving; the §IV-A litmus tests).
+//! * four execution modes: **threaded** (real concurrency; all
+//!   performance results), **simulated** (virtual-time multicore; the
+//!   host-independent performance figures), **lockstep** (deterministic
+//!   round-robin interleaving; the §IV-A litmus tests), and
+//!   **scheduled** (an external [`Scheduler`] picks every atom — the
+//!   substrate `adbt-check` enumerates interleavings with).
 //!
 //! The engine is deliberately scheme-agnostic: correctness and cost of
 //! LL/SC emulation live entirely behind the [`AtomicScheme`] trait,
@@ -68,6 +71,7 @@ pub mod frontend;
 pub mod interp;
 mod machine;
 mod runtime;
+pub mod sched;
 mod scheme;
 mod state;
 mod stats;
@@ -75,9 +79,10 @@ mod store_test;
 pub mod watchdog;
 
 pub use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, ChaosStream, RetryPolicy};
-pub use exclusive::ExclusiveBarrier;
+pub use exclusive::{ExclusiveBarrier, Halted};
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};
+pub use sched::{format_choices, SchedEvent, Scheduler, ScriptedScheduler};
 pub use scheme::{AtomicScheme, Atomicity};
 pub use state::{Flags, Monitor, Vcpu, VcpuSnapshot};
 pub use stats::{calibration, Breakdown, Calibration, SimBreakdown, SimCosts, VcpuStats};

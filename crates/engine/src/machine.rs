@@ -6,6 +6,7 @@ use crate::exclusive::ExclusiveBarrier;
 use crate::frontend;
 use crate::interp;
 use crate::runtime::{ExecCtx, HelperFn, HelperRegistry, Trap};
+use crate::sched::{SchedEvent, Scheduler};
 use crate::scheme::AtomicScheme;
 use crate::state::Vcpu;
 use crate::stats::{Breakdown, SimBreakdown, SimCosts, SimSnapshot, VcpuStats};
@@ -432,6 +433,7 @@ impl MachineCore {
                 Err(Trap::HtmAbort(_reason)) => {
                     ctx.stats.htm_aborts += 1;
                     ctx.txn = None;
+                    ctx.discard_txn_events();
                     match ctx.txn_restart.take() {
                         Some((restart_pc, snapshot)) => {
                             ctx.cpu.restore(&snapshot);
@@ -555,7 +557,11 @@ impl MachineCore {
                 }
                 if self.is_threaded() {
                     if ctx.sc_fail_streak >= self.retry.degrade_after && !ctx.region_active() {
-                        ctx.open_sc_window();
+                        if !ctx.open_sc_window() {
+                            // Halted while waiting for the window's
+                            // exclusivity: wind this vCPU down cleanly.
+                            return Some(VcpuOutcome::Livelocked { pc: ctx.cpu.pc });
+                        }
                     } else {
                         ctx.stats.lock_wait_ns += self.retry.backoff(ctx.sc_fail_streak);
                     }
@@ -734,6 +740,196 @@ impl MachineCore {
             })
             .collect();
         self.report(results, wall, None)
+    }
+
+    /// Runs the vCPUs under an external [`Scheduler`], one **atom** at a
+    /// time on the calling thread — the mode `adbt-check` enumerates
+    /// interleavings with. An atom is one translated block, or the
+    /// partial block up to / resuming from an `Op::Yield` / `Op::Window`
+    /// pause point; combine with `max_block_insns: 1` for instruction
+    /// granularity. Every atomicity-relevant action is streamed to the
+    /// scheduler as a [`SchedEvent`].
+    ///
+    /// Runs until every vCPU finishes or `max_atoms` atoms have been
+    /// dispatched; vCPUs still live at the cap report as livelocked.
+    pub fn run_scheduled(
+        &self,
+        vcpus: Vec<Vcpu>,
+        sched: &mut dyn Scheduler,
+        max_atoms: u64,
+    ) -> RunReport {
+        self.threaded.store(false, Ordering::Relaxed);
+        let n = vcpus.len() as u32;
+        let start = Instant::now();
+        self.exclusive.register();
+
+        let mut ctxs: Vec<ExecCtx<'_>> = vcpus
+            .into_iter()
+            .map(|cpu| {
+                let mut ctx = ExecCtx::new(cpu, self, n);
+                ctx.pause_on_yield = true;
+                ctx.record_events = true;
+                ctx
+            })
+            .collect();
+        let mut l1s: Vec<L1Cache> = (0..ctxs.len()).map(|_| L1Cache::new()).collect();
+        // A vCPU paused inside a block: (block id, op index to resume
+        // from). The shared cache is append-only, so the id stays valid.
+        let mut cursors: Vec<Option<(u32, usize)>> = vec![None; ctxs.len()];
+        let mut outcomes: Vec<Option<VcpuOutcome>> = vec![None; ctxs.len()];
+        let mut enabled: Vec<bool> = vec![true; ctxs.len()];
+        let mut remaining = ctxs.len();
+        let mut last: Option<usize> = None;
+
+        let mut atom = 0u64;
+        while remaining > 0 && atom < max_atoms {
+            let idx = sched.pick(atom, &enabled, last);
+            assert!(
+                enabled.get(idx).copied().unwrap_or(false),
+                "scheduler picked finished or out-of-range vCPU {idx}"
+            );
+            last = Some(idx);
+            if let Some(outcome) =
+                self.scheduled_atom(&mut ctxs[idx], &mut l1s[idx], &mut cursors[idx])
+            {
+                ctxs[idx].release_region();
+                outcomes[idx] = Some(outcome);
+                enabled[idx] = false;
+                remaining -= 1;
+            }
+            // Drained after the outcome so teardown events (exclusive
+            // exits from `release_region`) reach the scheduler too.
+            for event in ctxs[idx].drain_events() {
+                sched.observe(atom, event);
+            }
+            atom += 1;
+        }
+        self.exclusive.unregister();
+        let wall = start.elapsed();
+        let results = ctxs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(ctx, outcome)| {
+                (
+                    outcome.unwrap_or(VcpuOutcome::Livelocked { pc: ctx.cpu.pc }),
+                    ctx.stats,
+                )
+            })
+            .collect();
+        self.report(results, wall, None)
+    }
+
+    /// One scheduled atom: resume a paused block, or dispatch a fresh
+    /// one exactly the way [`MachineCore::step`] does (safepoint, robust
+    /// hop, cache lookup, engine-token observation). Returns
+    /// `Some(outcome)` when the vCPU finished.
+    fn scheduled_atom(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        l1: &mut L1Cache,
+        cursor: &mut Option<(u32, usize)>,
+    ) -> Option<VcpuOutcome> {
+        if let Some((id, resume_at)) = cursor.take() {
+            // Mid-block resume: no safepoint, no lookup — the vCPU is
+            // between two ops of an already-dispatched block.
+            let block = self.cache.block(id);
+            return match interp::run_block_from(ctx, block, resume_at) {
+                Ok(interp::BlockRun::Done(next)) => {
+                    ctx.cpu.pc = next;
+                    None
+                }
+                Ok(interp::BlockRun::Paused(next_op)) => {
+                    *cursor = Some((id, next_op));
+                    None
+                }
+                Err(trap) => self.scheduled_trap(ctx, trap),
+            };
+        }
+        ctx.stats.exclusive_ns += self.exclusive.safepoint_for(ctx.cpu.tid);
+        ctx.note_event(SchedEvent::Safepoint { tid: ctx.cpu.tid });
+        if ctx.robust {
+            if let Some(outcome) = self.robust_hop(ctx) {
+                return Some(outcome);
+            }
+        }
+        let pc = ctx.cpu.pc;
+        ctx.stats.dispatch_lookups += 1;
+        let id = match l1.get(pc) {
+            Some(id) => {
+                ctx.stats.l1_hits += 1;
+                id
+            }
+            None => {
+                ctx.stats.l1_misses += 1;
+                match self.lookup_or_translate(ctx, pc) {
+                    Ok(id) => {
+                        l1.put(pc, id);
+                        id
+                    }
+                    Err(trap) => return Some(trap_outcome(ctx, trap)),
+                }
+            }
+        };
+        let block = self.cache.block(id);
+        // Same engine-token observation as `step`: a region transaction
+        // crossing a dispatch reads the shared dispatcher structures.
+        let dispatch_result = match &mut ctx.txn {
+            Some(txn) => {
+                ctx.stats.txn_dispatches += 1;
+                (0..8)
+                    .try_for_each(|slot| txn.observe(adbt_htm::HtmDomain::engine_token(slot)))
+                    .map_err(Trap::HtmAbort)
+            }
+            None => Ok(()),
+        };
+        let exec_result = match dispatch_result {
+            Ok(()) => interp::run_block_from(ctx, block, 0),
+            Err(trap) => {
+                ctx.txn = None;
+                ctx.discard_txn_events();
+                Err(trap)
+            }
+        };
+        match exec_result {
+            Ok(interp::BlockRun::Done(next)) => {
+                ctx.cpu.pc = next;
+                None
+            }
+            Ok(interp::BlockRun::Paused(next_op)) => {
+                *cursor = Some((id, next_op));
+                None
+            }
+            Err(trap) => self.scheduled_trap(ctx, trap),
+        }
+    }
+
+    /// Trap disposition for scheduled atoms, mirroring `step`'s arms
+    /// minus the threaded-only backoff/degradation (a scheduler decides
+    /// all interleaving here, so there is nothing to back off from).
+    fn scheduled_trap(&self, ctx: &mut ExecCtx<'_>, trap: Trap) -> Option<VcpuOutcome> {
+        match trap {
+            Trap::Exit(code) => Some(VcpuOutcome::Exited(code)),
+            Trap::HtmAbort(reason) => {
+                ctx.stats.htm_aborts += 1;
+                ctx.txn = None;
+                ctx.discard_txn_events();
+                match ctx.txn_restart.take() {
+                    Some((restart_pc, snapshot)) => {
+                        ctx.cpu.restore(&snapshot);
+                        ctx.cpu.pc = restart_pc;
+                        ctx.txn_retries += 1;
+                        if self.retry.exhausted(ctx.txn_retries) {
+                            Some(VcpuOutcome::Livelocked { pc: restart_pc })
+                        } else {
+                            None
+                        }
+                    }
+                    None => Some(VcpuOutcome::Crashed(Trap::HtmAbort(reason))),
+                }
+            }
+            Trap::Livelock { pc, .. } => Some(VcpuOutcome::Livelocked { pc }),
+            other => Some(VcpuOutcome::Crashed(other)),
+        }
     }
 
     /// Runs the vCPUs on a **simulated multicore**: a deterministic

@@ -2,6 +2,7 @@
 //! registry, and the per-thread execution context.
 
 use crate::machine::MachineCore;
+use crate::sched::SchedEvent;
 use crate::state::{Vcpu, VcpuSnapshot};
 use crate::stats::VcpuStats;
 use crate::watchdog::VcpuBeat;
@@ -189,6 +190,18 @@ pub struct ExecCtx<'m> {
     /// `stats.sc` when the window opened; the boundary hop closes the
     /// window once an SC has run under it.
     pub(crate) sc_window_mark: u64,
+    /// Scheduled mode: pause block execution at `Op::Yield`/`Op::Window`
+    /// so the scheduler can interleave inside marked windows.
+    pub(crate) pause_on_yield: bool,
+    /// Scheduled mode: stream atomicity events to the scheduler. Off on
+    /// every hot path (a single cold branch per note site).
+    pub(crate) record_events: bool,
+    /// Events produced since the scheduler last drained them.
+    pub(crate) events: Vec<SchedEvent>,
+    /// Events produced inside an open HTM region transaction: delivered
+    /// on commit (the region is atomic at its commit point), discarded
+    /// on abort (speculative stores never became visible).
+    pub(crate) txn_events: Vec<SchedEvent>,
 }
 
 impl<'m> ExecCtx<'m> {
@@ -217,6 +230,76 @@ impl<'m> ExecCtx<'m> {
             sc_fail_seen: 0,
             sc_window: false,
             sc_window_mark: 0,
+            pause_on_yield: false,
+            record_events: false,
+            events: Vec::new(),
+            txn_events: Vec::new(),
+        }
+    }
+
+    /// Records an atomicity event for the scheduler (scheduled runs
+    /// only; a no-op branch everywhere else). Events raised inside an
+    /// open region transaction are buffered until it commits.
+    #[inline]
+    pub fn note_event(&mut self, event: SchedEvent) {
+        if !self.record_events {
+            return;
+        }
+        if self.txn.is_some() {
+            self.txn_events.push(event);
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Notes that this vCPU's LL armed its monitor on `addr`. Scheme
+    /// helpers that arm the monitor themselves (rather than through
+    /// `Op::MonitorArm`) must call this.
+    #[inline]
+    pub fn note_ll(&mut self, addr: u32) {
+        if self.record_events {
+            self.note_event(SchedEvent::Ll {
+                tid: self.cpu.tid,
+                addr,
+            });
+        }
+    }
+
+    /// Notes an SC outcome on `addr`. Scheme helpers that resolve the SC
+    /// themselves (rather than through `Op::MonitorScCas`) must call
+    /// this *after* the store's visibility is decided.
+    #[inline]
+    pub fn note_sc(&mut self, addr: u32, ok: bool, value: u32) {
+        if self.record_events {
+            self.note_event(SchedEvent::Sc {
+                tid: self.cpu.tid,
+                addr,
+                ok,
+                value,
+            });
+        }
+    }
+
+    /// Notes a `clrex` (monitor disarm).
+    #[inline]
+    pub fn note_clrex(&mut self) {
+        if self.record_events {
+            self.note_event(SchedEvent::Clrex { tid: self.cpu.tid });
+        }
+    }
+
+    /// Hands the accumulated events to the caller (the scheduled run
+    /// loop drains after every atom).
+    pub(crate) fn drain_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Makes an aborted region transaction's buffered events disappear
+    /// along with its speculative stores.
+    #[inline]
+    pub(crate) fn discard_txn_events(&mut self) {
+        if !self.txn_events.is_empty() {
+            self.txn_events.clear();
         }
     }
 
@@ -240,6 +323,12 @@ impl<'m> ExecCtx<'m> {
         self.stats.injected_faults += 1;
         if let Some(plane) = &self.machine.chaos {
             plane.record(site);
+        }
+        if self.record_events {
+            self.note_event(SchedEvent::Chaos {
+                tid: self.cpu.tid,
+                site,
+            });
         }
         true
     }
@@ -294,13 +383,16 @@ impl<'m> ExecCtx<'m> {
         self.txn_restart = None;
         self.txn_retries = 0;
         self.region_blocks = 0;
+        self.discard_txn_events();
         if self.region_exclusive {
             self.region_exclusive = false;
             self.machine.exclusive.end_exclusive();
+            self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
         }
         if self.sc_window {
             self.sc_window = false;
             self.machine.exclusive.end_exclusive();
+            self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
         }
     }
 
@@ -312,13 +404,20 @@ impl<'m> ExecCtx<'m> {
     /// the stop-the-world rung of the degradation ladder, generalized
     /// from HTM regions to every LL/SC scheme. The boundary hop closes
     /// the window once an SC has run under it (or caps a runaway one).
-    pub(crate) fn open_sc_window(&mut self) {
+    /// Returns `false` (without opening anything) if the machine halted
+    /// while waiting for exclusivity — the caller must abandon the vCPU.
+    pub(crate) fn open_sc_window(&mut self) -> bool {
+        let Ok(waited) = self.machine.exclusive.start_exclusive_as(self.cpu.tid) else {
+            return false;
+        };
         self.stats.degradations += 1;
         self.stats.exclusive_entries += 1;
-        self.stats.exclusive_ns += self.machine.exclusive.start_exclusive_as(self.cpu.tid);
+        self.stats.exclusive_ns += waited;
+        self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
         self.sc_window = true;
         self.sc_window_mark = self.stats.sc;
         self.region_blocks = 0;
+        true
     }
 
     /// Closes a degraded SC window, resuming every parked vCPU.
@@ -326,6 +425,7 @@ impl<'m> ExecCtx<'m> {
         self.sc_window = false;
         self.region_blocks = 0;
         self.machine.exclusive.end_exclusive();
+        self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
     }
 
     /// Performs a guest load, routing faults to the scheme handler and
@@ -344,6 +444,7 @@ impl<'m> ExecCtx<'m> {
                             Ok(v) => Ok(v),
                             Err(reason) => {
                                 self.txn = None;
+                                self.discard_txn_events();
                                 Err(Trap::HtmAbort(reason))
                             }
                         },
@@ -414,6 +515,7 @@ impl<'m> ExecCtx<'m> {
                                 txn.store(self.machine.space.mem(), paddr, width, value)
                             {
                                 self.txn = None;
+                                self.discard_txn_events();
                                 return Err(Trap::HtmAbort(reason));
                             }
                         }
@@ -424,6 +526,13 @@ impl<'m> ExecCtx<'m> {
                             }
                         }
                     }
+                    if guest_store && self.record_events {
+                        self.note_event(SchedEvent::GuestStore {
+                            tid: self.cpu.tid,
+                            addr: vaddr,
+                            width,
+                        });
+                    }
                     return Ok(());
                 }
                 Err(fault) => {
@@ -432,7 +541,18 @@ impl<'m> ExecCtx<'m> {
                         FaultAccess::Store { value, width },
                         &mut retries,
                     )? {
-                        FaultOutcome::Done => return Ok(()), // handler stored it
+                        FaultOutcome::Done => {
+                            // The handler stored it; the store is visible
+                            // all the same.
+                            if guest_store && self.record_events {
+                                self.note_event(SchedEvent::GuestStore {
+                                    tid: self.cpu.tid,
+                                    addr: vaddr,
+                                    width,
+                                });
+                            }
+                            return Ok(());
+                        }
                         _ => continue,
                     }
                 }
@@ -547,6 +667,16 @@ impl<'m> ExecCtx<'m> {
         retries: &mut u64,
     ) -> Result<FaultOutcome, Trap> {
         self.stats.page_faults += 1;
+        // A halted machine means the watchdog declared the run dead:
+        // fault handlers that wait on exclusivity (PST's protect paths)
+        // can no longer succeed, so convert what would be an unbounded
+        // retry loop into a clean livelock verdict immediately.
+        if self.machine.exclusive.halted() {
+            return Err(Trap::Livelock {
+                pc: self.cpu.pc,
+                what: "machine halted during fault handling",
+            });
+        }
         if self.robust && self.chaos_roll(ChaosSite::FaultDelay) {
             // A latency spike in the fault-handler path (PST's SIGSEGV
             // round trip being slow); charged to the mprotect bucket the
@@ -573,9 +703,15 @@ impl<'m> ExecCtx<'m> {
     /// the wait to the exclusive profile bucket. A no-op while a
     /// degraded SC window is held — the machine is already stopped and
     /// this vCPU is the holder.
-    pub fn start_exclusive(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Livelock`] if the machine halted (watchdog teardown)
+    /// before exclusivity was granted: the caller must not run its
+    /// critical section and the vCPU winds down cleanly.
+    pub fn start_exclusive(&mut self) -> Result<(), Trap> {
         if self.sc_window {
-            return;
+            return Ok(());
         }
         self.stats.exclusive_entries += 1;
         if self.robust && self.chaos_roll(ChaosSite::ExclusiveStall) {
@@ -583,7 +719,17 @@ impl<'m> ExecCtx<'m> {
             // (requester descheduled at the worst moment).
             self.stats.exclusive_ns += self.chaos_stall();
         }
-        self.stats.exclusive_ns += self.machine.exclusive.start_exclusive();
+        match self.machine.exclusive.start_exclusive() {
+            Ok(waited) => {
+                self.stats.exclusive_ns += waited;
+                self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
+                Ok(())
+            }
+            Err(_halted) => Err(Trap::Livelock {
+                pc: self.cpu.pc,
+                what: "machine halted while awaiting exclusivity",
+            }),
+        }
     }
 
     /// Leaves the exclusive section. Under a degraded SC window the
@@ -595,30 +741,46 @@ impl<'m> ExecCtx<'m> {
             return;
         }
         self.machine.exclusive.end_exclusive();
+        self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
     }
 
     /// Opens a cross-block HTM transaction whose abort rolls execution
     /// back to `restart_pc` with the current register state (PICO-HTM's
     /// `xbegin` at LL).
-    pub fn begin_region_txn(&mut self, restart_pc: u32) {
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Livelock`] if the degraded (stop-the-world) path was
+    /// requested but the machine halted before exclusivity was granted.
+    pub fn begin_region_txn(&mut self, restart_pc: u32) -> Result<(), Trap> {
         if self.degrade_next_region {
             // Retry budget spent: run this LL→SC region under the
             // stop-the-world exclusive section instead of a transaction.
             // Guaranteed to complete (no conflicts are possible), at the
             // cost of serializing the whole machine.
             self.degrade_next_region = false;
+            let waited = self
+                .machine
+                .exclusive
+                .start_exclusive_as(self.cpu.tid)
+                .map_err(|_halted| Trap::Livelock {
+                    pc: self.cpu.pc,
+                    what: "machine halted while awaiting exclusivity",
+                })?;
             self.stats.degradations += 1;
             self.stats.exclusive_entries += 1;
-            self.stats.exclusive_ns += self.machine.exclusive.start_exclusive_as(self.cpu.tid);
+            self.stats.exclusive_ns += waited;
+            self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
             self.region_exclusive = true;
             self.region_blocks = 0;
             self.txn_restart = None;
             self.txn_retries = 0;
-            return;
+            return Ok(());
         }
         self.stats.htm_txns += 1;
         self.txn_restart = Some((restart_pc, self.cpu.snapshot()));
         self.txn = Some(self.machine.htm.begin());
+        Ok(())
     }
 
     /// Commits the open region transaction (or closes the degraded
@@ -634,6 +796,7 @@ impl<'m> ExecCtx<'m> {
             self.txn_restart = None;
             self.txn_retries = 0;
             self.machine.exclusive.end_exclusive();
+            self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
             return Ok(());
         }
         match self.txn.take() {
@@ -643,6 +806,7 @@ impl<'m> ExecCtx<'m> {
                     // at any time for any reason (interrupt, cache
                     // eviction, ...). Buffered writes are discarded.
                     let _ = txn.abort();
+                    self.discard_txn_events();
                     let reason = if self.chaos_flip() {
                         AbortReason::Conflict
                     } else {
@@ -663,9 +827,18 @@ impl<'m> ExecCtx<'m> {
                             ));
                         self.txn_restart = None;
                         self.txn_retries = 0;
+                        // The region became visible as one atomic unit at
+                        // this commit: deliver its buffered events now.
+                        if !self.txn_events.is_empty() {
+                            let mut buffered = std::mem::take(&mut self.txn_events);
+                            self.events.append(&mut buffered);
+                        }
                         Ok(())
                     }
-                    Err(reason) => Err(Trap::HtmAbort(reason)),
+                    Err(reason) => {
+                        self.discard_txn_events();
+                        Err(Trap::HtmAbort(reason))
+                    }
                 }
             }
             None => Ok(()), // SC without LL: scheme already failed it.

@@ -27,7 +27,7 @@ impl AtomicScheme for ExclusiveCas {
             Box::new(|ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
-                ctx.start_exclusive();
+                ctx.start_exclusive()?;
                 let ok = ctx.cpu.monitor.addr == Some(addr);
                 if ok {
                     ctx.store(addr, Width::Word, new, false)?;

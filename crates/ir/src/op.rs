@@ -189,6 +189,13 @@ pub enum Op {
     /// A no-op scheduling hint (guest `yield`); the threaded engine maps
     /// it to `std::thread::yield_now`.
     Yield,
+    /// A scheme-emitted window marker: the point inside a lowered
+    /// sequence where the modelled scheme has a genuine non-atomic
+    /// window (e.g. PICO-ST between its store-test helper and the store
+    /// itself). A complete no-op in every execution mode except
+    /// scheduled runs, where the deterministic scheduler may deschedule
+    /// the vCPU here — making the window's interleavings enumerable.
+    Window,
     /// Arm the LL/SC local monitor: `dst = mem[addr]` (word) and record
     /// `(addr, dst)` in the vCPU's monitor — QEMU's inline
     /// `exclusive_addr`/`exclusive_val` bookkeeping, used by the schemes

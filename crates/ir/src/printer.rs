@@ -104,6 +104,7 @@ fn print_op(op: &Op) -> String {
             }
         }
         Op::Yield => "yield".to_string(),
+        Op::Window => "window".to_string(),
         Op::MonitorArm { dst, addr } => format!("monitor_arm {dst}, [{addr}]"),
         Op::MonitorScCas { dst, addr, new } => {
             format!("monitor_sc_cas {dst}, [{addr}], {new}")
@@ -179,6 +180,7 @@ mod tests {
             ret: Some(t),
         });
         b.push(Op::Yield);
+        b.push(Op::Window);
         let text = print_block(&b.finish(BlockExit::Jump(4), 12));
         for needle in [
             "movs t0",
@@ -193,6 +195,7 @@ mod tests {
             "htable_set",
             "helper#1(t0)",
             "yield",
+            "window",
             "-> jump 0x4",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");

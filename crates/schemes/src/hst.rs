@@ -51,16 +51,15 @@ impl Hst {
 }
 
 /// The body of HST's SC: runs with the world stopped.
-fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, Trap> {
-    ctx.stats.sc += 1;
-    // Injected spurious SC failure (always architecturally legal), taken
-    // before paying for the stop-the-world section.
-    if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
-        ctx.cpu.monitor.addr = None;
-        ctx.stats.sc_failures += 1;
-        return Ok(1);
-    }
-    ctx.start_exclusive();
+///
+/// Does **not** charge `stats.sc` itself — callers count exactly one SC
+/// per guest `strex`. HST-HTM reaches here only as the degraded fallback
+/// after its transactional attempts, which already counted the SC; the
+/// plain HST helper counts it in [`hst_sc_exclusive`]. (Charging here
+/// used to force HST-HTM to *decrement* the counter after the fallback,
+/// which made `stats.sc` transiently non-monotone.)
+fn hst_sc_world_stop(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, Trap> {
+    ctx.start_exclusive()?;
     let ok = sc_precondition(ctx, addr);
     let result = if ok {
         ctx.store(addr, Width::Word, new, false).map(|()| 0)
@@ -68,9 +67,26 @@ fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, T
         ctx.stats.sc_failures += 1;
         Ok(1)
     };
+    if let Ok(status) = result {
+        ctx.note_sc(addr, status == 0, new);
+    }
     ctx.cpu.monitor.addr = None;
     ctx.end_exclusive();
     result
+}
+
+/// HST's SC helper: count the strex, roll chaos, stop the world.
+fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, Trap> {
+    ctx.stats.sc += 1;
+    // Injected spurious SC failure (always architecturally legal), taken
+    // before paying for the stop-the-world section.
+    if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+        ctx.cpu.monitor.addr = None;
+        ctx.stats.sc_failures += 1;
+        ctx.note_sc(addr, false, new);
+        return Ok(1);
+    }
+    hst_sc_world_stop(ctx, addr, new)
 }
 
 impl AtomicScheme for Hst {
@@ -165,6 +181,7 @@ impl AtomicScheme for HstWeak {
                 let value = ctx.load(addr, Width::Word)?;
                 ctx.cpu.monitor.addr = Some(addr);
                 ctx.cpu.monitor.value = value;
+                ctx.note_ll(addr);
                 Ok(value)
             }),
         ));
@@ -176,6 +193,7 @@ impl AtomicScheme for HstWeak {
                 if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
                     ctx.cpu.monitor.addr = None;
                     ctx.stats.sc_failures += 1;
+                    ctx.note_sc(addr, false, new);
                     return Ok(1);
                 }
                 let armed = ctx.cpu.monitor.addr == Some(addr);
@@ -186,9 +204,11 @@ impl AtomicScheme for HstWeak {
                 if armed && ctx.machine.store_test.try_lock(addr, ctx.cpu.tid) {
                     let result = ctx.store(addr, Width::Word, new, false);
                     ctx.machine.store_test.unlock(addr, ctx.cpu.tid);
+                    ctx.note_sc(addr, result.is_ok(), new);
                     result.map(|()| 0)
                 } else {
                     ctx.stats.sc_failures += 1;
+                    ctx.note_sc(addr, false, new);
                     Ok(1)
                 }
             }),
@@ -281,6 +301,7 @@ impl AtomicScheme for HstHtm {
                 if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
                     ctx.cpu.monitor.addr = None;
                     ctx.stats.sc_failures += 1;
+                    ctx.note_sc(addr, false, new);
                     return Ok(1);
                 }
                 // Fail fast outside any transaction when the precondition
@@ -288,6 +309,7 @@ impl AtomicScheme for HstHtm {
                 if !sc_precondition(ctx, addr) {
                     ctx.cpu.monitor.addr = None;
                     ctx.stats.sc_failures += 1;
+                    ctx.note_sc(addr, false, new);
                     return Ok(1);
                 }
                 let paddr = match ctx
@@ -333,6 +355,7 @@ impl AtomicScheme for HstHtm {
                     if !sc_precondition(ctx, addr) {
                         ctx.cpu.monitor.addr = None;
                         ctx.stats.sc_failures += 1;
+                        ctx.note_sc(addr, false, new);
                         return Ok(1);
                     }
                     if txn.store_word(paddr, new).is_err() {
@@ -349,6 +372,7 @@ impl AtomicScheme for HstHtm {
                     match txn.commit(ctx.machine.space.mem()) {
                         Ok(()) => {
                             ctx.cpu.monitor.addr = None;
+                            ctx.note_sc(addr, true, new);
                             return Ok(0);
                         }
                         Err(_) => {
@@ -358,12 +382,11 @@ impl AtomicScheme for HstHtm {
                 }
                 // Abort budget exhausted: degrade to the HST stop-the-world
                 // path (counted — the degradation ladder's bottom rung).
+                // The SC was already charged above, and the world-stop body
+                // does not charge another — `stats.sc` stays one per strex
+                // without ever being decremented.
                 ctx.stats.degradations += 1;
-                hst_sc_exclusive(ctx, addr, new).inspect(|_status| {
-                    // `hst_sc_exclusive` counted a second SC; undo it so
-                    // the profile counts one SC per guest strex.
-                    ctx.stats.sc -= 1;
-                })
+                hst_sc_world_stop(ctx, addr, new)
             }),
         ));
     }

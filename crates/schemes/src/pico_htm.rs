@@ -59,10 +59,14 @@ impl AtomicScheme for PicoHtm {
                 // `xbegin` with full register rollback to the LL itself
                 // (or, when the abort budget is spent, the stop-the-world
                 // fallback region standing in for a transaction).
-                ctx.begin_region_txn(restart_pc);
+                ctx.begin_region_txn(restart_pc)?;
                 let value = ctx.load(addr, Width::Word)?;
                 ctx.cpu.monitor.addr = Some(addr);
                 ctx.cpu.monitor.value = value;
+                // Inside a live transaction this buffers until commit —
+                // the whole region becomes one atom to observers, exactly
+                // the HTM guarantee.
+                ctx.note_ll(addr);
                 Ok(value)
             }),
         ));
@@ -84,12 +88,16 @@ impl AtomicScheme for PicoHtm {
                 if !armed || !ctx.region_active() {
                     ctx.release_region();
                     ctx.stats.sc_failures += 1;
+                    ctx.note_sc(addr, false, new);
                     return Ok(1);
                 }
                 // The store joins the transaction (or happens directly,
                 // world-stopped, in a degraded region), then `xend`.
                 ctx.store(addr, Width::Word, new, true)?;
                 ctx.commit_region_txn()?;
+                // The region just committed (txn gone), so this lands
+                // unbuffered right after the region's flushed events.
+                ctx.note_sc(addr, true, new);
                 Ok(0)
             }),
         ));
@@ -99,6 +107,7 @@ impl AtomicScheme for PicoHtm {
             Box::new(|ctx, _args| {
                 ctx.release_region();
                 ctx.cpu.monitor.addr = None;
+                ctx.note_clrex();
                 Ok(0)
             }),
         ));

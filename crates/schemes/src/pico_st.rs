@@ -1,15 +1,23 @@
 //! PICO-ST: the prior software store-test scheme (paper §II-B).
 //!
 //! A registry maps each thread to its active LL/SC monitor. *Every*
-//! guest store is routed through a helper that takes a global lock,
-//! clears any other thread's monitor overlapping the store's footprint,
-//! and performs the store — the check and the update must be one atomic
-//! step, which is why PICO-ST cannot use a cheap inline sequence and why
-//! the paper measures 20–45% overhead from store instrumentation alone.
-//! LL and SC take the same lock.
+//! guest store is preceded by a helper that takes a global lock and
+//! clears any other thread's monitor overlapping the store's footprint —
+//! which is why PICO-ST cannot use a cheap inline sequence and why the
+//! paper measures 20–45% overhead from store instrumentation alone. LL
+//! and SC take the same lock.
 //!
-//! This scheme is strongly atomic and correct; HST's contribution is
-//! matching its correctness at a fraction of this cost.
+//! This implementation reproduces the scheme's subtle pitfall: the
+//! monitor-clearing *check* and the store itself are separate steps —
+//! the registry lock is released when the helper returns, and only then
+//! does the store execute. A thread descheduled in that gap lets a
+//! competitor LL the just-cleared word and SC it successfully even
+//! though the pending store lands in between: an overlapping-LL/SC miss.
+//! The gap is marked with [`Op::Window`], so deterministic scheduled
+//! runs (`adbt-check`) can deschedule exactly there and enumerate the
+//! window's interleavings; every other execution mode treats the marker
+//! as a no-op and interleaves at block boundaries, where the
+//! helper+store pair is never split.
 
 use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
@@ -118,6 +126,7 @@ impl AtomicScheme for PicoSt {
                 drop(guard);
                 ctx.cpu.monitor.addr = Some(addr);
                 ctx.cpu.monitor.value = value;
+                ctx.note_ll(addr);
                 Ok(value)
             }),
         ));
@@ -154,27 +163,31 @@ impl AtomicScheme for PicoSt {
                 };
                 drop(guard);
                 ctx.cpu.monitor.addr = None;
+                if let Ok(status) = result {
+                    ctx.note_sc(addr, status == 0, new);
+                }
                 result
             }),
         ));
 
         let shared = Arc::clone(&self.shared);
         self.store = Some(reg.register(
-            "pico_st_store",
+            "pico_st_store_test",
             Box::new(move |ctx, args| {
-                let (addr, value, width) = (args[0], args[1], decode_width(args[2]));
-                ctx.stats.stores += 1;
+                let (addr, width) = (args[0], decode_width(args[1]));
                 let mut guard = lock_registry(&shared, ctx, false);
                 let tid = ctx.cpu.tid;
                 // Clear every *other* thread's monitor this store hits
                 // (the architecture keeps a thread's own monitor intact
-                // across its own stores).
+                // across its own stores). The store itself follows as a
+                // separate op after this helper returns — see the module
+                // doc for the window that opens here. The raw guest store
+                // op counts `stats.stores`; this helper must not.
                 guard.monitors.retain(|&owner, &mut monitored| {
                     owner == tid || !overlaps(monitored, addr, width)
                 });
-                let result = ctx.store(addr, width, value, true);
                 drop(guard);
-                result.map(|()| 0)
+                Ok(0)
             }),
         ));
 
@@ -216,13 +229,21 @@ impl AtomicScheme for PicoSt {
         });
     }
 
-    /// PICO-ST routes whole stores through its locked helper; the store
-    /// op itself is replaced.
+    /// PICO-ST precedes every store with its locked check helper; the
+    /// store itself stays a plain op, leaving the non-atomic gap the
+    /// module doc describes ([`Op::Window`] marks it for scheduled runs).
     fn lower_store(&self, b: &mut BlockBuilder, src: Src, addr: Src, width: Width) {
         b.push(Op::Helper {
             id: self.store.expect("installed"),
-            args: vec![addr, src, Src::Imm(width_code(width))],
+            args: vec![addr, Src::Imm(width_code(width))],
             ret: None,
+        });
+        b.push(Op::Window);
+        b.push(Op::Store {
+            src,
+            addr,
+            width,
+            guest_store: true,
         });
     }
 }

@@ -79,14 +79,16 @@ fn lock_registry<'a>(shared: &'a PstShared, ctx: &mut ExecCtx<'_>) -> MutexGuard
 /// the whole operation to the `mprotect` profile bucket — the paper's
 /// cost model for an emulator-side `mprotect` (kernel entry + suspending
 /// other threads).
-fn timed_protect(ctx: &mut ExecCtx<'_>, page: u32, perms: Perms) {
+///
+/// Fails only when the machine halts while this thread awaits
+/// exclusivity; the permission change is skipped and the caller unwinds.
+fn timed_protect(ctx: &mut ExecCtx<'_>, page: u32, perms: Perms) -> Result<(), Trap> {
     let start = Instant::now();
     ctx.stats.mprotect_calls += 1;
     // This really is a stop-the-world section (counted as such so both
     // the wall-clock and virtual-time accounting see it); its *duration*
     // is attributed to the mprotect bucket per the paper's Fig. 12.
-    ctx.stats.exclusive_entries += 1;
-    let _wait = ctx.machine.exclusive.start_exclusive();
+    ctx.start_exclusive()?;
     if ctx.robust && ctx.chaos_roll(ChaosSite::MprotectDelay) {
         // Injected mprotect latency spike, taken with the world stopped —
         // the worst possible moment. The stall lands in `mprotect_ns`
@@ -94,8 +96,9 @@ fn timed_protect(ctx: &mut ExecCtx<'_>, page: u32, perms: Perms) {
         let _ = ctx.chaos_stall();
     }
     ctx.machine.space.protect(page, perms);
-    ctx.machine.exclusive.end_exclusive();
+    ctx.end_exclusive();
     ctx.stats.mprotect_ns += start.elapsed().as_nanos() as u64;
+    Ok(())
 }
 
 /// Whether a store of `width` bytes at `addr` touches the monitored word.
@@ -111,7 +114,7 @@ fn overlaps(monitored: u32, addr: u32, width: Width) -> bool {
 /// spurious/injected monitor clear), and an address-keyed removal would
 /// then leak the stale entry — keeping the page write-protected and the
 /// one-monitor-per-thread invariant broken forever.
-fn drop_own_monitor_locked(ctx: &mut ExecCtx<'_>, reg: &mut PstRegistry) {
+fn drop_own_monitor_locked(ctx: &mut ExecCtx<'_>, reg: &mut PstRegistry) -> Result<(), Trap> {
     let tid = ctx.cpu.tid;
     let mut emptied: Vec<u32> = Vec::new();
     reg.pages.retain(|&page, list| {
@@ -125,8 +128,9 @@ fn drop_own_monitor_locked(ctx: &mut ExecCtx<'_>, reg: &mut PstRegistry) {
         }
     });
     for page in emptied {
-        timed_protect(ctx, page, Perms::RWX);
+        timed_protect(ctx, page, Perms::RWX)?;
     }
+    Ok(())
 }
 
 /// The common LL emulation (paper Fig. 8, upper half): register the
@@ -135,7 +139,7 @@ fn pst_ll(shared: &PstShared, ctx: &mut ExecCtx<'_>, addr: u32) -> Result<u32, T
     ctx.stats.ll += 1;
     let mut guard = lock_registry(shared, ctx);
     let reg = &mut *guard;
-    drop_own_monitor_locked(ctx, reg);
+    drop_own_monitor_locked(ctx, reg)?;
 
     let page = addr >> PAGE_SHIFT;
     let list = reg.pages.entry(page).or_default();
@@ -145,7 +149,7 @@ fn pst_ll(shared: &PstShared, ctx: &mut ExecCtx<'_>, addr: u32) -> Result<u32, T
         addr,
     });
     if first_on_page {
-        timed_protect(ctx, page, Perms::READ | Perms::EXEC);
+        timed_protect(ctx, page, Perms::READ | Perms::EXEC)?;
     }
     // Read through the privileged path: the page is mapped (we hold the
     // registry, so no remap is in flight) but now read-only, and going
@@ -158,6 +162,7 @@ fn pst_ll(shared: &PstShared, ctx: &mut ExecCtx<'_>, addr: u32) -> Result<u32, T
     let value = ctx.machine.space.mem().load(paddr, Width::Word);
     ctx.cpu.monitor.addr = Some(addr);
     ctx.cpu.monitor.value = value;
+    ctx.note_ll(addr);
     Ok(value)
 }
 
@@ -199,7 +204,10 @@ fn handle_protected_store(
     }
     if list.is_empty() {
         reg.pages.remove(&page);
-        timed_protect(ctx, page, Perms::RWX);
+        // On halt the unprotect is skipped: the retried store faults
+        // again and the fault entry path turns it into a clean livelock
+        // outcome, so Retry is right either way.
+        let _ = timed_protect(ctx, page, Perms::RWX);
         return FaultOutcome::Retry;
     }
     // Monitors remain (false sharing, or our own survived): complete the
@@ -281,8 +289,7 @@ impl AtomicScheme for Pst {
                     // The paper's SC sequence: suspend everyone, reopen
                     // write permission, store, re-protect, resume.
                     let start = Instant::now();
-                    ctx.stats.exclusive_entries += 1;
-                    let _wait = ctx.machine.exclusive.start_exclusive();
+                    ctx.start_exclusive()?;
                     ctx.machine.space.protect(page, Perms::RWX);
                     ctx.stats.mprotect_calls += 1;
                     let paddr = ctx
@@ -302,13 +309,14 @@ impl AtomicScheme for Pst {
                         ctx.machine.space.protect(page, Perms::READ | Perms::EXEC);
                         ctx.stats.mprotect_calls += 1;
                     }
-                    ctx.machine.exclusive.end_exclusive();
+                    ctx.end_exclusive();
                     ctx.stats.mprotect_ns += start.elapsed().as_nanos() as u64;
                 } else {
                     ctx.stats.sc_failures += 1;
                 }
                 drop(guard);
                 ctx.cpu.monitor.addr = None;
+                ctx.note_sc(addr, ok, new);
                 Ok(!ok as u32)
             }),
         ));
@@ -318,9 +326,10 @@ impl AtomicScheme for Pst {
             "pst_clrex",
             Box::new(move |ctx, _args| {
                 let mut guard = lock_registry(&shared, ctx);
-                drop_own_monitor_locked(ctx, &mut guard);
+                drop_own_monitor_locked(ctx, &mut guard)?;
                 drop(guard);
                 ctx.cpu.monitor.addr = None;
+                ctx.note_clrex();
                 Ok(0)
             }),
         ));
@@ -461,6 +470,7 @@ impl AtomicScheme for PstRemap {
                 }
                 drop(guard);
                 ctx.cpu.monitor.addr = None;
+                ctx.note_sc(addr, ok, new);
                 Ok(!ok as u32)
             }),
         ));
@@ -470,9 +480,10 @@ impl AtomicScheme for PstRemap {
             "pst_remap_clrex",
             Box::new(move |ctx, _args| {
                 let mut guard = lock_registry(&shared, ctx);
-                drop_own_monitor_locked(ctx, &mut guard);
+                drop_own_monitor_locked(ctx, &mut guard)?;
                 drop(guard);
                 ctx.cpu.monitor.addr = None;
+                ctx.note_clrex();
                 Ok(0)
             }),
         ));

@@ -13,6 +13,9 @@
 //!   what each kernel reproduces (see DESIGN.md).
 //! * [`litmus`] — the four ABA sequences Seq1–Seq4 of §IV-A as exactly
 //!   schedulable two-thread programs for the engine's lockstep mode.
+//! * [`interleave`] — schedule-free miniature litmus programs for the
+//!   systematic interleaving checker (`adbt-check`), which enumerates
+//!   the schedules itself.
 //! * [`rt`] — reusable guest assembly fragments (spin mutex, sense
 //!   barrier, atomic add) built on `ldrex`/`strex`, mirroring how pthread
 //!   primitives reach LL/SC on real ARM.
@@ -21,6 +24,7 @@
 //! caller assembles with [`adbt_isa::asm::assemble`] and runs on an
 //! `adbt-engine` machine (the `adbt` facade wires this up).
 
+pub mod interleave;
 pub mod litmus;
 pub mod parsec;
 pub mod rt;

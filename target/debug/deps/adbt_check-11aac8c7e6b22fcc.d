@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_check-11aac8c7e6b22fcc.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/libadbt_check-11aac8c7e6b22fcc.rlib: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/libadbt_check-11aac8c7e6b22fcc.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/oracle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_check-3537aa6e7d307917.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/adbt_check-3537aa6e7d307917: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/oracle.rs:

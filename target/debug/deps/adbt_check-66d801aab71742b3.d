@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_check-66d801aab71742b3.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/debug/deps/adbt_check-66d801aab71742b3: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

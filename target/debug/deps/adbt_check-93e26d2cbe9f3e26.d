@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adbt_check-93e26d2cbe9f3e26.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_check-93e26d2cbe9f3e26.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_check-bcf0f0a97f322580.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/debug/deps/adbt_check-bcf0f0a97f322580: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

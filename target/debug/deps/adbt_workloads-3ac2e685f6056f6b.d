@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/adbt_workloads-3ac2e685f6056f6b.d: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
+/root/repo/target/debug/deps/adbt_workloads-3ac2e685f6056f6b.d: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
 
-/root/repo/target/debug/deps/libadbt_workloads-3ac2e685f6056f6b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
+/root/repo/target/debug/deps/libadbt_workloads-3ac2e685f6056f6b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/interleave.rs:
 crates/workloads/src/litmus.rs:
 crates/workloads/src/parsec.rs:
 crates/workloads/src/rt.rs:

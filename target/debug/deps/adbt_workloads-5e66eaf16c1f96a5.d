@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/adbt_workloads-5e66eaf16c1f96a5.d: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/debug/deps/adbt_workloads-5e66eaf16c1f96a5.d: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
-/root/repo/target/debug/deps/libadbt_workloads-5e66eaf16c1f96a5.rlib: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/debug/deps/libadbt_workloads-5e66eaf16c1f96a5.rlib: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
-/root/repo/target/debug/deps/libadbt_workloads-5e66eaf16c1f96a5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/debug/deps/libadbt_workloads-5e66eaf16c1f96a5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/interleave.rs:
 crates/workloads/src/litmus.rs:
 crates/workloads/src/parsec.rs:
 crates/workloads/src/rt.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/adbt_workloads-663e676689a8ef10.d: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
+/root/repo/target/debug/deps/adbt_workloads-663e676689a8ef10.d: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
 
-/root/repo/target/debug/deps/libadbt_workloads-663e676689a8ef10.rmeta: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
+/root/repo/target/debug/deps/libadbt_workloads-663e676689a8ef10.rmeta: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs Cargo.toml
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/interleave.rs:
 crates/workloads/src/litmus.rs:
 crates/workloads/src/parsec.rs:
 crates/workloads/src/rt.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/adbt_workloads-a28ba91db886a080.d: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/debug/deps/adbt_workloads-a28ba91db886a080.d: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
-/root/repo/target/debug/deps/adbt_workloads-a28ba91db886a080: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/debug/deps/adbt_workloads-a28ba91db886a080: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/interleave.rs:
 crates/workloads/src/litmus.rs:
 crates/workloads/src/parsec.rs:
 crates/workloads/src/rt.rs:

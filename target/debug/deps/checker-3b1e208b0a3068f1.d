@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-3b1e208b0a3068f1.d: crates/check/tests/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-3b1e208b0a3068f1.rmeta: crates/check/tests/checker.rs Cargo.toml
+
+crates/check/tests/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-708b0919dc27a18e.d: crates/check/tests/checker.rs
+
+/root/repo/target/debug/deps/checker-708b0919dc27a18e: crates/check/tests/checker.rs
+
+crates/check/tests/checker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_sanity-47e00a9a484cde92.d: crates/check/tests/litmus_sanity.rs
+
+/root/repo/target/debug/deps/litmus_sanity-47e00a9a484cde92: crates/check/tests/litmus_sanity.rs
+
+crates/check/tests/litmus_sanity.rs:

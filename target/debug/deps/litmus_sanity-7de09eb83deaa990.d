@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_sanity-7de09eb83deaa990.d: crates/check/tests/litmus_sanity.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_sanity-7de09eb83deaa990.rmeta: crates/check/tests/litmus_sanity.rs Cargo.toml
+
+crates/check/tests/litmus_sanity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adbt_check-9f94dd81afc690e9.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/release/deps/adbt_check-9f94dd81afc690e9: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

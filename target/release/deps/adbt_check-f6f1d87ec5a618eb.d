@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adbt_check-f6f1d87ec5a618eb.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+/root/repo/target/release/deps/libadbt_check-f6f1d87ec5a618eb.rlib: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+/root/repo/target/release/deps/libadbt_check-f6f1d87ec5a618eb.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/oracle.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/adbt_workloads-15c62d665f392a80.d: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/release/deps/adbt_workloads-15c62d665f392a80.d: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
-/root/repo/target/release/deps/libadbt_workloads-15c62d665f392a80.rlib: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/release/deps/libadbt_workloads-15c62d665f392a80.rlib: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
-/root/repo/target/release/deps/libadbt_workloads-15c62d665f392a80.rmeta: crates/workloads/src/lib.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
+/root/repo/target/release/deps/libadbt_workloads-15c62d665f392a80.rmeta: crates/workloads/src/lib.rs crates/workloads/src/interleave.rs crates/workloads/src/litmus.rs crates/workloads/src/parsec.rs crates/workloads/src/rt.rs crates/workloads/src/stack.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/interleave.rs:
 crates/workloads/src/litmus.rs:
 crates/workloads/src/parsec.rs:
 crates/workloads/src/rt.rs:

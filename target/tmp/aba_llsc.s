@@ -1,0 +1,28 @@
+    victim:
+        mov32 r5, x
+        ldrex r1, [r5]
+        mov   r4, #777
+        strex r2, r4, [r5]
+        mov   r0, r2
+        svc   #0
+
+    attacker:
+        mov32 r5, x
+    flip:
+        ldrex r1, [r5]
+        mov   r6, #200
+        strex r2, r6, [r5]
+        cmp   r2, #0
+        bne   flip
+    flop:
+        ldrex r1, [r5]
+        mov   r6, #100
+        strex r2, r6, [r5]
+        cmp   r2, #0
+        bne   flop
+        mov   r0, #0
+        svc   #0
+
+        .align 4096
+    x:
+        .word 100

@@ -56,6 +56,58 @@ fn assert_clean_outcomes(kind: SchemeKind, run: &StackRun) {
     }
 }
 
+/// Counter invariants that hold on *every* run, chaos or not. These are
+/// the monotonicity contracts the counter-bug sweep restored (an HTM
+/// degradation used to decrement `sc`, making the first inequality
+/// fail): failure counters never exceed their attempt counters, and the
+/// merged totals are exactly the per-vCPU sums — a counter that ever
+/// goes backwards or double-merges breaks one of the equalities.
+fn assert_counter_invariants(kind: SchemeKind, run: &StackRun) {
+    let s = &run.report.stats;
+    assert!(
+        s.sc_failures <= s.sc,
+        "{kind}: sc_failures {} > sc {}",
+        s.sc_failures,
+        s.sc
+    );
+    assert!(
+        s.htm_aborts <= s.htm_txns + s.txn_dispatches,
+        "{kind}: htm_aborts {} > txns {} + txn_dispatches {}",
+        s.htm_aborts,
+        s.htm_txns,
+        s.txn_dispatches
+    );
+    assert!(
+        s.degradations <= s.exclusive_entries,
+        "{kind}: every degradation takes the exclusive path ({} > {})",
+        s.degradations,
+        s.exclusive_entries
+    );
+    let sum =
+        |field: fn(&adbt::VcpuStats) -> u64| -> u64 { run.report.per_cpu.iter().map(field).sum() };
+    assert_eq!(s.sc, sum(|c| c.sc), "{kind}: merged sc ≠ per-vCPU sum");
+    assert_eq!(
+        s.sc_failures,
+        sum(|c| c.sc_failures),
+        "{kind}: merged sc_failures ≠ per-vCPU sum"
+    );
+    assert_eq!(
+        s.injected_faults,
+        sum(|c| c.injected_faults),
+        "{kind}: merged injected_faults ≠ per-vCPU sum"
+    );
+    assert_eq!(
+        s.degradations,
+        sum(|c| c.degradations),
+        "{kind}: merged degradations ≠ per-vCPU sum"
+    );
+    assert_eq!(
+        s.lock_wait_ns,
+        sum(|c| c.lock_wait_ns),
+        "{kind}: merged lock_wait_ns ≠ per-vCPU sum"
+    );
+}
+
 /// Structural corruption beyond what livelocked (mid-operation) vCPUs
 /// legitimately account for — same witness as `tests/aba_stack.rs`.
 fn structurally_corrupted(run: &StackRun) -> bool {
@@ -122,6 +174,7 @@ fn all_schemes_survive_injection_or_fail_cleanly() {
         )
         .unwrap();
         assert_clean_outcomes(kind, &run);
+        assert_counter_invariants(kind, &run);
         assert!(
             run.report.stats.injected_faults > 0,
             "{kind}: no faults injected — soak is vacuous"
@@ -151,6 +204,7 @@ fn threaded_soak_with_watchdog_terminates_cleanly() {
         };
         let run = run_stack_with(kind, 4, stack_config(1_000), config, None).unwrap();
         assert_clean_outcomes(kind, &run);
+        assert_counter_invariants(kind, &run);
         assert!(
             !structurally_corrupted(&run),
             "{kind}: corrupted under threaded injection — {:?}",
@@ -174,6 +228,7 @@ fn threaded_sc_storm_terminates_without_watchdog() {
     };
     let run = run_stack_with(SchemeKind::Hst, 4, stack_config(150), config, None).unwrap();
     assert_clean_outcomes(SchemeKind::Hst, &run);
+    assert_counter_invariants(SchemeKind::Hst, &run);
     assert!(
         !structurally_corrupted(&run),
         "hst: corrupted under storm-rate injection — {:?}",
