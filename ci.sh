@@ -24,3 +24,37 @@ cargo test -q --release --offline --test chaos_soak \
 # window, every other scheme clean.
 cargo run -q --release --offline -p adbt-check --bin adbt_check -- \
     --ci --budget 800 --preemptions 2
+
+# Traced chaos soak (release, ~a second): a contended LL/SC counter
+# runs with the flight recorder armed and chaos injected, exports a
+# Chrome trace-event JSON, and the in-tree validator must accept it —
+# proving the trace plane survives fault storms and emits well-formed
+# output without any external viewer.
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cat > "$TRACE_TMP/soak.s" <<'EOF'
+    mov32 r6, #2000
+retry:
+    ldrex r1, [r5]
+    add   r1, r1, #1
+    strex r2, r1, [r5]
+    cmp   r2, #0
+    bne   retry
+    subs  r6, r6, #1
+    bne   retry
+    mov   r0, #0
+    svc   #0
+EOF
+cargo run -q --release --offline -p adbt --bin adbt_run -- \
+    "$TRACE_TMP/soak.s" --scheme hst --threads 4 \
+    --chaos seed=7,rate=0.05 --watchdog-ms 30000 \
+    --trace "$TRACE_TMP/soak.json" --stats --histograms
+cargo run -q --release --offline -p adbt-trace --bin trace_validate -- \
+    "$TRACE_TMP/soak.json"
+
+# Tracing-overhead guard: the dispatch-bound loop (the worst case for
+# the recorder) runs traced vs untraced per scheme; the geomean
+# slowdown must stay under the budget. The disabled path is checked
+# implicitly — it is the untraced baseline of the same binary.
+cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
+    --iters 60000 --reps 3 --traced --guard 35

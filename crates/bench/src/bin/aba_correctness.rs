@@ -13,7 +13,7 @@
 use adbt::harness::{run_stack, run_stack_sim};
 use adbt::workloads::stack::StackConfig;
 use adbt::{SchemeKind, VcpuOutcome};
-use adbt_bench::{Args, Table};
+use adbt_bench::{pct, Args, Table};
 
 fn main() {
     let args = Args::parse();
@@ -98,17 +98,17 @@ fn main() {
             kind.name().to_string(),
             reps.to_string(),
             corrupted.to_string(),
-            format!("{:.2}", 100.0 * aba_fraction_sum / reps as f64),
+            format!("{:.2}", pct(aba_fraction_sum, reps as f64)),
             lost.to_string(),
             livelocked.to_string(),
             crashed.to_string(),
             verdict.to_string(),
         ]);
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        &args,
         "paper expectation: only pico-cas corrupts (~4% ABA entries at the paper's\n\
          scale); every proposed scheme passes; pico-htm may stop making progress\n\
-         at high thread counts (its documented livelock)."
+         at high thread counts (its documented livelock).",
     );
 }

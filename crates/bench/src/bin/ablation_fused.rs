@@ -68,12 +68,12 @@ fn main() {
             (fused.report.stats.sc - fused.report.stats.fused_rmws).to_string(),
         ]);
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        &args,
         "\nthe pass fuses {program}'s atomic-add loops into host atomics; spin-lock\n\
-         acquires (test-before-set shape) are NOT canonical and stay on the scheme\n\
-         path — the residual_llsc column. Expected: big wins for the schemes whose\n\
-         per-SC machinery is expensive (hst's stop-the-world, pst's mprotect),\n\
-         nothing for pico-cas (its SC was already one CAS)."
+             acquires (test-before-set shape) are NOT canonical and stay on the scheme\n\
+             path — the residual_llsc column. Expected: big wins for the schemes whose\n\
+             per-SC machinery is expensive (hst's stop-the-world, pst's mprotect),\n\
+             nothing for pico-cas (its SC was already one CAS).",
     );
 }

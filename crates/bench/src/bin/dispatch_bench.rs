@@ -10,11 +10,18 @@
 //!
 //! ```text
 //! cargo run --release -p adbt-bench --bin dispatch_bench -- \
-//!     [--iters 300000] [--reps 5] [--chain 64] [--csv dispatch.csv]
+//!     [--iters 300000] [--reps 5] [--chain 64] [--csv dispatch.csv] \
+//!     [--traced [--guard PCT]]
 //! ```
+//!
+//! `--traced` switches to the flight-recorder overhead comparison: each
+//! scheme runs the same chained workload with tracing off and on, and
+//! the table reports the enabled-path overhead. `--guard PCT` then
+//! exits non-zero when the geometric-mean slowdown exceeds `PCT`
+//! percent — the CI tripwire for the "tracing is cheap" claim.
 
 use adbt::{MachineBuilder, SchemeKind};
-use adbt_bench::{Args, Table};
+use adbt_bench::{geomean, pct, pct_cell, Args, Table};
 use std::time::Instant;
 
 /// Every iteration crosses six block boundaries (five jumps and the
@@ -36,13 +43,20 @@ fn program(iters: u32) -> String {
 
 /// Best-of-`reps` wall time for one single-threaded run, plus the
 /// counters of the last run.
-fn measure(kind: SchemeKind, source: &str, chain_limit: u32, reps: u32) -> (f64, adbt::VcpuStats) {
+fn measure(
+    kind: SchemeKind,
+    source: &str,
+    chain_limit: u32,
+    reps: u32,
+    traced: bool,
+) -> (f64, adbt::VcpuStats) {
     let mut best = f64::INFINITY;
     let mut stats = adbt::VcpuStats::default();
     for _ in 0..reps {
         let mut machine = MachineBuilder::new(kind)
             .memory(1 << 20)
             .chain_limit(chain_limit)
+            .trace(traced)
             .build()
             .expect("machine construction");
         machine.load_asm(source, 0x1_0000).expect("assembles");
@@ -56,13 +70,8 @@ fn measure(kind: SchemeKind, source: &str, chain_limit: u32, reps: u32) -> (f64,
     (best, stats)
 }
 
-fn main() {
-    let args = Args::parse();
-    let iters: u32 = args.get("iters", 300_000);
-    let reps: u32 = args.get("reps", 5);
-    let chain: u32 = args.get("chain", 64);
-    let source = program(iters);
-
+/// The chaining comparison (the default mode).
+fn run_chaining(args: &Args, source: &str, reps: u32, chain: u32) {
     let mut table = Table::new(&[
         "scheme",
         "unchained_ms",
@@ -73,9 +82,8 @@ fn main() {
         "chained_pct",
     ]);
     for kind in SchemeKind::ALL {
-        let (unchained, _) = measure(kind, &source, 1, reps);
-        let (chained, stats) = measure(kind, &source, chain, reps);
-        let dispatched = stats.dispatch_lookups + stats.chain_follows;
+        let (unchained, _) = measure(kind, source, 1, reps, false);
+        let (chained, stats) = measure(kind, source, chain, reps, false);
         table.row(vec![
             kind.name().to_string(),
             format!("{:.2}", unchained * 1e3),
@@ -83,16 +91,61 @@ fn main() {
             format!("{:.2}", unchained / chained),
             stats.dispatch_lookups.to_string(),
             stats.chain_follows.to_string(),
-            format!(
-                "{:.1}",
-                100.0 * stats.chain_follows as f64 / dispatched.max(1) as f64
+            pct_cell(
+                stats.chain_follows,
+                stats.dispatch_lookups + stats.chain_follows,
             ),
         ]);
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        args,
         "chained_pct is the fraction of block dispatches resolved by a patched\n\
          chain link (zero lookups); the residual lookups are chain-budget\n\
-         boundaries and the loop's cold start."
+         boundaries and the loop's cold start.",
     );
+}
+
+/// The flight-recorder overhead comparison (`--traced`); exits non-zero
+/// when `--guard PCT` is set and the geomean slowdown exceeds it.
+fn run_traced(args: &Args, source: &str, reps: u32, chain: u32) {
+    let mut table = Table::new(&["scheme", "untraced_ms", "traced_ms", "overhead_pct"]);
+    let mut ratios = Vec::new();
+    for kind in SchemeKind::ALL {
+        let (untraced, _) = measure(kind, source, chain, reps, false);
+        let (traced, _) = measure(kind, source, chain, reps, true);
+        ratios.push(traced / untraced);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", untraced * 1e3),
+            format!("{:.2}", traced * 1e3),
+            format!("{:.1}", pct(traced - untraced, untraced)),
+        ]);
+    }
+    let overhead = pct(geomean(&ratios) - 1.0, 1.0);
+    table.emit_with_note(
+        args,
+        &format!(
+            "geomean tracing overhead: {overhead:.1}% (ring writes on the enabled\n\
+             path; the disabled path is a single predicted branch)"
+        ),
+    );
+    let guard: f64 = args.get("guard", f64::INFINITY);
+    if overhead > guard {
+        eprintln!("FAIL: tracing overhead {overhead:.1}% exceeds the --guard {guard}% budget");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let iters: u32 = args.get("iters", 300_000);
+    let reps: u32 = args.get("reps", 5);
+    let chain: u32 = args.get("chain", 64);
+    let source = program(iters);
+
+    if args.flag("traced") {
+        run_traced(&args, &source, reps, chain);
+    } else {
+        run_chaining(&args, &source, reps, chain);
+    }
 }

@@ -61,11 +61,11 @@ fn main() {
             }
         }
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        &args,
         "speedup is normalized to each scheme's own 1-thread time (paper Fig. 10).\n\
-         expected shape: hst-weak tracks pico-cas and scales best; hst scales well\n\
-         but pays stop-the-world SCs; pst trails on atomic-heavy programs\n\
-         (mprotect + suspensions); pico-st scales but from a much slower base."
+             expected shape: hst-weak tracks pico-cas and scales best; hst scales well\n\
+             but pays stop-the-world SCs; pst trails on atomic-heavy programs\n\
+             (mprotect + suspensions); pico-st scales but from a much slower base.",
     );
 }

@@ -81,9 +81,9 @@ fn main() {
             }
         }
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        &args,
         "paper expectation (Fig. 11): pico-htm is fast at <=8 threads, then aborts\n\
-         storm and it stops making progress; hst-htm keeps working to 32 threads."
+             storm and it stops making progress; hst-htm keeps working to 32 threads.",
     );
 }

@@ -12,7 +12,7 @@
 use adbt::harness::run_parsec_sim;
 use adbt::workloads::parsec::Program;
 use adbt::SchemeKind;
-use adbt_bench::{thread_ladder, Args, Table};
+use adbt_bench::{pct_cell, thread_ladder, Args, Table};
 
 fn breakdown_sweep(args: &Args) {
     let scale: f64 = args.get("scale", 0.1);
@@ -54,31 +54,29 @@ fn breakdown_sweep(args: &Args) {
                     run_parsec_sim(scheme, program, threads, scale).expect("machine construction");
                 assert!(run.valid, "{scheme} x {program} x {threads}");
                 let b = run.report.sim_breakdown();
-                let total = b.total().max(1) as f64;
-                let pct = |units: u64| format!("{:.1}", 100.0 * units as f64 / total);
+                let total = b.total();
                 let s = &run.report.stats;
-                let lookups = s.dispatch_lookups.max(1);
                 table.row(vec![
                     program.name().to_string(),
                     scheme.name().to_string(),
                     threads.to_string(),
-                    b.total().to_string(),
-                    pct(b.native),
-                    pct(b.exclusive),
-                    pct(b.instrument),
-                    pct(b.mprotect),
+                    total.to_string(),
+                    pct_cell(b.native, total),
+                    pct_cell(b.exclusive, total),
+                    pct_cell(b.instrument, total),
+                    pct_cell(b.mprotect, total),
                     s.dispatch_lookups.to_string(),
                     s.chain_follows.to_string(),
-                    format!("{:.1}", 100.0 * s.l1_hits as f64 / lookups as f64),
+                    pct_cell(s.l1_hits, s.dispatch_lookups),
                 ]);
             }
         }
     }
-    table.emit(args);
-    println!(
+    table.emit_with_note(
+        args,
         "paper expectation (Fig. 12): pico-st dominated by instrumentation (helper\n\
          per store); hst mostly native with a small instrument slice; pst/pst-remap\n\
-         dominated by mprotect/remap, growing with thread count."
+         dominated by mprotect/remap, growing with thread count.",
     );
 }
 
@@ -106,12 +104,12 @@ fn false_sharing_sweep(args: &Args) {
             format!("{:.2}", 100_000.0 * fs as f64 / stores as f64),
         ]);
     }
-    table.emit(args);
-    println!(
+    table.emit_with_note(
+        args,
         "paper expectation (§IV-B2): with total work fixed, more threads mean more\n\
          stores landing inside other threads' LL→SC protection windows — the\n\
          false-sharing rate grows steadily with thread count (0.2%→17% in the\n\
-         paper's bodytrack runs from 2→64 threads)."
+         paper's bodytrack runs from 2→64 threads).",
     );
 }
 

@@ -15,7 +15,7 @@
 use adbt::harness::run_parsec_sim;
 use adbt::workloads::parsec::Program;
 use adbt::SchemeKind;
-use adbt_bench::{fmt_f64, geomean, Args, Table};
+use adbt_bench::{fmt_f64, geomean, pct, Args, Table};
 
 fn main() {
     let args = Args::parse();
@@ -43,7 +43,7 @@ fn main() {
         let hst = time(SchemeKind::Hst);
         let pico_st = time(SchemeKind::PicoSt);
         let speedup = pico_st / hst;
-        let overhead = 100.0 * (hst - cas) / cas;
+        let overhead = pct(hst - cas, cas);
         speedups.push(speedup);
         overheads.push(overhead);
         table.row(vec![

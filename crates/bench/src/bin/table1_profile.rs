@@ -46,9 +46,9 @@ fn main() {
             format!("{:.0}", 2.0 * stats.stores as f64 / llsc as f64),
         ]);
     }
-    table.emit(&args);
-    println!(
+    table.emit_with_note(
+        &args,
         "paper expectation (Table I): stores outnumber LL/SC by ~88x (atomic-heavy\n\
-         programs like canneal/fluidanimate/freqmine) up to ~3000x (blackscholes)."
+             programs like canneal/fluidanimate/freqmine) up to ~3000x (blackscholes).",
     );
 }

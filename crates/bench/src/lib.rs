@@ -187,6 +187,28 @@ impl Table {
             eprintln!("wrote {path}");
         }
     }
+
+    /// [`emit`](Table::emit) followed by an explanatory footnote on
+    /// stdout (the note goes to the human, not into the CSV/JSON).
+    pub fn emit_with_note(&self, args: &Args, note: &str) {
+        self.emit(args);
+        println!("{note}");
+    }
+}
+
+/// `100 * num / den`, or 0 when `den` is 0 — a raw division would put
+/// `NaN`/`inf` into table cells and break downstream CSV consumers.
+pub fn pct(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        100.0 * num / den
+    }
+}
+
+/// A counter ratio as the standard one-decimal percentage cell.
+pub fn pct_cell(num: u64, den: u64) -> String {
+    format!("{:.1}", pct(num as f64, den as f64))
 }
 
 /// Quotes and escapes a JSON string.
@@ -291,6 +313,14 @@ mod tests {
         assert_eq!(json_cell("0.5"), "0.5");
         assert_eq!(json_cell("NaN"), "\"NaN\"");
         assert_eq!(json_cell("hst-htm"), "\"hst-htm\"");
+    }
+
+    #[test]
+    fn pct_guards_zero_denominator() {
+        assert_eq!(pct(1.0, 0.0), 0.0);
+        assert!((pct(1.0, 4.0) - 25.0).abs() < 1e-12);
+        assert_eq!(pct_cell(3, 8), "37.5");
+        assert_eq!(pct_cell(3, 0), "0.0");
     }
 
     #[test]

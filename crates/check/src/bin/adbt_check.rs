@@ -4,6 +4,7 @@
 //! ```text
 //! adbt_check [--scheme NAME] [--litmus NAME] [--budget N]
 //!            [--preemptions N] [--max-atoms N] [--ci]
+//!            [--export-trace FILE]
 //! ```
 //!
 //! Without filters, checks all 8 schemes against all 3 litmus programs.
@@ -11,6 +12,11 @@
 //! `adbt_run --replay`. `--ci` exits non-zero when any verdict differs
 //! from the paper's prediction (Table II): PICO-CAS flagged on both ABA
 //! litmuses, PICO-ST on the store window, everything else clean.
+//!
+//! `--export-trace FILE` additionally writes the *first* violation's
+//! event stream as Chrome trace-event JSON (Perfetto-loadable, atom
+//! clock — the same exchange format `adbt_run --trace` emits). Combine
+//! with `--scheme`/`--litmus` to pick which counterexample to export.
 
 use adbt::workloads::interleave::Litmus;
 use adbt::SchemeKind;
@@ -19,7 +25,7 @@ use adbt_check::{check_pair, expected_violation, CheckOpts, PairReport};
 fn usage() -> ! {
     eprintln!(
         "usage: adbt_check [--scheme NAME] [--litmus NAME] [--budget N] \
-         [--preemptions N] [--max-atoms N] [--ci]\n\
+         [--preemptions N] [--max-atoms N] [--ci] [--export-trace FILE]\n\
          schemes: {}\n\
          litmus:  {}",
         SchemeKind::ALL.map(|s| s.name()).join(" "),
@@ -33,6 +39,7 @@ struct Args {
     litmuses: Vec<Litmus>,
     opts: CheckOpts,
     ci: bool,
+    export_trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
         litmuses: Litmus::ALL.to_vec(),
         opts: CheckOpts::default(),
         ci: false,
+        export_trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +81,7 @@ fn parse_args() -> Args {
                     parse_num(&value("--preemptions"), "--preemptions") as usize
             }
             "--max-atoms" => args.opts.max_atoms = parse_num(&value("--max-atoms"), "--max-atoms"),
+            "--export-trace" => args.export_trace = Some(value("--export-trace")),
             "--ci" => args.ci = true,
             "--help" | "-h" => usage(),
             other => {
@@ -115,10 +124,21 @@ fn print_report(report: &PairReport) {
 fn main() {
     let args = parse_args();
     let mut reports = Vec::new();
+    let mut export_to = args.export_trace.clone();
     for &scheme in &args.schemes {
         for &litmus in &args.litmuses {
             let report = check_pair(scheme, litmus, &args.opts);
             print_report(&report);
+            if let (Some(path), Some(v)) = (export_to.as_deref(), &report.violation) {
+                match std::fs::write(path, adbt_check::violation_trace_json(v)) {
+                    Ok(()) => println!("{:<28}   trace exported to {path}", ""),
+                    Err(e) => {
+                        eprintln!("cannot write trace to {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                export_to = None;
+            }
             reports.push(report);
         }
     }

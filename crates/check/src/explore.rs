@@ -78,6 +78,10 @@ pub struct Violation {
     pub preemptions: usize,
     /// The oracle's description of the illegal SC.
     pub detail: String,
+    /// The minimized run's full `(atom, event)` stream — the evidence
+    /// the oracle judged, exportable as a Perfetto timeline
+    /// ([`crate::export::violation_trace_json`]).
+    pub events: Vec<(u64, SchedEvent)>,
 }
 
 /// The checker's verdict for one (scheme, litmus) pair.
@@ -163,6 +167,7 @@ impl Scheduler for SwitchScheduler {
 struct Record {
     choices: Vec<u32>,
     masks: Vec<u64>,
+    events: Vec<(u64, SchedEvent)>,
     violation: Option<String>,
 }
 
@@ -251,6 +256,7 @@ impl Searcher {
         Record {
             choices: sched.choices,
             masks: sched.masks,
+            events: sched.events,
             violation,
         }
     }
@@ -292,6 +298,7 @@ impl Searcher {
                 trace: format_choices(&record.choices),
                 preemptions: switches.len(),
                 detail: record.violation.expect("shrink preserves the violation"),
+                events: record.events,
             }),
         }
     }

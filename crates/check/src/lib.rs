@@ -23,9 +23,11 @@
 //! their variants are clean — see [`expected_violation`].
 
 pub mod explore;
+pub mod export;
 pub mod oracle;
 
 pub use explore::{check_pair, CheckOpts, PairReport, Violation};
+pub use export::violation_trace_json;
 
 use adbt::workloads::interleave::Litmus;
 use adbt::SchemeKind;

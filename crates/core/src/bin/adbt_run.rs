@@ -5,7 +5,7 @@
 //!          [--entry <symbol|addr>] [--sim] [--replay <trace>]
 //!          [--fuse-atomics] [--dump <symbol|addr>] [--memory BYTES]
 //!          [--stats] [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
-//!          [--htm-degrade-after N]
+//!          [--htm-degrade-after N] [--trace FILE] [--histograms]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -20,6 +20,13 @@
 //! it deterministically on the scheduled engine (one guest instruction
 //! per atom, same as the checker), so a found interleaving bug can be
 //! re-executed and inspected outside the checker.
+//!
+//! `--trace FILE` arms the flight recorder and writes the run's events
+//! as Chrome trace-event JSON (load it in Perfetto or `chrome://tracing`;
+//! timestamps are wall nanoseconds for threaded runs and retired
+//! instructions for `--sim`/`--replay`). `--histograms` prints the
+//! log2-bucketed latency histograms (SC-retry latency, exclusive-entry
+//! wait, HTM abort streaks) alongside `--stats`.
 
 use adbt::engine::ScriptedScheduler;
 use adbt::{ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
@@ -32,7 +39,7 @@ fn usage() -> ! {
          \x20               [--fuse-atomics] [--dump SYM|ADDR]\n\
          \x20               [--memory BYTES] [--stats]\n\
          \x20               [--chaos seed=U64,rate=F64] [--watchdog-ms N]\n\
-         \x20               [--htm-degrade-after N]\n\
+         \x20               [--htm-degrade-after N] [--trace FILE] [--histograms]\n\
          schemes: {}",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
@@ -110,6 +117,8 @@ fn main() -> ExitCode {
     let mut chaos: Option<ChaosCfg> = None;
     let mut watchdog_ms: u64 = 0;
     let mut htm_degrade_after: u64 = 0;
+    let mut trace_out: Option<String> = None;
+    let mut histograms = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -174,9 +183,11 @@ fn main() -> ExitCode {
             }
             "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
             "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--sim" => sim = true,
             "--fuse-atomics" => fuse = true,
             "--stats" => stats = true,
+            "--histograms" => histograms = true,
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') && source_path.is_none() => {
                 source_path = Some(path.to_string());
@@ -207,7 +218,8 @@ fn main() -> ExitCode {
         .fuse_atomics(fuse)
         .chaos(chaos)
         .watchdog_ms(watchdog_ms)
-        .htm_degrade_after(htm_degrade_after);
+        .htm_degrade_after(htm_degrade_after)
+        .trace(trace_out.is_some() || histograms);
     if replay.is_some() {
         // Checker traces count atoms at instruction granularity; replay
         // must translate the same single-instruction blocks.
@@ -269,6 +281,10 @@ fn main() -> ExitCode {
         vcpu.pc = entry_addrs[i % entry_addrs.len()];
     }
 
+    // Deterministic modes stamp trace events with retired-instruction
+    // counts instead of wall time (see `ExecCtx::trace_ts`).
+    let deterministic = sim || replay.is_some();
+
     let report = if let Some(mut sched) = replay {
         let report = machine.run_scheduled(vcpus, &mut sched, 10_000_000);
         eprintln!("replayed schedule: {}", sched.trace());
@@ -307,8 +323,22 @@ fn main() -> ExitCode {
             s.dispatch_lookups, s.chain_follows, s.l1_hits, s.l1_misses, s.translations,
         );
         eprintln!(
-            "injected_faults={} degradations={} lock_wait_ns={}",
-            s.injected_faults, s.degradations, s.lock_wait_ns,
+            "injected_faults={} sc_failures_injected={} degradations={} lock_wait_ns={}",
+            s.injected_faults, s.sc_failures_injected, s.degradations, s.lock_wait_ns,
+        );
+        let pct = |num: u64, den: u64| {
+            if den == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * num as f64 / den as f64)
+            }
+        };
+        eprintln!(
+            "ratios: chain_follow={} l1_hit={} sc_failure={} htm_abort={}",
+            pct(s.chain_follows, s.chain_follows + s.dispatch_lookups),
+            pct(s.l1_hits, s.dispatch_lookups),
+            pct(s.sc_failures, s.sc),
+            pct(s.htm_aborts, s.htm_txns),
         );
         if let Some(snapshot) = &report.chaos {
             let sites = snapshot
@@ -322,6 +352,31 @@ fn main() -> ExitCode {
             eprintln!("sim_time={t} units");
         } else {
             eprintln!("wall={:?}", report.wall);
+        }
+    }
+    if histograms {
+        if let Some(rec) = &machine.core().trace {
+            let unit = if deterministic { "insns" } else { "ns" };
+            eprint!("{}", rec.hists.render(unit));
+        }
+    }
+
+    if let Some(out) = &trace_out {
+        if let Some(rec) = &machine.core().trace {
+            let clock = if deterministic {
+                adbt::trace::chrome::Clock::Insns
+            } else {
+                adbt::trace::chrome::Clock::Nanos
+            };
+            let json = adbt::trace::chrome::render_with_extras(
+                &rec.snapshot_all(),
+                clock,
+                &[("histograms", rec.hists.to_json())],
+            );
+            if let Err(e) = std::fs::write(out, json) {
+                eprintln!("cannot write trace to {out}: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
 

@@ -54,8 +54,9 @@ pub use machine::{Machine, MachineBuilder};
 
 // The substrate, re-exported under stable paths.
 pub use adbt_engine::{
-    Atomicity, Breakdown, ChaosCfg, ChaosSite, ChaosSnapshot, MachineConfig, RetryPolicy,
-    RunReport, Schedule, SimBreakdown, SimCosts, Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
+    Atomicity, Breakdown, ChaosCfg, ChaosSite, ChaosSnapshot, Histograms, LogHistogram,
+    MachineConfig, RetryPolicy, RunReport, Schedule, SimBreakdown, SimCosts, TraceEvent, TraceKind,
+    TraceRecorder, Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
 };
 pub use adbt_isa::asm::{assemble, Image};
 pub use adbt_schemes::SchemeKind;
@@ -78,6 +79,11 @@ pub mod workloads {
 /// The raw engine, for advanced embedding.
 pub mod engine {
     pub use adbt_engine::*;
+}
+
+/// The flight-recorder exporters (Chrome trace-event JSON + validator).
+pub mod trace {
+    pub use adbt_engine::{chrome, validate};
 }
 
 /// The scheme implementations.

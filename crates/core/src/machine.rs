@@ -95,6 +95,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables the flight recorder: per-vCPU event rings plus latency
+    /// histograms, exportable as Chrome trace-event JSON after the run.
+    /// `false` keeps the zero-overhead default (one predicted branch per
+    /// trace site).
+    pub fn trace(mut self, on: bool) -> MachineBuilder {
+        self.config.trace = on;
+        self
+    }
+
     /// Overrides the full engine configuration.
     pub fn config(mut self, config: MachineConfig) -> MachineBuilder {
         self.config = config;

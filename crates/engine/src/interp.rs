@@ -281,7 +281,7 @@ pub fn run_block_from(
                 // Injected spurious SC failure (architecturally legal on
                 // ARM). Sits here rather than in `cas_word`, which also
                 // serves plain guest CAS — those must never fail spuriously.
-                let ok = if ctx.robust && ctx.chaos_roll(adbt_chaos::ChaosSite::ScFail) {
+                let ok = if ctx.chaos_sc_fail() {
                     false
                 } else {
                     match ctx.cpu.monitor.addr {

@@ -79,6 +79,10 @@ mod store_test;
 pub mod watchdog;
 
 pub use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, ChaosStream, RetryPolicy};
+pub use adbt_trace::{
+    chrome, validate, Histograms, LogHistogram, TraceEvent, TraceHandle, TraceKind, TraceRecorder,
+    TraceRing, WATCHDOG_TAIL,
+};
 pub use exclusive::{ExclusiveBarrier, Halted};
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};

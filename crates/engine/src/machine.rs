@@ -18,6 +18,7 @@ use adbt_ir::{BlockExit, ChainLink};
 use adbt_isa::asm::Image;
 use adbt_mmu::AddressSpace;
 use adbt_sync::Mutex;
+use adbt_trace::{TraceKind, TraceRecorder, WATCHDOG_TAIL};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -75,6 +76,10 @@ pub struct MachineConfig {
     /// in threaded runs: a degraded region spans block dispatches, which
     /// the single-threaded deterministic schedulers cannot host.
     pub htm_degrade_after: u64,
+    /// Enables the flight recorder: per-vCPU event rings plus latency
+    /// histograms (`false` = tracing off; every trace site then costs a
+    /// single predicted branch, same discipline as `chaos`).
+    pub trace: bool,
 }
 
 impl Default for MachineConfig {
@@ -96,6 +101,7 @@ impl Default for MachineConfig {
             chaos: None,
             watchdog_ms: 0,
             htm_degrade_after: 0,
+            trace: false,
         }
     }
 }
@@ -220,6 +226,9 @@ pub struct MachineCore {
     pub output: Mutex<Vec<u8>>,
     /// The fault-injection plane, when a chaos campaign is configured.
     pub chaos: Option<Arc<ChaosPlane>>,
+    /// The flight recorder (per-vCPU event rings + histograms), when
+    /// tracing is configured.
+    pub trace: Option<Arc<TraceRecorder>>,
     /// The shared retry policy for HTM region rollbacks (and any other
     /// engine retry loop): one place for budgets and backoff stages.
     pub retry: RetryPolicy,
@@ -254,6 +263,7 @@ impl MachineCore {
             htm_enabled,
             output: Mutex::new(Vec::new()),
             chaos: config.chaos.map(|cfg| Arc::new(ChaosPlane::new(cfg))),
+            trace: config.trace.then(|| Arc::new(TraceRecorder::new())),
             retry: RetryPolicy {
                 max_attempts: config.htm_retry_limit,
                 yield_after: 8,
@@ -328,7 +338,9 @@ impl MachineCore {
             txn.poison();
         }
         let block = frontend::translate(ctx, pc)?;
-        Ok(self.cache.insert(pc, block))
+        let id = self.cache.insert(pc, block);
+        ctx.trace(TraceKind::Translate, pc, id);
+        Ok(id)
     }
 
     /// Executes up to `chain_limit` translated blocks for `ctx`,
@@ -354,7 +366,15 @@ impl MachineCore {
             // Holder-aware safepoint: identical single-load fast path, but
             // a degraded region's holder passes through its own pending
             // exclusive instead of self-deadlocking.
-            ctx.stats.exclusive_ns += self.exclusive.safepoint_for(ctx.cpu.tid);
+            let parked = self.exclusive.safepoint_for(ctx.cpu.tid);
+            ctx.stats.exclusive_ns += parked;
+            if parked > 0 {
+                ctx.trace(
+                    TraceKind::SafepointPark,
+                    ctx.cpu.pc,
+                    parked.min(u32::MAX as u64) as u32,
+                );
+            }
             // The entire robustness plane (chaos, watchdog, degradation)
             // costs exactly this one predicted-false branch when disabled.
             if ctx.robust {
@@ -390,6 +410,7 @@ impl MachineCore {
                     // is append-only, so `id` never goes stale.
                     if let Some(slot) = link {
                         slot.set(id);
+                        ctx.trace(TraceKind::ChainPatch, pc, id);
                     }
                     id
                 }
@@ -432,6 +453,7 @@ impl MachineCore {
                 Err(Trap::Exit(code)) => return Some(VcpuOutcome::Exited(code)),
                 Err(Trap::HtmAbort(_reason)) => {
                     ctx.stats.htm_aborts += 1;
+                    ctx.trace(TraceKind::HtmAbort, ctx.cpu.pc, _reason.code());
                     ctx.txn = None;
                     ctx.discard_txn_events();
                     match ctx.txn_restart.take() {
@@ -484,6 +506,11 @@ impl MachineCore {
     fn robust_hop(&self, ctx: &mut ExecCtx<'_>) -> Option<VcpuOutcome> {
         if let Some(beat) = &ctx.beat {
             beat.tick(ctx.stats.blocks, ctx.cpu.pc);
+            // Throttled ring heartbeat: one event per 1024 retired blocks
+            // keeps liveness visible in a trace without flooding the ring.
+            if ctx.stats.blocks & 1023 == 0 {
+                ctx.trace(TraceKind::Heartbeat, ctx.cpu.pc, 0);
+            }
         }
         if self.exclusive.halted() {
             // The watchdog declared the machine stalled: abandon guest
@@ -663,7 +690,12 @@ impl MachineCore {
                 }
                 std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
             }
-            if let Some(dump) = watchdog::sample(beats, &mut last) {
+            if let Some(mut dump) = watchdog::sample(beats, &mut last) {
+                // Attach what each vCPU was doing at the moment of death:
+                // the last ring events are the livelock's fingerprint.
+                if let Some(rec) = &self.trace {
+                    dump.attach_ring_events(rec.last_events(WATCHDOG_TAIL));
+                }
                 *fired.lock() = Some(dump);
                 // Release every parked or waiting thread; robust_hop turns
                 // each survivor into a clean Livelocked outcome.
@@ -911,6 +943,7 @@ impl MachineCore {
             Trap::Exit(code) => Some(VcpuOutcome::Exited(code)),
             Trap::HtmAbort(reason) => {
                 ctx.stats.htm_aborts += 1;
+                ctx.trace(TraceKind::HtmAbort, ctx.cpu.pc, reason.code());
                 ctx.txn = None;
                 ctx.discard_txn_events();
                 match ctx.txn_restart.take() {

@@ -10,6 +10,7 @@ use adbt_chaos::{ChaosSite, ChaosStream};
 use adbt_htm::{AbortReason, Txn};
 use adbt_ir::HelperId;
 use adbt_mmu::{Access, PageFault, Width};
+use adbt_trace::{TraceHandle, TraceKind};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -159,6 +160,10 @@ pub struct ExecCtx<'m> {
     /// This vCPU's deterministic fault-injection stream, when the machine
     /// runs with a chaos plane.
     pub chaos: Option<ChaosStream>,
+    /// This vCPU's flight-recorder ring (plus the shared recorder for
+    /// the clock and histograms), when the machine runs with tracing.
+    /// Every trace site is a single predicted branch when `None`.
+    pub trace: Option<TraceHandle>,
     /// Liveness heartbeat sampled by the watchdog (threaded runs only).
     pub beat: Option<Arc<VcpuBeat>>,
     /// True while a *degraded* region is open: instead of an HTM
@@ -182,6 +187,13 @@ pub struct ExecCtx<'m> {
     pub(crate) sc_seen: u64,
     /// `stats.sc_failures` as of the last robust hop.
     pub(crate) sc_fail_seen: u64,
+    /// Timestamp of the first failed SC of the current retry streak;
+    /// taken by the next successful SC to feed the SC-retry-latency
+    /// histogram. Tracing-enabled runs only.
+    pub(crate) sc_fail_since: Option<u64>,
+    /// One-shot flag set by [`ExecCtx::chaos_sc_fail`] so the SC
+    /// outcome note labels the failure injected rather than organic.
+    pub(crate) sc_injected: bool,
     /// True while a *degraded SC window* holds the machine stopped: a
     /// persistently storming SC retry loop runs its next LL→SC attempt
     /// alone, so the attempt cannot be clobbered and must make progress
@@ -208,6 +220,7 @@ impl<'m> ExecCtx<'m> {
     /// Creates a context for `cpu` on `machine`.
     pub fn new(cpu: Vcpu, machine: &'m MachineCore, num_threads: u32) -> ExecCtx<'m> {
         let chaos = machine.chaos.as_ref().map(|plane| plane.stream(cpu.tid));
+        let trace = machine.trace.as_ref().map(|rec| rec.handle(cpu.tid));
         let robust = chaos.is_some()
             || machine.config.watchdog_ms > 0
             || machine.config.htm_degrade_after > 0;
@@ -220,6 +233,7 @@ impl<'m> ExecCtx<'m> {
             txn_restart: None,
             txn_retries: 0,
             chaos,
+            trace,
             beat: None,
             region_exclusive: false,
             degrade_next_region: false,
@@ -228,6 +242,8 @@ impl<'m> ExecCtx<'m> {
             sc_fail_streak: 0,
             sc_seen: 0,
             sc_fail_seen: 0,
+            sc_fail_since: None,
+            sc_injected: false,
             sc_window: false,
             sc_window_mark: 0,
             pause_on_yield: false,
@@ -257,6 +273,7 @@ impl<'m> ExecCtx<'m> {
     /// `Op::MonitorArm`) must call this.
     #[inline]
     pub fn note_ll(&mut self, addr: u32) {
+        self.trace(TraceKind::LlIssue, addr, 0);
         if self.record_events {
             self.note_event(SchedEvent::Ll {
                 tid: self.cpu.tid,
@@ -270,6 +287,9 @@ impl<'m> ExecCtx<'m> {
     /// this *after* the store's visibility is decided.
     #[inline]
     pub fn note_sc(&mut self, addr: u32, ok: bool, value: u32) {
+        if self.trace.is_some() {
+            self.trace_sc(addr, ok, value);
+        }
         if self.record_events {
             self.note_event(SchedEvent::Sc {
                 tid: self.cpu.tid,
@@ -283,8 +303,88 @@ impl<'m> ExecCtx<'m> {
     /// Notes a `clrex` (monitor disarm).
     #[inline]
     pub fn note_clrex(&mut self) {
+        self.trace(TraceKind::Clrex, 0, 0);
         if self.record_events {
             self.note_event(SchedEvent::Clrex { tid: self.cpu.tid });
+        }
+    }
+
+    /// Current flight-recorder timestamp: nanoseconds since the
+    /// recorder epoch on real threads, retired instructions in the
+    /// deterministic modes (where wall time carries no meaning and
+    /// would break replay).
+    #[inline]
+    fn trace_ts(&self, handle: &TraceHandle) -> u64 {
+        if self.machine.is_threaded() {
+            handle.recorder.now_ns()
+        } else {
+            self.stats.insns
+        }
+    }
+
+    /// Appends one event to this vCPU's flight-recorder ring. The
+    /// disabled path is a single predicted branch; the enabled path is
+    /// a clock read plus four relaxed stores.
+    #[inline]
+    pub fn trace(&self, kind: TraceKind, addr: u32, value: u32) {
+        if let Some(handle) = &self.trace {
+            handle.ring.record(self.trace_ts(handle), kind, addr, value);
+        }
+    }
+
+    /// The SC-outcome trace site: labels the failure organic vs
+    /// injected, tracks the retry streak's start, and feeds the
+    /// SC-retry-latency histogram when a success ends the streak.
+    #[cold]
+    fn trace_sc(&mut self, addr: u32, ok: bool, value: u32) {
+        let handle = self.trace.clone().expect("caller checked self.trace");
+        let ts = self.trace_ts(&handle);
+        if ok {
+            self.sc_injected = false;
+            if let Some(since) = self.sc_fail_since.take() {
+                handle
+                    .recorder
+                    .hists
+                    .sc_retry
+                    .record(ts.saturating_sub(since));
+            }
+            handle.ring.record(ts, TraceKind::ScOk, addr, value);
+        } else {
+            if self.sc_fail_since.is_none() {
+                self.sc_fail_since = Some(ts);
+            }
+            let kind = if std::mem::take(&mut self.sc_injected) {
+                TraceKind::ScFailInjected
+            } else {
+                TraceKind::ScFail
+            };
+            handle.ring.record(ts, kind, addr, value);
+        }
+    }
+
+    /// Records an exclusive-section entry: the opening edge of the
+    /// span in the flight recorder plus the entry-wait histogram.
+    fn trace_exclusive_enter(&self, waited: u64) {
+        if let Some(handle) = &self.trace {
+            handle.recorder.hists.exclusive_wait.record(waited);
+            let saturated = waited.min(u32::MAX as u64) as u32;
+            handle.ring.record(
+                self.trace_ts(handle),
+                TraceKind::ExclusiveEnter,
+                0,
+                saturated,
+            );
+        }
+    }
+
+    /// Records a completed HTM abort streak (ended by a commit or a
+    /// degradation) in its histogram. Public so schemes with internal
+    /// HTM retry loops (HST-HTM) can feed the same histogram.
+    pub fn trace_htm_streak(&self, streak: u64) {
+        if streak > 0 {
+            if let Some(handle) = &self.trace {
+                handle.recorder.hists.htm_abort_streak.record(streak);
+            }
         }
     }
 
@@ -321,6 +421,7 @@ impl<'m> ExecCtx<'m> {
             return false;
         }
         self.stats.injected_faults += 1;
+        self.trace(TraceKind::Chaos, 0, site as u32);
         if let Some(plane) = &self.machine.chaos {
             plane.record(site);
         }
@@ -331,6 +432,22 @@ impl<'m> ExecCtx<'m> {
             });
         }
         true
+    }
+
+    /// Rolls the chaos dice for an injected spurious SC failure. On a
+    /// hit, tags the failure as injected (both in the dedicated stats
+    /// counter and for the flight recorder's outcome labeling) so
+    /// chaos-made noise never pollutes the organic contention numbers.
+    /// Scheme SC helpers call this instead of rolling `ScFail` raw.
+    #[inline]
+    pub fn chaos_sc_fail(&mut self) -> bool {
+        if self.robust && self.chaos_roll(ChaosSite::ScFail) {
+            self.stats.sc_failures_injected += 1;
+            self.sc_injected = true;
+            true
+        } else {
+            false
+        }
     }
 
     /// A deterministic coin flip from the chaos stream (used to pick
@@ -387,11 +504,13 @@ impl<'m> ExecCtx<'m> {
         if self.region_exclusive {
             self.region_exclusive = false;
             self.machine.exclusive.end_exclusive();
+            self.trace(TraceKind::ExclusiveExit, 0, 0);
             self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
         }
         if self.sc_window {
             self.sc_window = false;
             self.machine.exclusive.end_exclusive();
+            self.trace(TraceKind::ExclusiveExit, 0, 0);
             self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
         }
     }
@@ -413,6 +532,12 @@ impl<'m> ExecCtx<'m> {
         self.stats.degradations += 1;
         self.stats.exclusive_entries += 1;
         self.stats.exclusive_ns += waited;
+        self.trace(
+            TraceKind::Degrade,
+            self.cpu.pc,
+            self.sc_fail_streak.min(u32::MAX as u64) as u32,
+        );
+        self.trace_exclusive_enter(waited);
         self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
         self.sc_window = true;
         self.sc_window_mark = self.stats.sc;
@@ -425,6 +550,7 @@ impl<'m> ExecCtx<'m> {
         self.sc_window = false;
         self.region_blocks = 0;
         self.machine.exclusive.end_exclusive();
+        self.trace(TraceKind::ExclusiveExit, 0, 0);
         self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
     }
 
@@ -667,6 +793,7 @@ impl<'m> ExecCtx<'m> {
         retries: &mut u64,
     ) -> Result<FaultOutcome, Trap> {
         self.stats.page_faults += 1;
+        self.trace(TraceKind::PageFault, fault.vaddr, 0);
         // A halted machine means the watchdog declared the run dead:
         // fault handlers that wait on exclusivity (PST's protect paths)
         // can no longer succeed, so convert what would be an unbounded
@@ -722,6 +849,7 @@ impl<'m> ExecCtx<'m> {
         match self.machine.exclusive.start_exclusive() {
             Ok(waited) => {
                 self.stats.exclusive_ns += waited;
+                self.trace_exclusive_enter(waited);
                 self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
                 Ok(())
             }
@@ -741,6 +869,7 @@ impl<'m> ExecCtx<'m> {
             return;
         }
         self.machine.exclusive.end_exclusive();
+        self.trace(TraceKind::ExclusiveExit, 0, 0);
         self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
     }
 
@@ -770,6 +899,13 @@ impl<'m> ExecCtx<'m> {
             self.stats.degradations += 1;
             self.stats.exclusive_entries += 1;
             self.stats.exclusive_ns += waited;
+            self.trace_htm_streak(self.txn_retries);
+            self.trace(
+                TraceKind::Degrade,
+                restart_pc,
+                self.txn_retries.min(u32::MAX as u64) as u32,
+            );
+            self.trace_exclusive_enter(waited);
             self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
             self.region_exclusive = true;
             self.region_blocks = 0;
@@ -778,6 +914,11 @@ impl<'m> ExecCtx<'m> {
             return Ok(());
         }
         self.stats.htm_txns += 1;
+        self.trace(
+            TraceKind::HtmBegin,
+            restart_pc,
+            self.txn_retries.min(u32::MAX as u64) as u32,
+        );
         self.txn_restart = Some((restart_pc, self.cpu.snapshot()));
         self.txn = Some(self.machine.htm.begin());
         Ok(())
@@ -796,6 +937,7 @@ impl<'m> ExecCtx<'m> {
             self.txn_restart = None;
             self.txn_retries = 0;
             self.machine.exclusive.end_exclusive();
+            self.trace(TraceKind::ExclusiveExit, 0, 0);
             self.note_event(SchedEvent::ExclusiveExit { tid: self.cpu.tid });
             return Ok(());
         }
@@ -825,6 +967,12 @@ impl<'m> ExecCtx<'m> {
                             .notify_plain_store(adbt_htm::HtmDomain::engine_token(
                                 self.stats.htm_txns as usize,
                             ));
+                        self.trace(
+                            TraceKind::HtmCommit,
+                            self.cpu.pc,
+                            self.txn_retries.min(u32::MAX as u64) as u32,
+                        );
+                        self.trace_htm_streak(self.txn_retries);
                         self.txn_restart = None;
                         self.txn_retries = 0;
                         // The region became visible as one atomic unit at

@@ -36,6 +36,10 @@ pub struct VcpuStats {
     /// SC attempts that failed (monitor lost, hash entry stolen, CAS
     /// mismatch — per the active scheme's semantics).
     pub sc_failures: u64,
+    /// Of `sc_failures`, those forced by the chaos plane's `ScFail`
+    /// site rather than organic contention — kept separate so injected
+    /// noise never pollutes contention analysis.
+    pub sc_failures_injected: u64,
     /// Runtime helper invocations.
     pub helper_calls: u64,
     /// Inline store-test table updates (`Op::HtableSet`).
@@ -127,6 +131,7 @@ impl VcpuStats {
             ll,
             sc,
             sc_failures,
+            sc_failures_injected,
             helper_calls,
             htable_sets,
             page_faults,
@@ -163,6 +168,7 @@ impl VcpuStats {
         self.ll += ll;
         self.sc += sc;
         self.sc_failures += sc_failures;
+        self.sc_failures_injected += sc_failures_injected;
         self.helper_calls += helper_calls;
         self.htable_sets += htable_sets;
         self.page_faults += page_faults;

@@ -13,6 +13,7 @@
 //! Consequently `watchdog_ms` must comfortably exceed the longest
 //! legitimate stop-the-world pause of the chosen scheme.
 
+use adbt_trace::TraceEvent;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Heartbeat published by one vCPU thread and sampled by the watchdog.
@@ -49,6 +50,25 @@ pub struct WatchdogDump {
     pub stalled_tids: Vec<u32>,
     /// Human-readable per-vCPU state (tid, progress, last pc).
     pub report: String,
+    /// The last flight-recorder events per vCPU (tid, oldest-first) at
+    /// the moment the watchdog fired — what each thread was *doing* when
+    /// the machine stopped. Empty when tracing is off.
+    pub ring_events: Vec<(u32, Vec<TraceEvent>)>,
+}
+
+impl WatchdogDump {
+    /// Attaches the flight-recorder tail to the dump, both structured
+    /// (for programmatic export) and rendered into the text report.
+    pub fn attach_ring_events(&mut self, ring_events: Vec<(u32, Vec<TraceEvent>)>) {
+        self.report.push_str("last flight-recorder events:\n");
+        for (tid, events) in &ring_events {
+            self.report.push_str(&format!("  vcpu tid={tid}:\n"));
+            for event in events {
+                self.report.push_str(&format!("    {}\n", event.render()));
+            }
+        }
+        self.ring_events = ring_events;
+    }
 }
 
 /// Samples `beats` and returns a dump if no live vCPU progressed since
@@ -86,6 +106,7 @@ pub fn sample(beats: &[std::sync::Arc<VcpuBeat>], last: &mut [u64]) -> Option<Wa
         Some(WatchdogDump {
             stalled_tids: stalled,
             report,
+            ring_events: Vec::new(),
         })
     } else {
         None

@@ -21,6 +21,20 @@ pub enum AbortReason {
     EngineInterference,
 }
 
+impl AbortReason {
+    /// A stable small integer for compact encodings (trace payloads,
+    /// abort-cause tallies). Not a `#[repr]` discriminant — the enum
+    /// stays free to reorder without breaking persisted traces.
+    pub fn code(self) -> u32 {
+        match self {
+            AbortReason::Conflict => 1,
+            AbortReason::Capacity => 2,
+            AbortReason::Explicit => 3,
+            AbortReason::EngineInterference => 4,
+        }
+    }
+}
+
 impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

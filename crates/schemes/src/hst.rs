@@ -15,7 +15,9 @@
 //!   transaction (validate entry, transactionally store), falling back to
 //!   the stop-the-world path after repeated aborts. *Strong.*
 
-use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry, RetryPolicy, Trap};
+use adbt_engine::{
+    AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry, RetryPolicy, TraceKind, Trap,
+};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{Access, Width};
 use std::time::Instant;
@@ -80,7 +82,7 @@ fn hst_sc_exclusive(ctx: &mut ExecCtx<'_>, addr: u32, new: u32) -> Result<u32, T
     ctx.stats.sc += 1;
     // Injected spurious SC failure (always architecturally legal), taken
     // before paying for the stop-the-world section.
-    if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+    if ctx.chaos_sc_fail() {
         ctx.cpu.monitor.addr = None;
         ctx.stats.sc_failures += 1;
         ctx.note_sc(addr, false, new);
@@ -190,7 +192,7 @@ impl AtomicScheme for HstWeak {
             Box::new(|ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
-                if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if ctx.chaos_sc_fail() {
                     ctx.cpu.monitor.addr = None;
                     ctx.stats.sc_failures += 1;
                     ctx.note_sc(addr, false, new);
@@ -298,7 +300,7 @@ impl AtomicScheme for HstHtm {
             Box::new(move |ctx, args| {
                 let (addr, new) = (args[0], args[1]);
                 ctx.stats.sc += 1;
-                if ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if ctx.chaos_sc_fail() {
                     ctx.cpu.monitor.addr = None;
                     ctx.stats.sc_failures += 1;
                     ctx.note_sc(addr, false, new);
@@ -325,8 +327,13 @@ impl AtomicScheme for HstHtm {
                 let mut attempt = 0u64;
                 // One unified retry shape: spin, then yield, then — once
                 // the budget is spent — degrade to stop-the-world.
-                let backoff = |ctx: &mut ExecCtx<'_>, attempt| {
+                let backoff = |ctx: &mut ExecCtx<'_>, attempt: u64| {
                     ctx.stats.htm_aborts += 1;
+                    ctx.trace(
+                        TraceKind::HtmAbort,
+                        addr,
+                        attempt.min(u32::MAX as u64) as u32,
+                    );
                     if threaded {
                         ctx.stats.lock_wait_ns += retry.backoff(attempt);
                     }
@@ -336,6 +343,11 @@ impl AtomicScheme for HstHtm {
                     !retry.exhausted(attempt)
                 } {
                     ctx.stats.htm_txns += 1;
+                    ctx.trace(
+                        TraceKind::HtmBegin,
+                        addr,
+                        (attempt - 1).min(u32::MAX as u64) as u32,
+                    );
                     let mut txn = ctx.machine.htm.begin();
                     // Pull the hash entry's conflict token into the read
                     // set: a competing LL or instrumented store flipping
@@ -371,6 +383,12 @@ impl AtomicScheme for HstHtm {
                     }
                     match txn.commit(ctx.machine.space.mem()) {
                         Ok(()) => {
+                            ctx.trace(
+                                TraceKind::HtmCommit,
+                                addr,
+                                (attempt - 1).min(u32::MAX as u64) as u32,
+                            );
+                            ctx.trace_htm_streak(attempt - 1);
                             ctx.cpu.monitor.addr = None;
                             ctx.note_sc(addr, true, new);
                             return Ok(0);
@@ -386,6 +404,12 @@ impl AtomicScheme for HstHtm {
                 // does not charge another — `stats.sc` stays one per strex
                 // without ever being decremented.
                 ctx.stats.degradations += 1;
+                ctx.trace(
+                    TraceKind::Degrade,
+                    addr,
+                    attempt.min(u32::MAX as u64) as u32,
+                );
+                ctx.trace_htm_streak(attempt);
                 hst_sc_world_stop(ctx, addr, new)
             }),
         ));

@@ -11,7 +11,7 @@
 //! [`adbt_engine::VcpuOutcome::Livelocked`] once the per-region retry
 //! budget is exhausted.
 
-use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, HelperRegistry};
+use adbt_engine::{AtomicScheme, Atomicity, HelperRegistry};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::Width;
 
@@ -79,7 +79,7 @@ impl AtomicScheme for PicoHtm {
                 let mut armed = ctx.cpu.monitor.addr == Some(addr);
                 // Injected spurious SC failure; the open region (if any)
                 // is released below exactly as for a genuine failure.
-                if armed && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if armed && ctx.chaos_sc_fail() {
                     armed = false;
                 }
                 ctx.cpu.monitor.addr = None;

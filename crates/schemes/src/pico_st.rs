@@ -142,7 +142,7 @@ impl AtomicScheme for PicoSt {
                 // Injected spurious SC failure (architecturally legal on
                 // ARM); the registry entry is dropped below either way,
                 // exactly as for a genuine failure.
-                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if ok && ctx.chaos_sc_fail() {
                     ok = false;
                 }
                 let result = if ok {

@@ -21,7 +21,8 @@
 //! tables + TLB shootdown (see DESIGN.md for the substitution argument).
 
 use adbt_engine::{
-    AtomicScheme, Atomicity, ChaosSite, ExecCtx, FaultAccess, FaultOutcome, HelperRegistry, Trap,
+    AtomicScheme, Atomicity, ChaosSite, ExecCtx, FaultAccess, FaultOutcome, HelperRegistry,
+    TraceKind, Trap,
 };
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{FaultKind, PageFault, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
@@ -85,6 +86,12 @@ fn lock_registry<'a>(shared: &'a PstShared, ctx: &mut ExecCtx<'_>) -> MutexGuard
 fn timed_protect(ctx: &mut ExecCtx<'_>, page: u32, perms: Perms) -> Result<(), Trap> {
     let start = Instant::now();
     ctx.stats.mprotect_calls += 1;
+    // Payload 1 = page opened for writes, 0 = write-protected.
+    ctx.trace(
+        TraceKind::Mprotect,
+        page << PAGE_SHIFT,
+        perms.allows_write() as u32,
+    );
     // This really is a stop-the-world section (counted as such so both
     // the wall-clock and virtual-time accounting see it); its *duration*
     // is attributed to the mprotect bucket per the paper's Fig. 12.
@@ -201,6 +208,7 @@ fn handle_protected_store(
     let broke_any = list.len() != before;
     if !broke_any {
         ctx.stats.false_sharing_faults += 1;
+        ctx.trace(TraceKind::FalseSharing, fault.vaddr, 0);
     }
     if list.is_empty() {
         reg.pages.remove(&page);
@@ -281,7 +289,7 @@ impl AtomicScheme for Pst {
                 // Injected spurious SC failure; the registry entry stays,
                 // exactly as after a genuine failure, and the next LL's
                 // tid-scan cleanup reclaims it.
-                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if ok && ctx.chaos_sc_fail() {
                     ok = false;
                 }
                 if ok {
@@ -292,6 +300,7 @@ impl AtomicScheme for Pst {
                     ctx.start_exclusive()?;
                     ctx.machine.space.protect(page, Perms::RWX);
                     ctx.stats.mprotect_calls += 1;
+                    ctx.trace(TraceKind::Mprotect, page << PAGE_SHIFT, 1);
                     let paddr = ctx
                         .machine
                         .space
@@ -308,6 +317,7 @@ impl AtomicScheme for Pst {
                     } else {
                         ctx.machine.space.protect(page, Perms::READ | Perms::EXEC);
                         ctx.stats.mprotect_calls += 1;
+                        ctx.trace(TraceKind::Mprotect, page << PAGE_SHIFT, 0);
                     }
                     ctx.end_exclusive();
                     ctx.stats.mprotect_ns += start.elapsed().as_nanos() as u64;
@@ -421,7 +431,7 @@ impl AtomicScheme for PstRemap {
                 let mut guard = lock_registry(&shared, ctx);
                 let registry = &mut *guard;
                 let mut ok = sc_registered(ctx, registry, addr);
-                if ok && ctx.robust && ctx.chaos_roll(ChaosSite::ScFail) {
+                if ok && ctx.chaos_sc_fail() {
                     ok = false;
                 }
                 if ok {
@@ -434,6 +444,8 @@ impl AtomicScheme for PstRemap {
                     let alias_page = ctx.machine.space.high_window_base() + (ctx.cpu.tid - 1);
                     let start = Instant::now();
                     ctx.stats.remap_calls += 2;
+                    // One event per remap pair: away to the alias + back.
+                    ctx.trace(TraceKind::Remap, page << PAGE_SHIFT, alias_page);
                     ctx.machine
                         .space
                         .move_page(page, alias_page, Perms::READ | Perms::WRITE)

@@ -1,0 +1,40 @@
+//! `trace_validate` — check that a Chrome trace-event JSON file is
+//! structurally sound (see `adbt_trace::validate`). CI runs this over
+//! every trace `adbt_run --trace` emits during the soak step.
+//!
+//! ```text
+//! trace_validate <trace.json> [more.json ...]
+//! ```
+//!
+//! Exit code 0 when every file validates; 1 on the first failure.
+
+use adbt_trace::validate::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_validate <trace.json> [more.json ...]");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(check) => println!(
+                "{path}: OK — {} events ({} instants, {} spans) on {} track(s)",
+                check.events, check.instants, check.spans, check.tracks
+            ),
+            Err(why) => {
+                eprintln!("{path}: INVALID — {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

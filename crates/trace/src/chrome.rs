@@ -1,0 +1,219 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! One process, one track per vCPU. Instant events (`ph:"i"`) carry the
+//! guest address and payload in `args`; exclusive sections become
+//! duration spans (`ph:"B"`/`ph:"E"`) so a stop-the-world storm is
+//! visible as stacked bars across the per-vCPU tracks. Timestamps are
+//! microseconds per the format; the nanosecond clock is emitted with a
+//! fractional part so sub-microsecond events stay ordered, and the
+//! deterministic instruction clock is emitted as-is (one "µs" per
+//! instruction — the shape, not the wall time, is the point there).
+//!
+//! The writer is hand-rolled: the workspace builds air-gapped with no
+//! JSON crate. Its output is what `validate::validate_chrome_trace`
+//! accepts — CI round-trips one through the other.
+
+use crate::{TraceEvent, TraceKind};
+
+/// Which clock stamped the events (see [`crate::TraceEvent::ts`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Clock {
+    /// Nanoseconds since the recorder epoch (threaded runs).
+    Nanos,
+    /// Retired guest instructions (deterministic/simulated runs).
+    Insns,
+}
+
+impl Clock {
+    fn ts(self, raw: u64) -> String {
+        match self {
+            // µs with the ns residue as the fractional part.
+            Clock::Nanos => format!("{}.{:03}", raw / 1000, raw % 1000),
+            Clock::Insns => raw.to_string(),
+        }
+    }
+}
+
+/// The process id every track lives under (arbitrary but consistent).
+const PID: u32 = 1;
+
+/// Renders a full Chrome trace-event document.
+pub fn render(per_vcpu: &[(u32, Vec<TraceEvent>)], clock: Clock) -> String {
+    render_with_extras(per_vcpu, clock, &[])
+}
+
+/// Like [`render`], with extra top-level key/value pairs appended after
+/// `traceEvents` — the values must already be valid JSON (used to embed
+/// the histogram summary in the same file). Viewers ignore unknown
+/// top-level keys.
+pub fn render_with_extras(
+    per_vcpu: &[(u32, Vec<TraceEvent>)],
+    clock: Clock,
+    extras: &[(&str, String)],
+) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+
+    push(
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{PID},\"tid\":0,\
+             \"args\":{{\"name\":\"adbt\"}}}}"
+        ),
+        &mut first,
+    );
+    for &(tid, _) in per_vcpu {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"vcpu {tid}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+
+    for (tid, events) in per_vcpu {
+        let mut open_spans = 0usize;
+        let mut last_ts = 0u64;
+        for event in events {
+            last_ts = last_ts.max(event.ts);
+            let ts = clock.ts(event.ts);
+            match event.kind {
+                TraceKind::ExclusiveEnter => {
+                    open_spans += 1;
+                    push(
+                        format!(
+                            "{{\"name\":\"exclusive\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{PID},\
+                             \"tid\":{tid},\"args\":{{\"waited_ns\":{}}}}}",
+                            event.value
+                        ),
+                        &mut first,
+                    );
+                }
+                TraceKind::ExclusiveExit => {
+                    // An exit without a recorded enter means the enter
+                    // was overwritten in the ring; dropping the exit
+                    // keeps B/E balanced.
+                    if open_spans == 0 {
+                        continue;
+                    }
+                    open_spans -= 1;
+                    push(
+                        format!(
+                            "{{\"name\":\"exclusive\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{PID},\
+                             \"tid\":{tid}}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                kind => {
+                    push(
+                        format!(
+                            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{PID},\
+                             \"tid\":{tid},\"s\":\"t\",\
+                             \"args\":{{\"addr\":\"{:#010x}\",\"value\":{}}}}}",
+                            kind.name(),
+                            event.addr,
+                            event.value
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+        // A run halted mid-section (watchdog) leaves spans open; close
+        // them at the track's final timestamp so viewers render them.
+        for _ in 0..open_spans {
+            push(
+                format!(
+                    "{{\"name\":\"exclusive\",\"ph\":\"E\",\"ts\":{},\"pid\":{PID},\"tid\":{tid}}}",
+                    clock.ts(last_ts)
+                ),
+                &mut first,
+            );
+        }
+    }
+
+    out.push_str("\n],\n\"displayTimeUnit\":\"ns\"");
+    for (key, value) in extras {
+        out.push_str(&format!(",\n\"{key}\":{value}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_chrome_trace;
+
+    fn event(ts: u64, tid: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            ts,
+            tid,
+            kind,
+            addr: 0x1000,
+            value: 7,
+        }
+    }
+
+    #[test]
+    fn instants_and_spans_round_trip_through_the_validator() {
+        let per_vcpu = vec![
+            (
+                1,
+                vec![
+                    event(100, 1, TraceKind::LlIssue),
+                    event(250, 1, TraceKind::ExclusiveEnter),
+                    event(900, 1, TraceKind::ExclusiveExit),
+                    event(950, 1, TraceKind::ScOk),
+                ],
+            ),
+            (2, vec![event(400, 2, TraceKind::ScFailInjected)]),
+        ];
+        let json = render(&per_vcpu, Clock::Nanos);
+        let check = validate_chrome_trace(&json).expect("exporter output must validate");
+        // 2 metadata + process meta + 4 + 1 events, one span pair.
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.instants, 3);
+        assert!(json.contains("\"name\":\"vcpu 2\""));
+        assert!(
+            json.contains("\"ts\":0.100"),
+            "ns become fractional µs: {json}"
+        );
+        assert!(json.contains("\"addr\":\"0x00001000\""));
+    }
+
+    #[test]
+    fn unmatched_spans_are_repaired() {
+        // Enter whose exit was never written (halt), and an exit whose
+        // enter was overwritten by ring wrap: both must still validate.
+        let per_vcpu = vec![
+            (1, vec![event(10, 1, TraceKind::ExclusiveEnter)]),
+            (2, vec![event(20, 2, TraceKind::ExclusiveExit)]),
+        ];
+        let json = render(&per_vcpu, Clock::Insns);
+        let check = validate_chrome_trace(&json).expect("repaired output validates");
+        assert_eq!(check.spans, 1, "open enter is auto-closed");
+    }
+
+    #[test]
+    fn insn_clock_is_integral_and_extras_are_embedded() {
+        let per_vcpu = vec![(1, vec![event(12345, 1, TraceKind::Translate)])];
+        let json = render_with_extras(
+            &per_vcpu,
+            Clock::Insns,
+            &[("histograms", "{\"x\":1}".to_string())],
+        );
+        assert!(json.contains("\"ts\":12345,"));
+        assert!(json.contains("\"histograms\":{\"x\":1}"));
+        validate_chrome_trace(&json).expect("extras must not break the document");
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-1569e811dc245534.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-1569e811dc245534: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aba_correctness-3a278557621415fb.d: crates/bench/src/bin/aba_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaba_correctness-3a278557621415fb.rmeta: crates/bench/src/bin/aba_correctness.rs Cargo.toml
+
+crates/bench/src/bin/aba_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_correctness-b368c0f984587113.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/debug/deps/aba_correctness-b368c0f984587113: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aba_forced-7325ab18c9e28a32.d: tests/aba_forced.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaba_forced-7325ab18c9e28a32.rmeta: tests/aba_forced.rs Cargo.toml
+
+tests/aba_forced.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

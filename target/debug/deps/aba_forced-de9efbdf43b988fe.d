@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_forced-de9efbdf43b988fe.d: tests/aba_forced.rs
+
+/root/repo/target/debug/deps/aba_forced-de9efbdf43b988fe: tests/aba_forced.rs
+
+tests/aba_forced.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aba_stack-6a0fcd1fad6889fa.d: tests/aba_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaba_stack-6a0fcd1fad6889fa.rmeta: tests/aba_stack.rs Cargo.toml
+
+tests/aba_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aba_stack-f1cc9a448adc0163.d: tests/aba_stack.rs
+
+/root/repo/target/debug/deps/aba_stack-f1cc9a448adc0163: tests/aba_stack.rs
+
+tests/aba_stack.rs:

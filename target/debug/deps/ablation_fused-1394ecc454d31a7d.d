@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-1394ecc454d31a7d.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-1394ecc454d31a7d: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

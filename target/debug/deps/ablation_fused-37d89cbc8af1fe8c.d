@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-37d89cbc8af1fe8c.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-37d89cbc8af1fe8c: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fused-5a75c4b6cf515a60.d: crates/bench/src/bin/ablation_fused.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fused-5a75c4b6cf515a60.rmeta: crates/bench/src/bin/ablation_fused.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fused.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt-d8e2c7ff530fb2f7.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+/root/repo/target/debug/deps/adbt-d8e2c7ff530fb2f7: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/harness.rs crates/core/src/machine.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/harness.rs:
+crates/core/src/machine.rs:

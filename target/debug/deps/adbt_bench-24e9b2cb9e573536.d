@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_bench-24e9b2cb9e573536.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_bench-24e9b2cb9e573536.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

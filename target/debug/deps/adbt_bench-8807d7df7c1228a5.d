@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_bench-8807d7df7c1228a5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/adbt_bench-8807d7df7c1228a5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

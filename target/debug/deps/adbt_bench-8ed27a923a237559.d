@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_bench-8ed27a923a237559.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-8ed27a923a237559.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_bench-8ed27a923a237559.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_check-00cc06d5898c9e31.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/debug/deps/adbt_check-00cc06d5898c9e31: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

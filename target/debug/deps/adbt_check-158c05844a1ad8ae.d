@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_check-158c05844a1ad8ae.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_check-158c05844a1ad8ae.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/export.rs:
+crates/check/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

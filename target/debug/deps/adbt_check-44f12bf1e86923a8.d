@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt_check-44f12bf1e86923a8.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/adbt_check-44f12bf1e86923a8: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/export.rs:
+crates/check/src/oracle.rs:

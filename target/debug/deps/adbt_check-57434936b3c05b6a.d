@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt_check-57434936b3c05b6a.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/libadbt_check-57434936b3c05b6a.rlib: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+/root/repo/target/debug/deps/libadbt_check-57434936b3c05b6a.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/export.rs:
+crates/check/src/oracle.rs:

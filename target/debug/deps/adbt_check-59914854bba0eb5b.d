@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_check-59914854bba0eb5b.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/debug/deps/adbt_check-59914854bba0eb5b: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

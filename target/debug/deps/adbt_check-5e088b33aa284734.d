@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_check-5e088b33aa284734.d: crates/check/src/bin/adbt_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_check-5e088b33aa284734.rmeta: crates/check/src/bin/adbt_check.rs Cargo.toml
+
+crates/check/src/bin/adbt_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_check-68fc64d2f67beaba.d: crates/check/src/bin/adbt_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_check-68fc64d2f67beaba.rmeta: crates/check/src/bin/adbt_check.rs Cargo.toml
+
+crates/check/src/bin/adbt_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

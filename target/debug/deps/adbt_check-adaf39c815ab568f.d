@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_check-adaf39c815ab568f.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_check-adaf39c815ab568f.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/export.rs:
+crates/check/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

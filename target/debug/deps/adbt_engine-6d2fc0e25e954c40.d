@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/adbt_engine-6d2fc0e25e954c40.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_engine-6d2fc0e25e954c40.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/exclusive.rs:
+crates/engine/src/frontend.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/machine.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/scheme.rs:
+crates/engine/src/state.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/store_test.rs:
+crates/engine/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

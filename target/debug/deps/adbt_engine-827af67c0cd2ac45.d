@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/adbt_engine-827af67c0cd2ac45.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs
+
+/root/repo/target/debug/deps/adbt_engine-827af67c0cd2ac45: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/exclusive.rs:
+crates/engine/src/frontend.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/machine.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/scheme.rs:
+crates/engine/src/state.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/store_test.rs:
+crates/engine/src/watchdog.rs:

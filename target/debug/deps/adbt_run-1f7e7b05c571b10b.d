@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-1f7e7b05c571b10b.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-1f7e7b05c571b10b: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_run-2f1c0911961c22d3.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/debug/deps/adbt_run-2f1c0911961c22d3: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_run-8fc7d304a72c2056.d: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_run-8fc7d304a72c2056.rmeta: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+crates/core/src/bin/adbt_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_run-e49955c10bd1343f.d: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_run-e49955c10bd1343f.rmeta: crates/core/src/bin/adbt_run.rs Cargo.toml
+
+crates/core/src/bin/adbt_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

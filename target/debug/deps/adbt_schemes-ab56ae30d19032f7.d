@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_schemes-ab56ae30d19032f7.d: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/debug/deps/libadbt_schemes-ab56ae30d19032f7.rlib: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/debug/deps/libadbt_schemes-ab56ae30d19032f7.rmeta: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/hst.rs:
+crates/schemes/src/pico_cas.rs:
+crates/schemes/src/pico_htm.rs:
+crates/schemes/src/pico_st.rs:
+crates/schemes/src/pst.rs:

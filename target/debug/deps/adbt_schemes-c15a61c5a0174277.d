@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adbt_schemes-c15a61c5a0174277.d: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_schemes-c15a61c5a0174277.rmeta: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs Cargo.toml
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/hst.rs:
+crates/schemes/src/pico_cas.rs:
+crates/schemes/src/pico_htm.rs:
+crates/schemes/src/pico_st.rs:
+crates/schemes/src/pst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adbt_suite-4a2932b12fdd08fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/adbt_suite-4a2932b12fdd08fe: src/lib.rs
+
+src/lib.rs:

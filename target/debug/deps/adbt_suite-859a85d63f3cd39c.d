@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_suite-859a85d63f3cd39c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_suite-859a85d63f3cd39c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

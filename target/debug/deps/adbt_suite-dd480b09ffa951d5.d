@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adbt_suite-dd480b09ffa951d5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_suite-dd480b09ffa951d5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

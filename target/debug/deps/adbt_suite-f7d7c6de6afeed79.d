@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adbt_suite-f7d7c6de6afeed79.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-f7d7c6de6afeed79.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadbt_suite-f7d7c6de6afeed79.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_trace-935bf8ef162c526d.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_trace-935bf8ef162c526d.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/hist.rs:
+crates/trace/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

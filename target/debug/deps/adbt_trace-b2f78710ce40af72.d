@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adbt_trace-b2f78710ce40af72.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/libadbt_trace-b2f78710ce40af72.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/libadbt_trace-b2f78710ce40af72.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/hist.rs:
+crates/trace/src/validate.rs:

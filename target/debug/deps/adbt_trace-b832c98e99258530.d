@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adbt_trace-b832c98e99258530.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadbt_trace-b832c98e99258530.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/hist.rs:
+crates/trace/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adbt_trace-d599d3e0bc33d10e.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+/root/repo/target/debug/deps/adbt_trace-d599d3e0bc33d10e: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/hist.rs:
+crates/trace/src/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alu_prop-2d248522e44ac176.d: crates/engine/tests/alu_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalu_prop-2d248522e44ac176.rmeta: crates/engine/tests/alu_prop.rs Cargo.toml
+
+crates/engine/tests/alu_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_prop-ed90154823a1a5ff.d: crates/engine/tests/alu_prop.rs
+
+/root/repo/target/debug/deps/alu_prop-ed90154823a1a5ff: crates/engine/tests/alu_prop.rs
+
+crates/engine/tests/alu_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaining-14ca491768e1d0f5.d: crates/engine/tests/chaining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaining-14ca491768e1d0f5.rmeta: crates/engine/tests/chaining.rs Cargo.toml
+
+crates/engine/tests/chaining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

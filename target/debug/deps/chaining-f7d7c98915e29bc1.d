@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaining-f7d7c98915e29bc1.d: crates/engine/tests/chaining.rs
+
+/root/repo/target/debug/deps/chaining-f7d7c98915e29bc1: crates/engine/tests/chaining.rs
+
+crates/engine/tests/chaining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_soak-67c1ebc1803dbf88.d: tests/chaos_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_soak-67c1ebc1803dbf88.rmeta: tests/chaos_soak.rs Cargo.toml
+
+tests/chaos_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-6f8bc62987df1447.d: tests/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-6f8bc62987df1447: tests/chaos_soak.rs
+
+tests/chaos_soak.rs:

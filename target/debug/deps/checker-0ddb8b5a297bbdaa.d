@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-0ddb8b5a297bbdaa.d: crates/check/tests/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-0ddb8b5a297bbdaa.rmeta: crates/check/tests/checker.rs Cargo.toml
+
+crates/check/tests/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-d82370e9e4656a25.d: crates/check/tests/checker.rs
+
+/root/repo/target/debug/deps/checker-d82370e9e4656a25: crates/check/tests/checker.rs
+
+crates/check/tests/checker.rs:

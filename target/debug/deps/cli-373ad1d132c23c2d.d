@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-373ad1d132c23c2d.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-373ad1d132c23c2d: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_adbt_run=/root/repo/target/debug/adbt_run

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-64f7652c0a5e135b.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-64f7652c0a5e135b.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_adbt_run=placeholder:adbt_run
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

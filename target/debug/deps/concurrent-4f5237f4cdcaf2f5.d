@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-4f5237f4cdcaf2f5.d: crates/schemes/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-4f5237f4cdcaf2f5: crates/schemes/tests/concurrent.rs
+
+crates/schemes/tests/concurrent.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent-fcec9e2dabdda004.d: crates/schemes/tests/concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent-fcec9e2dabdda004.rmeta: crates/schemes/tests/concurrent.rs Cargo.toml
+
+crates/schemes/tests/concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_scheme-446f22cf342bba7b.d: tests/cross_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_scheme-446f22cf342bba7b.rmeta: tests/cross_scheme.rs Cargo.toml
+
+tests/cross_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

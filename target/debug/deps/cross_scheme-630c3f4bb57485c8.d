@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_scheme-630c3f4bb57485c8.d: tests/cross_scheme.rs
+
+/root/repo/target/debug/deps/cross_scheme-630c3f4bb57485c8: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

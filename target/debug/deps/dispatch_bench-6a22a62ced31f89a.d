@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-6a22a62ced31f89a.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-6a22a62ced31f89a: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch_bench-a258f8ecea671129.d: crates/bench/src/bin/dispatch_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch_bench-a258f8ecea671129.rmeta: crates/bench/src/bin/dispatch_bench.rs Cargo.toml
+
+crates/bench/src/bin/dispatch_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

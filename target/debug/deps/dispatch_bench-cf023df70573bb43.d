@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch_bench-cf023df70573bb43.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/debug/deps/dispatch_bench-cf023df70573bb43: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

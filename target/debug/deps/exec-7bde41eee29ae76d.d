@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec-7bde41eee29ae76d.d: crates/engine/tests/exec.rs
+
+/root/repo/target/debug/deps/exec-7bde41eee29ae76d: crates/engine/tests/exec.rs
+
+crates/engine/tests/exec.rs:

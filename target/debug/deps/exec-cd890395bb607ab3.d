@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec-cd890395bb607ab3.d: crates/engine/tests/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec-cd890395bb607ab3.rmeta: crates/engine/tests/exec.rs Cargo.toml
+
+crates/engine/tests/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-16c641171b3dab5b.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-16c641171b3dab5b: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_scalability-bc01fb25de76e8b1.d: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_scalability-bc01fb25de76e8b1.rmeta: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability-d91e13b2b87f877c.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/debug/deps/fig10_scalability-d91e13b2b87f877c: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

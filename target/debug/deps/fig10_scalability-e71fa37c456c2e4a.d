@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_scalability-e71fa37c456c2e4a.d: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_scalability-e71fa37c456c2e4a.rmeta: crates/bench/src/bin/fig10_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-30703940085353ca.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-30703940085353ca: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_htm-867da5972f8b6c0c.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/debug/deps/fig11_htm-867da5972f8b6c0c: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

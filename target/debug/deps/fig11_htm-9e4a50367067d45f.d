@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_htm-9e4a50367067d45f.d: crates/bench/src/bin/fig11_htm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_htm-9e4a50367067d45f.rmeta: crates/bench/src/bin/fig11_htm.rs Cargo.toml
+
+crates/bench/src/bin/fig11_htm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

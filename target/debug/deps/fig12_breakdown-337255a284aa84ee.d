@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-337255a284aa84ee.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-337255a284aa84ee: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_breakdown-95e7b279e93f553f.d: crates/bench/src/bin/fig12_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_breakdown-95e7b279e93f553f.rmeta: crates/bench/src/bin/fig12_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_breakdown-9c83368e27c6a593.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/debug/deps/fig12_breakdown-9c83368e27c6a593: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

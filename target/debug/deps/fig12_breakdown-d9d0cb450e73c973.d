@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_breakdown-d9d0cb450e73c973.d: crates/bench/src/bin/fig12_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_breakdown-d9d0cb450e73c973.rmeta: crates/bench/src/bin/fig12_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig12_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fused_atomics-ba624c31bb18516e.d: tests/fused_atomics.rs
+
+/root/repo/target/debug/deps/fused_atomics-ba624c31bb18516e: tests/fused_atomics.rs
+
+tests/fused_atomics.rs:

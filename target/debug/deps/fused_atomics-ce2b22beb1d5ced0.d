@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fused_atomics-ce2b22beb1d5ced0.d: tests/fused_atomics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfused_atomics-ce2b22beb1d5ced0.rmeta: tests/fused_atomics.rs Cargo.toml
+
+tests/fused_atomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

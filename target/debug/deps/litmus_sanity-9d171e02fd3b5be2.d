@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_sanity-9d171e02fd3b5be2.d: crates/check/tests/litmus_sanity.rs
+
+/root/repo/target/debug/deps/litmus_sanity-9d171e02fd3b5be2: crates/check/tests/litmus_sanity.rs
+
+crates/check/tests/litmus_sanity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_sanity-a3b29031d25e9957.d: crates/check/tests/litmus_sanity.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_sanity-a3b29031d25e9957.rmeta: crates/check/tests/litmus_sanity.rs Cargo.toml
+
+crates/check/tests/litmus_sanity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

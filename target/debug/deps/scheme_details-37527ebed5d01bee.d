@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_details-37527ebed5d01bee.d: crates/schemes/tests/scheme_details.rs
+
+/root/repo/target/debug/deps/scheme_details-37527ebed5d01bee: crates/schemes/tests/scheme_details.rs
+
+crates/schemes/tests/scheme_details.rs:

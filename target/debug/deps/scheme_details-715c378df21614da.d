@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_details-715c378df21614da.d: crates/schemes/tests/scheme_details.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_details-715c378df21614da.rmeta: crates/schemes/tests/scheme_details.rs Cargo.toml
+
+crates/schemes/tests/scheme_details.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-28744a52a0b6c55d.d: crates/engine/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-28744a52a0b6c55d: crates/engine/tests/sim.rs
+
+crates/engine/tests/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-2bea87461563070c.d: crates/engine/tests/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-2bea87461563070c.rmeta: crates/engine/tests/sim.rs Cargo.toml
+
+crates/engine/tests/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

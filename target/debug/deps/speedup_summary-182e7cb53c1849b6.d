@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-182e7cb53c1849b6.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-182e7cb53c1849b6: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup_summary-92308c3d1388c38e.d: crates/bench/src/bin/speedup_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup_summary-92308c3d1388c38e.rmeta: crates/bench/src/bin/speedup_summary.rs Cargo.toml
+
+crates/bench/src/bin/speedup_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_summary-e2bd3a556a17ab56.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/debug/deps/speedup_summary-e2bd3a556a17ab56: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

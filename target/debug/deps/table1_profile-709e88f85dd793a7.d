@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_profile-709e88f85dd793a7.d: crates/bench/src/bin/table1_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_profile-709e88f85dd793a7.rmeta: crates/bench/src/bin/table1_profile.rs Cargo.toml
+
+crates/bench/src/bin/table1_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-7bcafbde7d99e8a2.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-7bcafbde7d99e8a2: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

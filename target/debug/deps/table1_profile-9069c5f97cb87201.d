@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_profile-9069c5f97cb87201.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/debug/deps/table1_profile-9069c5f97cb87201: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-2b4ac798b944b745.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-2b4ac798b944b745: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_matrix-bfd84e458e0fdc59.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/debug/deps/table2_matrix-bfd84e458e0fdc59: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_matrix-cd31d93d24dae8ed.d: crates/bench/src/bin/table2_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_matrix-cd31d93d24dae8ed.rmeta: crates/bench/src/bin/table2_matrix.rs Cargo.toml
+
+crates/bench/src/bin/table2_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_matrix-fc75a530d87935bc.d: crates/bench/src/bin/table2_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_matrix-fc75a530d87935bc.rmeta: crates/bench/src/bin/table2_matrix.rs Cargo.toml
+
+crates/bench/src/bin/table2_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

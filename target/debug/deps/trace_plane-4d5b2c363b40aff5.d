@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_plane-4d5b2c363b40aff5.d: tests/trace_plane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_plane-4d5b2c363b40aff5.rmeta: tests/trace_plane.rs Cargo.toml
+
+tests/trace_plane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

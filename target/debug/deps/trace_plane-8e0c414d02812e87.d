@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_plane-8e0c414d02812e87.d: tests/trace_plane.rs
+
+/root/repo/target/debug/deps/trace_plane-8e0c414d02812e87: tests/trace_plane.rs
+
+tests/trace_plane.rs:

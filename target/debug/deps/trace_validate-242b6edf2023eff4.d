@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_validate-242b6edf2023eff4.d: crates/trace/src/bin/trace_validate.rs
+
+/root/repo/target/debug/deps/trace_validate-242b6edf2023eff4: crates/trace/src/bin/trace_validate.rs
+
+crates/trace/src/bin/trace_validate.rs:

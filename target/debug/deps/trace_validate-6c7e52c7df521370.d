@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_validate-6c7e52c7df521370.d: crates/trace/src/bin/trace_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_validate-6c7e52c7df521370.rmeta: crates/trace/src/bin/trace_validate.rs Cargo.toml
+
+crates/trace/src/bin/trace_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_validate-9aa9c26e39f9ce41.d: crates/trace/src/bin/trace_validate.rs
+
+/root/repo/target/debug/deps/trace_validate-9aa9c26e39f9ce41: crates/trace/src/bin/trace_validate.rs
+
+crates/trace/src/bin/trace_validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/aba_demo-27d18219606ecd2d.d: examples/aba_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaba_demo-27d18219606ecd2d.rmeta: examples/aba_demo.rs Cargo.toml
+
+examples/aba_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

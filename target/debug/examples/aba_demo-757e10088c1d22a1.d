@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aba_demo-757e10088c1d22a1.d: examples/aba_demo.rs
+
+/root/repo/target/debug/examples/aba_demo-757e10088c1d22a1: examples/aba_demo.rs
+
+examples/aba_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_matrix-002c6d8d245538f5.d: examples/litmus_matrix.rs
+
+/root/repo/target/debug/examples/litmus_matrix-002c6d8d245538f5: examples/litmus_matrix.rs
+
+examples/litmus_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/litmus_matrix-6e5db26751b47a03.d: examples/litmus_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblitmus_matrix-6e5db26751b47a03.rmeta: examples/litmus_matrix.rs Cargo.toml
+
+examples/litmus_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

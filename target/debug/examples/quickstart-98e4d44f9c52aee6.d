@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-98e4d44f9c52aee6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-98e4d44f9c52aee6: examples/quickstart.rs
+
+examples/quickstart.rs:

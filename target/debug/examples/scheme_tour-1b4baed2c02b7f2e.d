@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_tour-1b4baed2c02b7f2e.d: examples/scheme_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_tour-1b4baed2c02b7f2e.rmeta: examples/scheme_tour.rs Cargo.toml
+
+examples/scheme_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

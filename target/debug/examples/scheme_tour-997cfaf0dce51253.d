@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_tour-997cfaf0dce51253.d: examples/scheme_tour.rs
+
+/root/repo/target/debug/examples/scheme_tour-997cfaf0dce51253: examples/scheme_tour.rs
+
+examples/scheme_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aba_correctness-e1cd4f408ead4916.d: crates/bench/src/bin/aba_correctness.rs
+
+/root/repo/target/release/deps/aba_correctness-e1cd4f408ead4916: crates/bench/src/bin/aba_correctness.rs
+
+crates/bench/src/bin/aba_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fused-5e35049b10614904.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/release/deps/ablation_fused-5e35049b10614904: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_bench-bcc95945d8780f0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-bcc95945d8780f0d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadbt_bench-bcc95945d8780f0d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

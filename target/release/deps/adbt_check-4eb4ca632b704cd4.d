@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adbt_check-4eb4ca632b704cd4.d: crates/check/src/bin/adbt_check.rs
+
+/root/repo/target/release/deps/adbt_check-4eb4ca632b704cd4: crates/check/src/bin/adbt_check.rs
+
+crates/check/src/bin/adbt_check.rs:

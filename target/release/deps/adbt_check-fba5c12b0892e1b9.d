@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adbt_check-fba5c12b0892e1b9.d: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+/root/repo/target/release/deps/libadbt_check-fba5c12b0892e1b9.rlib: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+/root/repo/target/release/deps/libadbt_check-fba5c12b0892e1b9.rmeta: crates/check/src/lib.rs crates/check/src/explore.rs crates/check/src/export.rs crates/check/src/oracle.rs
+
+crates/check/src/lib.rs:
+crates/check/src/explore.rs:
+crates/check/src/export.rs:
+crates/check/src/oracle.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/adbt_engine-193e42db104a078a.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs
+
+/root/repo/target/release/deps/libadbt_engine-193e42db104a078a.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs
+
+/root/repo/target/release/deps/libadbt_engine-193e42db104a078a.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/exclusive.rs crates/engine/src/frontend.rs crates/engine/src/interp.rs crates/engine/src/machine.rs crates/engine/src/runtime.rs crates/engine/src/sched.rs crates/engine/src/scheme.rs crates/engine/src/state.rs crates/engine/src/stats.rs crates/engine/src/store_test.rs crates/engine/src/watchdog.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/exclusive.rs:
+crates/engine/src/frontend.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/machine.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/scheme.rs:
+crates/engine/src/state.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/store_test.rs:
+crates/engine/src/watchdog.rs:

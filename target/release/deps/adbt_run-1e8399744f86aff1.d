@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adbt_run-1e8399744f86aff1.d: crates/core/src/bin/adbt_run.rs
+
+/root/repo/target/release/deps/adbt_run-1e8399744f86aff1: crates/core/src/bin/adbt_run.rs
+
+crates/core/src/bin/adbt_run.rs:

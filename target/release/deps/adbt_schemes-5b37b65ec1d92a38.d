@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/adbt_schemes-5b37b65ec1d92a38.d: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/release/deps/libadbt_schemes-5b37b65ec1d92a38.rlib: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+/root/repo/target/release/deps/libadbt_schemes-5b37b65ec1d92a38.rmeta: crates/schemes/src/lib.rs crates/schemes/src/hst.rs crates/schemes/src/pico_cas.rs crates/schemes/src/pico_htm.rs crates/schemes/src/pico_st.rs crates/schemes/src/pst.rs
+
+crates/schemes/src/lib.rs:
+crates/schemes/src/hst.rs:
+crates/schemes/src/pico_cas.rs:
+crates/schemes/src/pico_htm.rs:
+crates/schemes/src/pico_st.rs:
+crates/schemes/src/pst.rs:

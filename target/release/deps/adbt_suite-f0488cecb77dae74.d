@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adbt_suite-f0488cecb77dae74.d: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-f0488cecb77dae74.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadbt_suite-f0488cecb77dae74.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adbt_trace-f4b10bd7794e3ab6.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+/root/repo/target/release/deps/libadbt_trace-f4b10bd7794e3ab6.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+/root/repo/target/release/deps/libadbt_trace-f4b10bd7794e3ab6.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/hist.rs crates/trace/src/validate.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/hist.rs:
+crates/trace/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_soak-04f4040fab85fc9a.d: tests/chaos_soak.rs
+
+/root/repo/target/release/deps/chaos_soak-04f4040fab85fc9a: tests/chaos_soak.rs
+
+tests/chaos_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch_bench-9cce1f17c4c1a83b.d: crates/bench/src/bin/dispatch_bench.rs
+
+/root/repo/target/release/deps/dispatch_bench-9cce1f17c4c1a83b: crates/bench/src/bin/dispatch_bench.rs
+
+crates/bench/src/bin/dispatch_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scalability-e594ea81cbca4fab.d: crates/bench/src/bin/fig10_scalability.rs
+
+/root/repo/target/release/deps/fig10_scalability-e594ea81cbca4fab: crates/bench/src/bin/fig10_scalability.rs
+
+crates/bench/src/bin/fig10_scalability.rs:

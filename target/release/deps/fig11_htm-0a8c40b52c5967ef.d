@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_htm-0a8c40b52c5967ef.d: crates/bench/src/bin/fig11_htm.rs
+
+/root/repo/target/release/deps/fig11_htm-0a8c40b52c5967ef: crates/bench/src/bin/fig11_htm.rs
+
+crates/bench/src/bin/fig11_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_breakdown-bc45be5483f66022.d: crates/bench/src/bin/fig12_breakdown.rs
+
+/root/repo/target/release/deps/fig12_breakdown-bc45be5483f66022: crates/bench/src/bin/fig12_breakdown.rs
+
+crates/bench/src/bin/fig12_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedup_summary-b814614f8cb75316.d: crates/bench/src/bin/speedup_summary.rs
+
+/root/repo/target/release/deps/speedup_summary-b814614f8cb75316: crates/bench/src/bin/speedup_summary.rs
+
+crates/bench/src/bin/speedup_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_profile-565fb3b4ba2d6930.d: crates/bench/src/bin/table1_profile.rs
+
+/root/repo/target/release/deps/table1_profile-565fb3b4ba2d6930: crates/bench/src/bin/table1_profile.rs
+
+crates/bench/src/bin/table1_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_matrix-71072c7b628ef3f7.d: crates/bench/src/bin/table2_matrix.rs
+
+/root/repo/target/release/deps/table2_matrix-71072c7b628ef3f7: crates/bench/src/bin/table2_matrix.rs
+
+crates/bench/src/bin/table2_matrix.rs:

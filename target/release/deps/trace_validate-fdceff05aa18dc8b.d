@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_validate-fdceff05aa18dc8b.d: crates/trace/src/bin/trace_validate.rs
+
+/root/repo/target/release/deps/trace_validate-fdceff05aa18dc8b: crates/trace/src/bin/trace_validate.rs
+
+crates/trace/src/bin/trace_validate.rs:

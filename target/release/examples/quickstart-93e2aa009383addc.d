@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-93e2aa009383addc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-93e2aa009383addc: examples/quickstart.rs
+
+examples/quickstart.rs:

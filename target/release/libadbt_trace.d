@@ -1,0 +1,1 @@
+/root/repo/target/release/libadbt_trace.rlib: /root/repo/crates/trace/src/chrome.rs /root/repo/crates/trace/src/hist.rs /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/validate.rs

@@ -1,0 +1,184 @@
+//! The flight-recorder tracing plane, end to end.
+//!
+//! Three contracts from the observability work are on trial:
+//!
+//! 1. **Traced soak** — a contended LL/SC run with chaos injection and
+//!    tracing enabled yields Chrome trace-event JSON the in-tree
+//!    validator accepts, with per-vCPU tracks carrying the LL/SC
+//!    lifecycle, and the injected-vs-organic SC failure split adds up.
+//! 2. **Watchdog forensics** — a forced machine-wide stall makes the
+//!    watchdog halt the run with the last flight-recorder events of
+//!    every stalled vCPU attached to its diagnostic dump.
+//! 3. **Off by default** — an untouched config allocates no recorder.
+
+use adbt::trace::{chrome, validate};
+use adbt::{ChaosCfg, MachineBuilder, SchemeKind, TraceKind, VcpuOutcome};
+
+const SEED: u64 = 0xADB7_7ACE;
+
+/// A contended LL/SC counter: every thread increments guest address 0
+/// `iters` times through its monitor.
+fn contended_loop(iters: u32) -> String {
+    format!(
+        "    mov32 r6, #{iters}\n\
+         retry:\n\
+         \x20   ldrex r1, [r5]\n\
+         \x20   add   r1, r1, #1\n\
+         \x20   strex r2, r1, [r5]\n\
+         \x20   cmp   r2, #0\n\
+         \x20   bne   retry\n\
+         \x20   subs  r6, r6, #1\n\
+         \x20   bne   retry\n\
+         \x20   mov   r0, #0\n\
+         \x20   svc   #0\n"
+    )
+}
+
+#[test]
+fn traced_chaos_soak_produces_validator_accepted_json() {
+    let threads = 4;
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .chaos(Some(ChaosCfg::new(SEED, 0.05)))
+        .trace(true)
+        .build()
+        .unwrap();
+    machine.load_asm(&contended_loop(500), 0x1_0000).unwrap();
+    let report = machine.run(threads, 0x1_0000);
+    assert!(report.all_ok(), "soak failed: {:?}", report.outcomes);
+
+    // The injected/organic split: injections are a subset of failures,
+    // and the merged counter is exactly the per-vCPU sum.
+    let s = &report.stats;
+    assert!(s.sc > 0);
+    assert!(
+        s.sc_failures_injected <= s.sc_failures,
+        "injected {} > total failures {}",
+        s.sc_failures_injected,
+        s.sc_failures
+    );
+    assert_eq!(
+        s.sc_failures_injected,
+        report
+            .per_cpu
+            .iter()
+            .map(|c| c.sc_failures_injected)
+            .sum::<u64>(),
+        "merged sc_failures_injected ≠ per-vCPU sum"
+    );
+
+    let rec = machine.core().trace.as_ref().expect("recorder armed");
+    let snaps = rec.snapshot_all();
+    assert_eq!(snaps.len(), threads as usize, "one ring per vCPU");
+    for (tid, events) in &snaps {
+        assert!(!events.is_empty(), "vcpu {tid} recorded nothing");
+        assert!(
+            events.iter().any(|e| e.kind == TraceKind::LlIssue),
+            "vcpu {tid} has no LL events"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == TraceKind::ScOk),
+            "vcpu {tid} has no successful SC events"
+        );
+    }
+
+    let json = chrome::render_with_extras(
+        &snaps,
+        chrome::Clock::Nanos,
+        &[("histograms", rec.hists.to_json())],
+    );
+    let check = validate::validate_chrome_trace(&json).expect("trace JSON is valid");
+    assert!(
+        check.tracks > threads as usize,
+        "expected a track per vCPU plus metadata, got {}",
+        check.tracks
+    );
+    assert!(check.instants > 0);
+}
+
+/// Freeze the whole machine from outside (hold the exclusive barrier and
+/// never leave), and check the watchdog's dump carries the last ring
+/// events of every stalled vCPU.
+#[test]
+fn watchdog_dump_includes_ring_events_per_stalled_vcpu() {
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .trace(true)
+        .watchdog_ms(200)
+        .build()
+        .unwrap();
+    // No exit: the loop runs until the watchdog halts the machine.
+    machine
+        .load_asm(
+            "retry:\n\
+             \x20   ldrex r1, [r5]\n\
+             \x20   add   r1, r1, #1\n\
+             \x20   strex r2, r1, [r5]\n\
+             \x20   b     retry\n",
+            0x1_0000,
+        )
+        .unwrap();
+
+    let run_done = std::sync::atomic::AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let report = machine.run(2, 0x1_0000);
+            run_done.store(true, std::sync::atomic::Ordering::SeqCst);
+            report
+        });
+        // Let the vCPUs retire some traced work first.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let barrier = &machine.core().exclusive;
+        barrier.register();
+        // Once granted, hold exclusivity: every vCPU stays parked, no
+        // progress is made, and the watchdog must fire and halt() —
+        // which is also what releases the parked vCPUs to drain. Poll
+        // `run_done` as well: `run_threaded` resets the halt flag on its
+        // way out, so waiting on `halted()` alone can miss the window.
+        if barrier.start_exclusive().is_ok() {
+            while !barrier.halted() && !run_done.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            barrier.end_exclusive();
+        }
+        barrier.unregister();
+        handle.join().expect("run thread panicked")
+    });
+
+    for outcome in &report.outcomes {
+        assert!(
+            matches!(outcome, VcpuOutcome::Livelocked { .. }),
+            "expected Livelocked after the halt, got {outcome:?}"
+        );
+    }
+    let dump = report.watchdog.as_ref().expect("watchdog fired");
+    assert!(
+        dump.report.contains("last flight-recorder events:"),
+        "dump lacks the ring-event section:\n{}",
+        dump.report
+    );
+    for &tid in &dump.stalled_tids {
+        let events = dump
+            .ring_events
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, events)| events.as_slice())
+            .unwrap_or(&[]);
+        assert!(
+            !events.is_empty(),
+            "stalled vcpu {tid} has no ring events in the dump"
+        );
+    }
+}
+
+#[test]
+fn tracing_absent_by_default() {
+    let mut machine = MachineBuilder::new(SchemeKind::Hst).build().unwrap();
+    machine.load_asm("mov r0, #0\nsvc #0\n", 0x1_0000).unwrap();
+    let report = machine.run(2, 0x1_0000);
+    assert!(report.all_ok());
+    assert!(
+        machine.core().trace.is_none(),
+        "no recorder may exist unless configured"
+    );
+}
