@@ -58,3 +58,13 @@ cargo run -q --release --offline -p adbt-trace --bin trace_validate -- \
 # implicitly — it is the untraced baseline of the same binary.
 cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
     --iters 60000 --reps 3 --traced --guard 35
+
+# Tiering tripwire: the same dispatch-bound loop plus an ALU loop run
+# per scheme with tiering off (baseline), hot (threshold 64), and cold
+# (threshold u32::MAX — the heat counter and redirect check run but
+# never fire). The geomean cold overhead must stay under 2%: tiering
+# you don't use rides the lookup path only and is (nearly) free.
+# Longer runs than the tracing guard because a ±2% budget needs
+# individual timings well clear of scheduler jitter (~0.8% measured).
+cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
+    --iters 150000 --reps 5 --tiered --guard 2

@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run --release -p adbt-bench --bin dispatch_bench -- \
 //!     [--iters 300000] [--reps 5] [--chain 64] [--csv dispatch.csv] \
-//!     [--traced [--guard PCT]]
+//!     [--traced [--guard PCT]] [--tiered [--guard PCT]]
 //! ```
 //!
 //! `--traced` switches to the flight-recorder overhead comparison: each
@@ -19,6 +19,15 @@
 //! the table reports the enabled-path overhead. `--guard PCT` then
 //! exits non-zero when the geometric-mean slowdown exceeds `PCT`
 //! percent — the CI tripwire for the "tracing is cheap" claim.
+//!
+//! `--tiered` switches to the tiered-translation comparison: two hot-loop
+//! workloads (the dispatch chain above and an ALU loop with dead flags
+//! and foldable constants) run per scheme at three settings — tiering
+//! off (the baseline), hot (threshold 64, reached immediately), and cold
+//! (threshold `u32::MAX`, never reached, measuring the pure bookkeeping
+//! cost of the heat counter and redirect check). `--guard PCT` exits
+//! non-zero when the geomean *cold* overhead exceeds `PCT` percent — the
+//! CI tripwire for "tiering you don't use is (nearly) free".
 
 use adbt::{MachineBuilder, SchemeKind};
 use adbt_bench::{geomean, pct, pct_cell, Args, Table};
@@ -41,6 +50,29 @@ fn program(iters: u32) -> String {
     )
 }
 
+/// The tiered-mode ALU workload: a hot two-block loop whose body is
+/// mostly dead flag writes and foldable constants — work the tier-2
+/// optimization pipeline eliminates but the block tier re-executes
+/// every iteration.
+fn alu_program(iters: u32) -> String {
+    format!(
+        "    mov32 r6, #{iters}\n\
+         loop:\n\
+         \x20   movs r1, r6\n\
+         \x20   mov  r2, #5\n\
+         \x20   add  r2, r2, #3\n\
+         \x20   movs r3, r2\n\
+         \x20   mov  r4, #9\n\
+         \x20   add  r4, r4, #1\n\
+         \x20   b body\n\
+         body:\n\
+         \x20   subs r6, r6, #1\n\
+         \x20   bne loop\n\
+         \x20   mov r0, #0\n\
+         \x20   svc #0\n"
+    )
+}
+
 /// Best-of-`reps` wall time for one single-threaded run, plus the
 /// counters of the last run.
 fn measure(
@@ -49,6 +81,7 @@ fn measure(
     chain_limit: u32,
     reps: u32,
     traced: bool,
+    tier_threshold: u32,
 ) -> (f64, adbt::VcpuStats) {
     let mut best = f64::INFINITY;
     let mut stats = adbt::VcpuStats::default();
@@ -57,6 +90,7 @@ fn measure(
             .memory(1 << 20)
             .chain_limit(chain_limit)
             .trace(traced)
+            .tier_threshold(tier_threshold)
             .build()
             .expect("machine construction");
         machine.load_asm(source, 0x1_0000).expect("assembles");
@@ -82,8 +116,8 @@ fn run_chaining(args: &Args, source: &str, reps: u32, chain: u32) {
         "chained_pct",
     ]);
     for kind in SchemeKind::ALL {
-        let (unchained, _) = measure(kind, source, 1, reps, false);
-        let (chained, stats) = measure(kind, source, chain, reps, false);
+        let (unchained, _) = measure(kind, source, 1, reps, false, 0);
+        let (chained, stats) = measure(kind, source, chain, reps, false, 0);
         table.row(vec![
             kind.name().to_string(),
             format!("{:.2}", unchained * 1e3),
@@ -111,8 +145,8 @@ fn run_traced(args: &Args, source: &str, reps: u32, chain: u32) {
     let mut table = Table::new(&["scheme", "untraced_ms", "traced_ms", "overhead_pct"]);
     let mut ratios = Vec::new();
     for kind in SchemeKind::ALL {
-        let (untraced, _) = measure(kind, source, chain, reps, false);
-        let (traced, _) = measure(kind, source, chain, reps, true);
+        let (untraced, _) = measure(kind, source, chain, reps, false, 0);
+        let (traced, _) = measure(kind, source, chain, reps, true, 0);
         ratios.push(traced / untraced);
         table.row(vec![
             kind.name().to_string(),
@@ -136,6 +170,63 @@ fn run_traced(args: &Args, source: &str, reps: u32, chain: u32) {
     }
 }
 
+/// The tiered-translation comparison (`--tiered`); exits non-zero when
+/// `--guard PCT` is set and the geomean cold-path overhead exceeds it.
+fn run_tiered(args: &Args, reps: u32, chain: u32, iters: u32) {
+    let workloads = [("chain", program(iters)), ("alu", alu_program(iters))];
+    let mut table = Table::new(&[
+        "workload",
+        "scheme",
+        "baseline_ms",
+        "tiered_ms",
+        "speedup",
+        "cold_ms",
+        "cold_overhead_pct",
+        "promotions",
+        "deopts",
+        "tier_insn_pct",
+    ]);
+    let mut speedups = Vec::new();
+    let mut cold_ratios = Vec::new();
+    for (name, source) in &workloads {
+        for kind in SchemeKind::ALL {
+            let (baseline, _) = measure(kind, source, chain, reps, false, 0);
+            let (tiered, stats) = measure(kind, source, chain, reps, false, 64);
+            let (cold, _) = measure(kind, source, chain, reps, false, u32::MAX);
+            speedups.push(baseline / tiered);
+            cold_ratios.push(cold / baseline);
+            table.row(vec![
+                name.to_string(),
+                kind.name().to_string(),
+                format!("{:.2}", baseline * 1e3),
+                format!("{:.2}", tiered * 1e3),
+                format!("{:.2}", baseline / tiered),
+                format!("{:.2}", cold * 1e3),
+                format!("{:.1}", pct(cold - baseline, baseline)),
+                stats.promotions.to_string(),
+                stats.deopts.to_string(),
+                pct_cell(stats.tier_insns, stats.insns),
+            ]);
+        }
+    }
+    let speedup = geomean(&speedups);
+    let overhead = pct(geomean(&cold_ratios) - 1.0, 1.0);
+    table.emit_with_note(
+        args,
+        &format!(
+            "geomean tiered speedup: {speedup:.2}x; geomean cold-path overhead: \
+             {overhead:.1}% (heat counter + redirect check ride the lookup path\n\
+             only — chain follows pay nothing; tiering *off* is a single predicted\n\
+             branch)"
+        ),
+    );
+    let guard: f64 = args.get("guard", f64::INFINITY);
+    if overhead > guard {
+        eprintln!("FAIL: cold tiering overhead {overhead:.1}% exceeds the --guard {guard}% budget");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let iters: u32 = args.get("iters", 300_000);
@@ -145,6 +236,8 @@ fn main() {
 
     if args.flag("traced") {
         run_traced(&args, &source, reps, chain);
+    } else if args.flag("tiered") {
+        run_tiered(&args, reps, chain, iters);
     } else {
         run_chaining(&args, &source, reps, chain);
     }

@@ -213,6 +213,10 @@ impl Searcher {
     }
 
     fn machine(&self) -> Machine {
+        // Single-instruction blocks give the checker its atom
+        // granularity; the engine also forces tiered translation off for
+        // such machines, so every explored schedule runs block-granular
+        // (a superblock would fuse atoms and hide interleavings).
         let mut machine = MachineBuilder::new(self.scheme)
             .memory(MEM_SIZE)
             .max_block_insns(1)

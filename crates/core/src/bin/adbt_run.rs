@@ -6,6 +6,7 @@
 //!          [--fuse-atomics] [--dump <symbol|addr>] [--memory BYTES]
 //!          [--stats] [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
 //!          [--htm-degrade-after N] [--trace FILE] [--histograms]
+//!          [--tier-threshold N] [--no-tiering]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -20,6 +21,15 @@
 //! it deterministically on the scheduled engine (one guest instruction
 //! per atom, same as the checker), so a found interleaving bug can be
 //! re-executed and inspected outside the checker.
+//!
+//! Tiered translation is on by default for threaded runs: a block
+//! executed `--tier-threshold` times (default 1024) is stitched with its
+//! dominant successors into an optimized superblock. `--no-tiering`
+//! keeps every block in the baseline tier; `--tier-threshold 0` is
+//! rejected (it would promote everything on first execution — say
+//! `--no-tiering` for off, or `1` for promote-on-second-execution).
+//! Deterministic modes (`--sim`, `--replay`) dispatch single blocks and
+//! never tier.
 //!
 //! `--trace FILE` arms the flight recorder and writes the run's events
 //! as Chrome trace-event JSON (load it in Perfetto or `chrome://tracing`;
@@ -40,6 +50,7 @@ fn usage() -> ! {
          \x20               [--memory BYTES] [--stats]\n\
          \x20               [--chaos seed=U64,rate=F64] [--watchdog-ms N]\n\
          \x20               [--htm-degrade-after N] [--trace FILE] [--histograms]\n\
+         \x20               [--tier-threshold N] [--no-tiering]\n\
          schemes: {}",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
@@ -119,6 +130,8 @@ fn main() -> ExitCode {
     let mut htm_degrade_after: u64 = 0;
     let mut trace_out: Option<String> = None;
     let mut histograms = false;
+    let mut tier_threshold: u32 = 1024;
+    let mut no_tiering = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -181,6 +194,21 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--tier-threshold" => {
+                tier_threshold = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .unwrap_or_else(|| usage());
+                if tier_threshold == 0 {
+                    eprintln!(
+                        "--tier-threshold 0 would promote every block on its first \
+                         execution; use --no-tiering to disable tiering, or 1 to \
+                         promote on the second execution"
+                    );
+                    usage()
+                }
+            }
+            "--no-tiering" => no_tiering = true,
             "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
             "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -219,7 +247,8 @@ fn main() -> ExitCode {
         .chaos(chaos)
         .watchdog_ms(watchdog_ms)
         .htm_degrade_after(htm_degrade_after)
-        .trace(trace_out.is_some() || histograms);
+        .trace(trace_out.is_some() || histograms)
+        .tier_threshold(if no_tiering { 0 } else { tier_threshold });
     if replay.is_some() {
         // Checker traces count atoms at instruction granularity; replay
         // must translate the same single-instruction blocks.
@@ -325,6 +354,18 @@ fn main() -> ExitCode {
         eprintln!(
             "injected_faults={} sc_failures_injected={} degradations={} lock_wait_ns={}",
             s.injected_faults, s.sc_failures_injected, s.degradations, s.lock_wait_ns,
+        );
+        eprintln!(
+            "tiering: promotions={} deopts={} superblocks={} tier_insns={} block_insns={} \
+             opt_nzcv_killed={} opt_const_folded={} opt_htable_coalesced={}",
+            s.promotions,
+            s.deopts,
+            machine.core().superblocks(),
+            s.tier_insns,
+            s.insns - s.tier_insns,
+            s.opt_nzcv_killed,
+            s.opt_const_folded,
+            s.opt_htable_coalesced,
         );
         let pct = |num: u64, den: u64| {
             if den == 0 {

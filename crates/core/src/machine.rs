@@ -72,6 +72,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Sets the execution count at which a block goes hot and is
+    /// promoted to a tier-2 superblock (`0` disables tiering — the
+    /// engine default). Tiering requires chaining; single-block modes
+    /// (lockstep, simulated, scheduled) and `max_block_insns(1)` builds
+    /// force it off.
+    pub fn tier_threshold(mut self, n: u32) -> MachineBuilder {
+        self.config.tier_threshold = n;
+        self
+    }
+
+    /// Caps how many original blocks one superblock may stitch (must be
+    /// 2..=`chain_limit` when tiering is on).
+    pub fn superblock_limit(mut self, n: u32) -> MachineBuilder {
+        self.config.superblock_limit = n;
+        self
+    }
+
     /// Enables deterministic chaos injection (fault injection at every
     /// scheme/engine failure edge, replayable from the seed). `None`
     /// keeps the zero-overhead default.

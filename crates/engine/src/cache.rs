@@ -22,7 +22,7 @@
 use adbt_ir::Block;
 use adbt_sync::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// log2 of blocks per arena segment.
@@ -35,7 +35,58 @@ const MAX_SEGS: usize = 4096;
 /// Shard count; per-PC traffic spreads across these.
 const SHARDS: usize = 16;
 
-type Segment = Box<[OnceLock<Block>]>;
+/// Tier state of [`TierMeta::state`]: the block is cold (counting
+/// executions toward the promotion threshold).
+const TIER_COLD: u8 = 0;
+/// One vCPU won the promotion claim and is building (or has deferred
+/// building) the superblock; nobody else may try.
+const TIER_CLAIMED: u8 = 1;
+/// Promotion resolved: either `super_id` is published, or the block was
+/// ruled permanently unsuitable (`super_id` stays [`NO_SUPERBLOCK`]).
+const TIER_RESOLVED: u8 = 2;
+
+/// Sentinel in [`TierMeta::super_id`]: no superblock.
+const NO_SUPERBLOCK: u32 = u32::MAX;
+
+/// Per-block tiering metadata, living beside the block in its arena
+/// slot so the dispatch path finds it with the same index arithmetic as
+/// the block itself.
+pub(crate) struct TierMeta {
+    /// Relaxed execution counter; compared against the promotion
+    /// threshold on every counted dispatch.
+    heat: AtomicU32,
+    /// Promotion state machine: cold → claimed → resolved.
+    state: AtomicU8,
+    /// The published superblock's arena id, or [`NO_SUPERBLOCK`].
+    super_id: AtomicU32,
+}
+
+impl TierMeta {
+    fn new() -> TierMeta {
+        TierMeta {
+            heat: AtomicU32::new(0),
+            state: AtomicU8::new(TIER_COLD),
+            super_id: AtomicU32::new(NO_SUPERBLOCK),
+        }
+    }
+}
+
+/// One arena slot: the write-once block plus its mutable tier metadata.
+struct ArenaSlot {
+    block: OnceLock<Block>,
+    meta: TierMeta,
+}
+
+impl ArenaSlot {
+    fn new() -> ArenaSlot {
+        ArenaSlot {
+            block: OnceLock::new(),
+            meta: TierMeta::new(),
+        }
+    }
+}
+
+type Segment = Box<[ArenaSlot]>;
 
 /// The shared translation cache: sharded PC index over an append-only
 /// block arena.
@@ -43,6 +94,8 @@ pub(crate) struct TranslationCache {
     shards: Vec<RwLock<HashMap<u32, u32>>>,
     segments: Vec<OnceLock<Segment>>,
     len: AtomicU32,
+    /// Superblocks pushed (anonymous arena entries outside the PC index).
+    superblocks: AtomicU32,
     /// Serializes appends (cold path: one lock hold per *translation*,
     /// not per dispatch).
     push_lock: Mutex<()>,
@@ -54,6 +107,7 @@ impl TranslationCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             segments: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
             len: AtomicU32::new(0),
+            superblocks: AtomicU32::new(0),
             push_lock: Mutex::new(()),
         }
     }
@@ -71,15 +125,86 @@ impl TranslationCache {
         self.shard(pc).read().get(&pc).copied()
     }
 
-    /// Dereferences a published block id.
     #[inline]
-    pub(crate) fn block(&self, id: u32) -> &Block {
+    fn slot(&self, id: u32) -> &ArenaSlot {
         let segment = self.segments[(id >> SEG_BITS) as usize]
             .get()
             .expect("published id implies initialized segment");
-        segment[(id & (SEG_SIZE - 1)) as usize]
+        &segment[(id & (SEG_SIZE - 1)) as usize]
+    }
+
+    /// Dereferences a published block id.
+    #[inline]
+    pub(crate) fn block(&self, id: u32) -> &Block {
+        self.slot(id)
+            .block
             .get()
             .expect("published id implies initialized slot")
+    }
+
+    /// The published superblock id for `id`, if one exists. Acquire
+    /// pairs with the Release in [`TranslationCache::publish_superblock`];
+    /// an observed id dereferences a fully initialized arena slot (the
+    /// push's own Release/Acquire covers the slot contents).
+    #[inline]
+    pub(crate) fn hot_redirect(&self, id: u32) -> Option<u32> {
+        let sid = self.slot(id).meta.super_id.load(Ordering::Acquire);
+        (sid != NO_SUPERBLOCK).then_some(sid)
+    }
+
+    /// Counts one execution of `id` toward promotion. Returns `true`
+    /// exactly once per claim cycle — when this caller's increment
+    /// crossed `threshold` and won the cold→claimed race — meaning the
+    /// caller now owns building the superblock.
+    #[inline]
+    pub(crate) fn bump_heat(&self, id: u32, threshold: u32) -> bool {
+        let meta = &self.slot(id).meta;
+        let heat = meta.heat.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        heat >= threshold
+            && meta
+                .state
+                .compare_exchange(TIER_COLD, TIER_CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+
+    /// Publishes the built superblock `sid` as `id`'s hot redirect.
+    /// Caller must hold the claim from [`TranslationCache::bump_heat`].
+    pub(crate) fn publish_superblock(&self, id: u32, sid: u32) {
+        let meta = &self.slot(id).meta;
+        meta.super_id.store(sid, Ordering::Release);
+        meta.state.store(TIER_RESOLVED, Ordering::Release);
+    }
+
+    /// Returns a claimed block to the cold state so promotion is retried
+    /// after its successor links warm up. Caller must hold the claim.
+    pub(crate) fn retry_promotion_later(&self, id: u32) {
+        let meta = &self.slot(id).meta;
+        meta.heat.store(0, Ordering::Relaxed);
+        meta.state.store(TIER_COLD, Ordering::Release);
+    }
+
+    /// Resolves a claimed block as permanently unsuitable for promotion
+    /// (indirect exit, un-stitchable shape). Caller must hold the claim.
+    pub(crate) fn never_promote(&self, id: u32) {
+        self.slot(id)
+            .meta
+            .state
+            .store(TIER_RESOLVED, Ordering::Release);
+    }
+
+    /// Appends a superblock to the arena *without* a PC-index entry:
+    /// superblocks are reachable only through their entry block's
+    /// redirect, never via cold lookup (so the block-granular tier
+    /// always resolves original blocks).
+    pub(crate) fn push_anonymous(&self, block: Block) -> u32 {
+        let id = self.push(block);
+        self.superblocks.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Superblocks currently live in the arena (they are never removed).
+    pub(crate) fn superblock_count(&self) -> u64 {
+        self.superblocks.load(Ordering::Relaxed) as u64
     }
 
     /// Inserts a freshly translated block, returning its id. If another
@@ -103,11 +228,12 @@ impl TranslationCache {
         assert!(seg_index < MAX_SEGS, "translation cache full");
         let segment = self.segments[seg_index].get_or_init(|| {
             (0..SEG_SIZE)
-                .map(|_| OnceLock::new())
+                .map(|_| ArenaSlot::new())
                 .collect::<Vec<_>>()
                 .into_boxed_slice()
         });
         segment[(id & (SEG_SIZE - 1)) as usize]
+            .block
             .set(block)
             .unwrap_or_else(|_| unreachable!("arena slot written twice"));
         // Publish only after the slot is initialized.
@@ -168,6 +294,52 @@ mod tests {
         assert_eq!(cache.len(), n as usize);
         for i in 0..n {
             assert_eq!(cache.block(i).guest_pc, i * 4);
+        }
+    }
+
+    #[test]
+    fn heat_claim_fires_exactly_once_per_cycle() {
+        let cache = TranslationCache::new();
+        let id = cache.insert(0x3000, block_at(0x3000));
+        assert!(!cache.bump_heat(id, 3));
+        assert!(!cache.bump_heat(id, 3));
+        assert!(cache.bump_heat(id, 3), "third execution crosses and claims");
+        assert!(!cache.bump_heat(id, 3), "claim is exclusive");
+        // Retry resets both heat and the claim.
+        cache.retry_promotion_later(id);
+        assert!(!cache.bump_heat(id, 3));
+        assert!(!cache.bump_heat(id, 3));
+        assert!(cache.bump_heat(id, 3), "reclaim after retry reset");
+    }
+
+    #[test]
+    fn superblock_publish_and_redirect() {
+        let cache = TranslationCache::new();
+        let id = cache.insert(0x4000, block_at(0x4000));
+        assert_eq!(cache.hot_redirect(id), None);
+        let mut sb = block_at(0x4000);
+        sb.superblock = true;
+        let sid = cache.push_anonymous(sb);
+        assert_eq!(
+            cache.lookup(0x4000),
+            Some(id),
+            "anonymous push must not disturb the PC index"
+        );
+        cache.publish_superblock(id, sid);
+        assert_eq!(cache.hot_redirect(id), Some(sid));
+        assert!(cache.block(sid).superblock);
+        assert_eq!(cache.superblock_count(), 1);
+    }
+
+    #[test]
+    fn never_promote_blocks_reclaim() {
+        let cache = TranslationCache::new();
+        let id = cache.insert(0x5000, block_at(0x5000));
+        assert!(cache.bump_heat(id, 1));
+        cache.never_promote(id);
+        assert_eq!(cache.hot_redirect(id), None);
+        for _ in 0..64 {
+            assert!(!cache.bump_heat(id, 1), "resolved blocks never re-claim");
         }
     }
 

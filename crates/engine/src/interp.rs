@@ -140,8 +140,13 @@ pub fn run_block_from(
     start: usize,
 ) -> Result<BlockRun, Trap> {
     if start == 0 {
-        ctx.stats.blocks += 1;
-        ctx.stats.insns += block.guest_len as u64;
+        // Superblocks charge per stitched segment via `Op::Boundary`
+        // (so tiered and block-granular runs report identical per-block
+        // counters); everything else charges once on entry.
+        if !block.superblock {
+            ctx.stats.blocks += 1;
+            ctx.stats.insns += block.guest_len as u64;
+        }
         if ctx.cpu.temps.len() < block.temps as usize {
             ctx.cpu.temps.resize(block.temps as usize, 0);
         }
@@ -330,6 +335,50 @@ pub fn run_block_from(
                 ctx.note_ll(vaddr);
                 ctx.note_sc(vaddr, true, old);
                 write(ctx, *dst, old);
+            }
+            Op::Boundary { insns } => {
+                // A stitched original-block boundary inside a superblock:
+                // charge the per-block counters the block-granular tier
+                // would have charged on dispatch, and split the tiers.
+                ctx.stats.blocks += 1;
+                ctx.stats.insns += *insns as u64;
+                ctx.stats.tier_blocks += 1;
+                ctx.stats.tier_insns += *insns as u64;
+                // An open region transaction observes the dispatcher's
+                // conflict tokens at every original-block boundary, just
+                // as the block-tier dispatch loop does per hop — tiering
+                // must not hide the QEMU-inside-the-transaction effect
+                // that dooms PICO-HTM (a chained edge can legally enter
+                // a superblock while a cross-block transaction is open).
+                if let Some(txn) = &mut ctx.txn {
+                    ctx.stats.txn_dispatches += 1;
+                    (0..8)
+                        .try_for_each(|slot| txn.observe(adbt_htm::HtmDomain::engine_token(slot)))
+                        .map_err(Trap::HtmAbort)?;
+                }
+            }
+            Op::Safepoint => {
+                // Interior safepoint poll: a superblock must not delay an
+                // exclusive requester longer than one original block.
+                let parked = ctx.machine.exclusive.safepoint_for(ctx.cpu.tid);
+                ctx.stats.exclusive_ns += parked;
+                if parked > 0 {
+                    ctx.trace(
+                        adbt_trace::TraceKind::SafepointPark,
+                        ctx.cpu.pc,
+                        parked.min(u32::MAX as u64) as u32,
+                    );
+                }
+            }
+            Op::SideExit { cond, target } => {
+                if ctx.cpu.flags.holds(*cond) {
+                    // Deopt: the stitched trace's branch prediction went
+                    // the other way. State is architectural, so resuming
+                    // in the block-granular tier needs nothing but a PC.
+                    ctx.stats.deopts += 1;
+                    ctx.trace(adbt_trace::TraceKind::Deopt, *target, block.guest_pc);
+                    return Ok(BlockRun::Done(*target));
+                }
             }
         }
     }

@@ -76,6 +76,7 @@ mod scheme;
 mod state;
 mod stats;
 mod store_test;
+mod tier;
 pub mod watchdog;
 
 pub use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, ChaosStream, RetryPolicy};

@@ -80,6 +80,19 @@ pub struct MachineConfig {
     /// histograms (`false` = tracing off; every trace site then costs a
     /// single predicted branch, same discipline as `chaos`).
     pub trace: bool,
+    /// Executions of a block before it is promoted into a tier-2
+    /// superblock (0 = tiering off; the dispatch hot path then pays a
+    /// single predicted branch, same discipline as `chaos`/`trace`).
+    /// Tiering requires chaining (`chain_limit > 1`): superblocks are
+    /// discovered by following patched chain links, and single-block
+    /// dispatch modes (lockstep, simulated, scheduled, and any machine
+    /// with `max_block_insns <= 1`) force it off to preserve their
+    /// block-granular determinism and the checker's interleaving atoms.
+    pub tier_threshold: u32,
+    /// Maximum original blocks stitched into one superblock (≥ 2 when
+    /// tiering is on; must not exceed `chain_limit`, so a superblock
+    /// never covers more ground than one chained dispatch could).
+    pub superblock_limit: u32,
 }
 
 impl Default for MachineConfig {
@@ -102,6 +115,8 @@ impl Default for MachineConfig {
             watchdog_ms: 0,
             htm_degrade_after: 0,
             trace: false,
+            tier_threshold: 0,
+            superblock_limit: 16,
         }
     }
 }
@@ -232,7 +247,7 @@ pub struct MachineCore {
     /// The shared retry policy for HTM region rollbacks (and any other
     /// engine retry loop): one place for budgets and backoff stages.
     pub retry: RetryPolicy,
-    cache: TranslationCache,
+    pub(crate) cache: TranslationCache,
     threaded: AtomicBool,
 }
 
@@ -243,9 +258,32 @@ impl MachineCore {
     ///
     /// Returns an error string for invalid memory configuration.
     pub fn new(
-        config: MachineConfig,
+        mut config: MachineConfig,
         mut scheme: Box<dyn AtomicScheme>,
     ) -> Result<MachineCore, String> {
+        // Instruction-granular machines (litmus lockstep, the checker's
+        // scheduled exploration) force tiering off: their atoms must stay
+        // exactly one block of at most one instruction, so the verdict
+        // matrix is byte-identical with or without a tier request.
+        if config.max_block_insns <= 1 {
+            config.tier_threshold = 0;
+        }
+        if config.tier_threshold > 0 {
+            if config.superblock_limit < 2 {
+                return Err(format!(
+                    "superblock_limit must be at least 2 when tiering is on \
+                     (a superblock stitches multiple blocks); got {}",
+                    config.superblock_limit
+                ));
+            }
+            if config.superblock_limit > config.chain_limit {
+                return Err(format!(
+                    "superblock_limit ({}) must not exceed chain_limit ({}): \
+                     a superblock must fit within one chained dispatch",
+                    config.superblock_limit, config.chain_limit
+                ));
+            }
+        }
         let space = AddressSpace::new(config.mem_size, config.extra_virt_pages)?;
         let mut registry = HelperRegistry::new();
         scheme.install(&mut registry);
@@ -362,6 +400,10 @@ impl MachineCore {
         // The previous hop's exit link for the edge just taken; patched
         // with the successor's id so the next traversal skips the lookup.
         let mut link: Option<&ChainLink> = None;
+        // Tiering needs chaining: superblocks are stitched along patched
+        // chain links, and links are only patched when chains run. With
+        // tiering off this is the discipline's single predicted branch.
+        let tiering = self.config.tier_threshold > 0 && chain_limit > 1;
         for _ in 0..chain_limit.max(1) {
             // Holder-aware safepoint: identical single-load fast path, but
             // a degraded region's holder passes through its own pending
@@ -390,7 +432,7 @@ impl MachineCore {
                 }
                 None => {
                     ctx.stats.dispatch_lookups += 1;
-                    let id = match l1.get(pc) {
+                    let mut id = match l1.get(pc) {
                         Some(id) => {
                             ctx.stats.l1_hits += 1;
                             id
@@ -406,6 +448,32 @@ impl MachineCore {
                             }
                         }
                     };
+                    // Tier-2 redirect and heat accounting live on the
+                    // lookup path only: chain follows stay a single load,
+                    // so tiering that never fires costs nothing on the
+                    // hot dispatch loop. Heat therefore counts *lookups*
+                    // (chain-budget restarts, deopt resumes, cold edges),
+                    // which a hot loop produces steadily. The redirected
+                    // id is what gets patched below, so edges chain
+                    // straight into the superblock from then on; interior
+                    // `Op::Boundary`s re-observe the engine tokens, which
+                    // keeps open region transactions block-granular even
+                    // when a chained edge leads into a superblock.
+                    // Promotion itself is gated on `txn.is_none()` so the
+                    // builder never mutates shared cache state from
+                    // inside a simulated transaction.
+                    if tiering && ctx.txn.is_none() {
+                        match self.cache.hot_redirect(id) {
+                            Some(sid) => id = sid,
+                            None => {
+                                if self.cache.bump_heat(id, self.config.tier_threshold) {
+                                    if let Some(sid) = self.promote(ctx, id) {
+                                        id = sid;
+                                    }
+                                }
+                            }
+                        }
+                    }
                     // Patch the traversed edge; sound because the cache
                     // is append-only, so `id` never goes stale.
                     if let Some(slot) = link {
@@ -441,12 +509,19 @@ impl MachineCore {
                     ctx.cpu.pc = next;
                     // Only static exits chain; indirect jumps and
                     // service calls go back through the lookup path.
+                    // A superblock deopt resumes at a side-exit target
+                    // that matches *neither* leg of the final exit — the
+                    // equality guards send it back through the lookup.
                     link = match &block.exit {
-                        BlockExit::Jump(_) => Some(&block.links.taken),
+                        BlockExit::Jump(target) if !block.superblock || next == *target => {
+                            Some(&block.links.taken)
+                        }
                         BlockExit::CondJump { taken, .. } if next == *taken => {
                             Some(&block.links.taken)
                         }
-                        BlockExit::CondJump { .. } => Some(&block.links.fallthrough),
+                        BlockExit::CondJump { fallthrough, .. } if next == *fallthrough => {
+                            Some(&block.links.fallthrough)
+                        }
                         _ => None,
                     };
                 }
@@ -1110,9 +1185,15 @@ impl MachineCore {
         }
     }
 
-    /// Number of blocks currently in the shared translation cache.
+    /// Number of blocks currently in the shared translation cache
+    /// (original blocks plus superblocks).
     pub fn cached_blocks(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of tier-2 superblocks live in the cache (never evicted).
+    pub fn superblocks(&self) -> u64 {
+        self.cache.superblock_count()
     }
 
     /// Translates (or fetches from cache) the block at `pc` and renders

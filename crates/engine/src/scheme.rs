@@ -63,6 +63,21 @@ pub trait AtomicScheme: Send + Sync {
         false
     }
 
+    /// Whether the tier-2 optimizer may coalesce redundant
+    /// `Op::HtableSet` marks that originate from *this scheme's LL
+    /// lowering* (an `HtableSet` immediately followed by a `MonitorArm`
+    /// on the same address).
+    ///
+    /// Legality: dropping a redundant LL-origin mark only risks this
+    /// vCPU's own SC failing spuriously — architecturally legal on ARM.
+    /// Marks emitted for plain guest *stores* are never touched: a
+    /// competitor's SC must observe them, so removing one would be an
+    /// interleaving-visible atomicity violation. Only HST-family schemes
+    /// (which drive the store-test table from inline IR) opt in.
+    fn coalesce_htable_marks(&self) -> bool {
+        false
+    }
+
     /// Registers the scheme's runtime helpers; called once at machine
     /// construction, before any translation.
     fn install(&mut self, reg: &mut HelperRegistry);

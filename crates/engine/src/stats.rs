@@ -92,6 +92,25 @@ pub struct VcpuStats {
     /// the stop-the-world fallback (HST-HTM's exclusive SC, PICO-HTM's
     /// exclusive region when `htm_degrade_after` is enabled).
     pub degradations: u64,
+    /// Hot blocks promoted into tier-2 superblocks by this vCPU (the
+    /// vCPU that won the promotion claim and built the superblock).
+    pub promotions: u64,
+    /// Deopt side exits taken: executions that left a superblock early,
+    /// back to the block-granular tier.
+    pub deopts: u64,
+    /// Original-block boundaries retired inside superblocks (these
+    /// blocks are also counted in `blocks`; this splits the tiers).
+    pub tier_blocks: u64,
+    /// Guest instructions retired inside superblocks (also counted in
+    /// `insns`).
+    pub tier_insns: u64,
+    /// Dead flag writes eliminated by the promotion-time optimizer.
+    pub opt_nzcv_killed: u64,
+    /// Ops folded/propagated by the promotion-time optimizer.
+    pub opt_const_folded: u64,
+    /// Duplicate LL-origin hash-table marks coalesced by the
+    /// promotion-time optimizer.
+    pub opt_htable_coalesced: u64,
 
     /// Nanoseconds spent waiting for + holding exclusive sections and
     /// parked at safepoints.
@@ -151,6 +170,13 @@ impl VcpuStats {
             l1_misses,
             injected_faults,
             degradations,
+            promotions,
+            deopts,
+            tier_blocks,
+            tier_insns,
+            opt_nzcv_killed,
+            opt_const_folded,
+            opt_htable_coalesced,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -188,6 +214,13 @@ impl VcpuStats {
         self.l1_misses += l1_misses;
         self.injected_faults += injected_faults;
         self.degradations += degradations;
+        self.promotions += promotions;
+        self.deopts += deopts;
+        self.tier_blocks += tier_blocks;
+        self.tier_insns += tier_insns;
+        self.opt_nzcv_killed += opt_nzcv_killed;
+        self.opt_const_folded += opt_const_folded;
+        self.opt_htable_coalesced += opt_htable_coalesced;
         self.exclusive_ns += exclusive_ns;
         self.mprotect_ns += mprotect_ns;
         self.lock_wait_ns += lock_wait_ns;

@@ -120,6 +120,11 @@ pub struct Block {
     pub guest_stores: u32,
     /// Whether the block contains an LL or SC (profile metadata).
     pub has_llsc: bool,
+    /// Whether this is a stitched superblock (tier 2). Superblocks carry
+    /// their own per-segment statistics charging ([`Op::Boundary`]) and
+    /// safepoint polls ([`Op::Safepoint`]), so the interpreter skips the
+    /// per-block entry charge for them.
+    pub superblock: bool,
     /// Per-exit successor links, patched on first traversal by the
     /// dispatch loop (ignored by `Clone`/`PartialEq`; see [`ChainLink`]).
     pub links: ExitLinks,
@@ -248,6 +253,7 @@ impl BlockBuilder {
             temps: self.next_temp,
             guest_stores,
             has_llsc: self.has_llsc,
+            superblock: false,
             links: ExitLinks::default(),
         }
     }

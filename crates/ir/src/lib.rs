@@ -27,6 +27,7 @@
 
 mod block;
 mod op;
+pub mod opt;
 mod printer;
 
 pub use block::{Block, BlockBuilder, BlockExit, ChainLink, ExitLinks, MAX_HELPER_ARGS};

@@ -116,6 +116,11 @@ fn print_op(op: &Op) -> String {
             addr,
             operand,
         } => format!("atomic_{op:?} {dst}, [{addr}], {operand}").to_lowercase(),
+        Op::Boundary { insns } => format!("boundary ({insns} insns)"),
+        Op::Safepoint => "safepoint".to_string(),
+        Op::SideExit { cond, target } => {
+            format!("side_exit if {cond:?} -> {target:#x}").to_lowercase()
+        }
     }
 }
 
@@ -181,6 +186,12 @@ mod tests {
         });
         b.push(Op::Yield);
         b.push(Op::Window);
+        b.push(Op::Boundary { insns: 3 });
+        b.push(Op::Safepoint);
+        b.push(Op::SideExit {
+            cond: crate::Cond::Ne,
+            target: 0x40,
+        });
         let text = print_block(&b.finish(BlockExit::Jump(4), 12));
         for needle in [
             "movs t0",
@@ -196,6 +207,9 @@ mod tests {
             "helper#1(t0)",
             "yield",
             "window",
+            "boundary (3 insns)",
+            "safepoint",
+            "side_exit if ne -> 0x40",
             "-> jump 0x4",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");

@@ -127,6 +127,13 @@ impl AtomicScheme for Hst {
         // The single inline op that makes HST cheap where PICO-ST is not.
         b.push(Op::HtableSet { addr });
     }
+
+    fn coalesce_htable_marks(&self) -> bool {
+        // LL lowering is inline `HtableSet` + `MonitorArm`; dropping a
+        // redundant LL-origin re-mark only risks our own SC failing
+        // spuriously (legal). Store-origin marks are never touched.
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +440,13 @@ impl AtomicScheme for HstHtm {
 
     fn instrument_store(&self, b: &mut BlockBuilder, addr: Src) {
         b.push(Op::HtableSet { addr });
+    }
+
+    fn coalesce_htable_marks(&self) -> bool {
+        // Same inline-mark shape as plain HST; same legality argument.
+        // (HST-WEAK lowers LL through a helper, so it has no inline
+        // marks to coalesce and keeps the default.)
+        true
     }
 }
 

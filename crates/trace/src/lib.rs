@@ -98,11 +98,18 @@ pub enum TraceKind {
     /// A plain guest store (checker timelines only — never recorded on
     /// the threaded hot path).
     GuestStore = 21,
+    /// A hot block was promoted into a tier-2 superblock; `addr` is the
+    /// entry block's guest pc, `value` the superblock's cache id.
+    Promote = 22,
+    /// Execution left a superblock through a deopt side exit back to the
+    /// block-granular tier; `addr` is the resume pc, `value` the
+    /// superblock's entry pc.
+    Deopt = 23,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order (used by decode and tests).
-    pub const ALL: [TraceKind; 21] = [
+    pub const ALL: [TraceKind; 23] = [
         TraceKind::LlIssue,
         TraceKind::ScOk,
         TraceKind::ScFail,
@@ -124,6 +131,8 @@ impl TraceKind {
         TraceKind::Chaos,
         TraceKind::Heartbeat,
         TraceKind::GuestStore,
+        TraceKind::Promote,
+        TraceKind::Deopt,
     ];
 
     /// The short name exporters print (`Perfetto` track-event names).
@@ -150,6 +159,8 @@ impl TraceKind {
             TraceKind::Chaos => "chaos",
             TraceKind::Heartbeat => "heartbeat",
             TraceKind::GuestStore => "store",
+            TraceKind::Promote => "promote",
+            TraceKind::Deopt => "deopt",
         }
     }
 

@@ -106,6 +106,42 @@ fn assert_counter_invariants(kind: SchemeKind, run: &StackRun) {
         sum(|c| c.lock_wait_ns),
         "{kind}: merged lock_wait_ns ≠ per-vCPU sum"
     );
+    // Tiering counters obey the same merge discipline and stay within
+    // their envelopes: tiered blocks/insns are a subset of the totals,
+    // and a deopt implies a superblock entry (hence a Boundary charge).
+    assert!(
+        s.tier_blocks <= s.blocks,
+        "{kind}: tier_blocks {} > blocks {}",
+        s.tier_blocks,
+        s.blocks
+    );
+    assert!(
+        s.tier_insns <= s.insns,
+        "{kind}: tier_insns {} > insns {}",
+        s.tier_insns,
+        s.insns
+    );
+    assert!(
+        s.deopts <= s.tier_blocks,
+        "{kind}: deopts {} > tier_blocks {}",
+        s.deopts,
+        s.tier_blocks
+    );
+    for (name, field) in [
+        (
+            "promotions",
+            (|c| c.promotions) as fn(&adbt::VcpuStats) -> u64,
+        ),
+        ("deopts", |c| c.deopts),
+        ("tier_blocks", |c| c.tier_blocks),
+        ("tier_insns", |c| c.tier_insns),
+        ("opt_nzcv_killed", |c| c.opt_nzcv_killed),
+        ("opt_const_folded", |c| c.opt_const_folded),
+        ("opt_htable_coalesced", |c| c.opt_htable_coalesced),
+    ] {
+        let merged = field(s);
+        assert_eq!(merged, sum(field), "{kind}: merged {name} ≠ per-vCPU sum");
+    }
 }
 
 /// Structural corruption beyond what livelocked (mid-operation) vCPUs
@@ -200,6 +236,10 @@ fn threaded_soak_with_watchdog_terminates_cleanly() {
             chaos: Some(ChaosCfg::new(SEED, RATE)),
             watchdog_ms: 5_000,
             htm_degrade_after: 4,
+            // Aggressive tiering under injection: superblocks must deopt
+            // and degrade like any other translated code.
+            tier_threshold: 16,
+            superblock_limit: 8,
             ..MachineConfig::default()
         };
         let run = run_stack_with(kind, 4, stack_config(1_000), config, None).unwrap();
@@ -224,6 +264,10 @@ fn threaded_soak_with_watchdog_terminates_cleanly() {
 fn threaded_sc_storm_terminates_without_watchdog() {
     let config = MachineConfig {
         chaos: Some(ChaosCfg::new(SEED, 0.25)),
+        // Storm-rate injection with tiering on: promoted code must not
+        // interfere with the degradation ladder's progress guarantee.
+        tier_threshold: 16,
+        superblock_limit: 8,
         ..MachineConfig::default()
     };
     let run = run_stack_with(SchemeKind::Hst, 4, stack_config(150), config, None).unwrap();
