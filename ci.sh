@@ -16,6 +16,15 @@ cargo fmt --all --check
 cargo test -q --release --offline --test chaos_soak \
     threaded_soak_with_watchdog_terminates_cleanly
 
+# Invalidation-storm soak (release, ~seconds): all 8 schemes run with a
+# 5% translation-invalidation storm layered on top of the fault chaos,
+# tiering on and the watchdog armed. Blocks (and superblocks) are
+# retired at dispatch boundaries mid-run and must retranslate without
+# livelock, memory-accounting drift, or counter-merge skew. Seed-pinned
+# in tests/chaos_soak.rs, so failures replay exactly.
+cargo test -q --release --offline --test chaos_soak \
+    invalidation_storm_soak_terminates_cleanly
+
 # Systematic interleaving check (release, ~a second): all 8 schemes ×
 # all 3 litmus programs under the bounded-preemption explorer. The
 # search is fully deterministic (no seeds — it *enumerates* schedules),

@@ -33,15 +33,29 @@ pub struct ChaosCfg {
     pub seed: u64,
     /// Probability in `[0, 1]` that any given site roll fires.
     pub rate: f64,
+    /// Probability in `[0, 1]` of a translation-invalidation storm roll
+    /// ([`ChaosSite::Invalidate`]) per dispatch hop. Separate from
+    /// `rate` — invalidation storms are a lifecycle stress, not a
+    /// scheme-failure edge, and default to **off** so existing chaos
+    /// campaigns keep their exact fault sequences.
+    pub invalidate: f64,
 }
 
 impl ChaosCfg {
-    /// Creates a campaign config, clamping `rate` into `[0, 1]`.
+    /// Creates a campaign config, clamping `rate` into `[0, 1]`;
+    /// invalidation storms are off.
     pub fn new(seed: u64, rate: f64) -> ChaosCfg {
         ChaosCfg {
             seed,
             rate: rate.clamp(0.0, 1.0),
+            invalidate: 0.0,
         }
+    }
+
+    /// Sets the invalidation-storm rate, clamped into `[0, 1]`.
+    pub fn with_invalidate(mut self, rate: f64) -> ChaosCfg {
+        self.invalidate = rate.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -69,11 +83,16 @@ pub enum ChaosSite {
     FaultDelay = 6,
     /// Stall while acquiring a scheme's global registry lock.
     LockStall = 7,
+    /// Forced invalidation of the currently-dispatching translated
+    /// block — the cache-lifecycle storm (as if the guest had just
+    /// overwritten that code). Driven by [`ChaosCfg::invalidate`], a
+    /// separate rate that defaults to off.
+    Invalidate = 8,
 }
 
 impl ChaosSite {
     /// Number of distinct sites (the size of per-site counter arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every site, in counter order.
     pub const ALL: [ChaosSite; ChaosSite::COUNT] = [
@@ -85,6 +104,7 @@ impl ChaosSite {
         ChaosSite::MprotectDelay,
         ChaosSite::FaultDelay,
         ChaosSite::LockStall,
+        ChaosSite::Invalidate,
     ];
 
     /// Stable diagnostic name (used by `--stats` output).
@@ -98,6 +118,7 @@ impl ChaosSite {
             ChaosSite::MprotectDelay => "mprotect-delay",
             ChaosSite::FaultDelay => "fault-delay",
             ChaosSite::LockStall => "lock-stall",
+            ChaosSite::Invalidate => "invalidate",
         }
     }
 }
@@ -120,6 +141,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub struct ChaosStream {
     state: u64,
     threshold: u64,
+    invalidate_threshold: u64,
 }
 
 impl ChaosStream {
@@ -132,12 +154,24 @@ impl ChaosStream {
             state,
             // rate 1.0 must always fire; the f64→u64 product saturates.
             threshold: (cfg.rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64,
+            invalidate_threshold: (cfg.invalidate.clamp(0.0, 1.0) * u64::MAX as f64) as u64,
         }
     }
 
     /// Whether the next injection fires (one draw).
     pub fn roll(&mut self) -> bool {
         splitmix64(&mut self.state) <= self.threshold
+    }
+
+    /// Whether the next *invalidation-storm* injection fires. Consumes
+    /// no draw when the invalidation rate is zero, so campaigns without
+    /// storms keep byte-identical fault sequences whether or not the
+    /// engine polls this site.
+    pub fn roll_invalidate(&mut self) -> bool {
+        if self.invalidate_threshold == 0 {
+            return false;
+        }
+        splitmix64(&mut self.state) <= self.invalidate_threshold
     }
 
     /// A fair deterministic coin (one draw) — used to pick between
@@ -189,7 +223,8 @@ impl ChaosPlane {
     /// Creates the plane for one machine.
     pub fn new(cfg: ChaosCfg) -> ChaosPlane {
         ChaosPlane {
-            cfg: ChaosCfg::new(cfg.seed, cfg.rate),
+            // Re-clamp both rates; a hand-built cfg may carry raw floats.
+            cfg: ChaosCfg::new(cfg.seed, cfg.rate).with_invalidate(cfg.invalidate),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -320,6 +355,17 @@ mod tests {
     }
 
     #[test]
+    fn plane_preserves_the_invalidate_rate() {
+        // Regression: the plane used to rebuild its cfg with
+        // `ChaosCfg::new(seed, rate)` alone, silently dropping the storm
+        // rate — every stream it handed out had invalidations off.
+        let plane = ChaosPlane::new(ChaosCfg::new(7, 0.1).with_invalidate(1.0));
+        assert_eq!(plane.cfg().invalidate, 1.0);
+        let mut stream = plane.stream(1);
+        assert!(stream.roll_invalidate());
+    }
+
+    #[test]
     fn rate_is_clamped() {
         assert_eq!(ChaosCfg::new(0, 7.5).rate, 1.0);
         assert_eq!(ChaosCfg::new(0, -1.0).rate, 0.0);
@@ -342,6 +388,27 @@ mod tests {
         // do not panic and move past the spin stage.
         let _ = policy.backoff(5);
         let _ = policy.backoff(9);
+    }
+
+    #[test]
+    fn invalidate_rate_is_separate_and_off_by_default() {
+        // Default: off, and polling it consumes no draw — the main
+        // fault sequence is identical with or without the polls.
+        let cfg = ChaosCfg::new(99, 0.5);
+        assert_eq!(cfg.invalidate, 0.0);
+        let mut plain = ChaosStream::new(cfg, 1);
+        let mut polled = ChaosStream::new(cfg, 1);
+        for _ in 0..256 {
+            assert!(!polled.roll_invalidate());
+            assert_eq!(plain.roll(), polled.roll());
+        }
+        // With a storm rate set, invalidation rolls fire independently.
+        let mut storm = ChaosStream::new(ChaosCfg::new(99, 0.0).with_invalidate(1.0), 1);
+        for _ in 0..64 {
+            assert!(!storm.roll());
+            assert!(storm.roll_invalidate());
+        }
+        assert_eq!(ChaosCfg::new(0, 0.0).with_invalidate(7.0).invalidate, 1.0);
     }
 
     #[test]

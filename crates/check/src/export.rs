@@ -38,6 +38,7 @@ fn map(atom: u64, event: &SchedEvent) -> TraceEvent {
         SchedEvent::ExclusiveEnter { tid } => (tid, TraceKind::ExclusiveEnter, 0, 0),
         SchedEvent::ExclusiveExit { tid } => (tid, TraceKind::ExclusiveExit, 0, 0),
         SchedEvent::Chaos { tid, site } => (tid, TraceKind::Chaos, 0, site as u32),
+        SchedEvent::Invalidate { tid, addr } => (tid, TraceKind::Invalidate, addr, 0),
     };
     TraceEvent {
         ts: atom,

@@ -20,7 +20,11 @@
 //! paper's Table II: PICO-CAS admits ABA ([`Litmus::AbaLlsc`],
 //! [`Litmus::AbaStack`]) and PICO-ST's check-then-store window misses an
 //! overlapping LL/SC pair ([`Litmus::StoreWindow`]), while HST, PST and
-//! their variants are clean — see [`expected_violation`].
+//! their variants are clean — see [`expected_violation`]. The SMC trio
+//! ([`Litmus::SmcSelf`], [`Litmus::SmcCross`], [`Litmus::SmcSuper`])
+//! probes the translation-cache lifecycle instead of the schemes and is
+//! expected clean everywhere: those programs use no LL/SC, so any
+//! violation would be a stale-translation bug, not a scheme bug.
 
 pub mod explore;
 pub mod export;
@@ -38,7 +42,8 @@ use adbt::SchemeKind;
 /// among well-behaved LL/SC users, so both ABA litmuses flag it. PICO-ST
 /// is strongly classified but its store-test *implementation* has a
 /// check-then-store window, which the store/LL-SC race exposes. Every
-/// other scheme honors its class on all three programs.
+/// other (scheme, litmus) pair is clean — including every scheme on the
+/// SMC trio, which exercises translation invalidation, not atomicity.
 pub fn expected_violation(scheme: SchemeKind, litmus: Litmus) -> bool {
     matches!(
         (scheme, litmus),

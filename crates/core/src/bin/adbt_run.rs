@@ -4,9 +4,10 @@
 //! adbt-run <program.s> [--scheme hst] [--threads 4] [--base 0x10000]
 //!          [--entry <symbol|addr>] [--sim] [--replay <trace>]
 //!          [--fuse-atomics] [--dump <symbol|addr>] [--memory BYTES]
-//!          [--stats] [--chaos seed=<u64>,rate=<f64>] [--watchdog-ms N]
-//!          [--htm-degrade-after N] [--trace FILE] [--histograms]
-//!          [--tier-threshold N] [--no-tiering]
+//!          [--stats] [--chaos seed=<u64>,rate=<f64>[,invalidate=<f64>]]
+//!          [--watchdog-ms N] [--htm-degrade-after N] [--trace FILE]
+//!          [--histograms] [--tier-threshold N] [--no-tiering]
+//!          [--cache-limit BYTES]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -31,6 +32,16 @@
 //! Deterministic modes (`--sim`, `--replay`) dispatch single blocks and
 //! never tier.
 //!
+//! `--cache-limit` bounds the translation cache to the given number of
+//! bytes: under pressure the engine flushes generationally (superblocks
+//! first, then the coldest original blocks) and retranslates on demand.
+//! `0` is rejected — the engine reads a zero limit as *unlimited*, the
+//! opposite of what typing `--cache-limit 0` means — as is any budget
+//! smaller than one arena segment. The `invalidate=` chaos key arms the
+//! invalidation storm: each dispatch rolls that rate for a forced
+//! retirement of the current translation, exercising the SMC and
+//! reclamation machinery without needing self-modifying guest code.
+//!
 //! `--trace FILE` arms the flight recorder and writes the run's events
 //! as Chrome trace-event JSON (load it in Perfetto or `chrome://tracing`;
 //! timestamps are wall nanoseconds for threaded runs and retired
@@ -48,25 +59,37 @@ fn usage() -> ! {
          \x20               [--entry SYM|ADDR[,SYM…]] [--sim] [--replay TRACE]\n\
          \x20               [--fuse-atomics] [--dump SYM|ADDR]\n\
          \x20               [--memory BYTES] [--stats]\n\
-         \x20               [--chaos seed=U64,rate=F64] [--watchdog-ms N]\n\
-         \x20               [--htm-degrade-after N] [--trace FILE] [--histograms]\n\
+         \x20               [--chaos seed=U64,rate=F64[,invalidate=F64]]\n\
+         \x20               [--watchdog-ms N] [--htm-degrade-after N]\n\
+         \x20               [--trace FILE] [--histograms]\n\
          \x20               [--tier-threshold N] [--no-tiering]\n\
+         \x20               [--cache-limit BYTES]\n\
          schemes: {}",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
     std::process::exit(2)
 }
 
-/// Parses and validates `seed=<u64>,rate=<f64>` (either order; both
-/// required, each exactly once).
+/// Parses and validates `seed=<u64>,rate=<f64>[,invalidate=<f64>]`
+/// (any order; `seed` and `rate` required, each key at most once).
 ///
 /// Validation is strict *before* [`ChaosCfg::new`] ever sees the
-/// values: `ChaosCfg` clamps its rate to [0, 1] for internal callers,
+/// values: `ChaosCfg` clamps its rates to [0, 1] for internal callers,
 /// which on the command line would silently turn a typo like
 /// `rate=1e9` (or `rate=NaN`) into a full-blast or zero-rate campaign.
 fn parse_chaos(text: &str) -> Result<ChaosCfg, String> {
     let mut seed: Option<u64> = None;
     let mut rate: Option<f64> = None;
+    let mut invalidate: Option<f64> = None;
+    let parse_rate = |key: &str, value: &str| -> Result<f64, String> {
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("bad {key} `{value}` (want a float in [0, 1])"))?;
+        if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+            return Err(format!("{key} `{value}` is outside [0, 1]"));
+        }
+        Ok(parsed)
+    };
     for part in text.split(',') {
         let Some((key, value)) = part.split_once('=') else {
             return Err(format!("`{part}` is not a key=value pair"));
@@ -87,19 +110,29 @@ fn parse_chaos(text: &str) -> Result<ChaosCfg, String> {
                 if rate.is_some() {
                     return Err("duplicate `rate` key".to_string());
                 }
-                let parsed: f64 = value
-                    .parse()
-                    .map_err(|_| format!("bad rate `{value}` (want a float in [0, 1])"))?;
-                if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
-                    return Err(format!("rate `{value}` is outside [0, 1]"));
-                }
-                rate = Some(parsed);
+                rate = Some(parse_rate("rate", value)?);
             }
-            other => return Err(format!("unknown key `{other}` (want seed, rate)")),
+            "invalidate" => {
+                if invalidate.is_some() {
+                    return Err("duplicate `invalidate` key".to_string());
+                }
+                invalidate = Some(parse_rate("invalidate", value)?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown key `{other}` (want seed, rate, invalidate)"
+                ))
+            }
         }
     }
     match (seed, rate) {
-        (Some(seed), Some(rate)) => Ok(ChaosCfg::new(seed, rate)),
+        (Some(seed), Some(rate)) => {
+            let mut cfg = ChaosCfg::new(seed, rate);
+            if let Some(storm) = invalidate {
+                cfg = cfg.with_invalidate(storm);
+            }
+            Ok(cfg)
+        }
         (None, _) => Err("missing `seed`".to_string()),
         (_, None) => Err("missing `rate`".to_string()),
     }
@@ -132,6 +165,7 @@ fn main() -> ExitCode {
     let mut histograms = false;
     let mut tier_threshold: u32 = 1024;
     let mut no_tiering = false;
+    let mut cache_limit: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -208,6 +242,20 @@ fn main() -> ExitCode {
                     usage()
                 }
             }
+            "--cache-limit" => {
+                cache_limit = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if cache_limit == 0 {
+                    eprintln!(
+                        "--cache-limit 0 would mean *unlimited* (the engine's \
+                         no-limit encoding), not a zero-byte cache; omit the \
+                         flag to run unbounded"
+                    );
+                    usage()
+                }
+            }
             "--no-tiering" => no_tiering = true,
             "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
             "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
@@ -248,7 +296,8 @@ fn main() -> ExitCode {
         .watchdog_ms(watchdog_ms)
         .htm_degrade_after(htm_degrade_after)
         .trace(trace_out.is_some() || histograms)
-        .tier_threshold(if no_tiering { 0 } else { tier_threshold });
+        .tier_threshold(if no_tiering { 0 } else { tier_threshold })
+        .cache_limit(cache_limit);
     if replay.is_some() {
         // Checker traces count atoms at instruction granularity; replay
         // must translate the same single-instruction blocks.
@@ -367,6 +416,23 @@ fn main() -> ExitCode {
             s.opt_const_folded,
             s.opt_htable_coalesced,
         );
+        let occ = machine.core().cache_occupancy();
+        eprintln!(
+            "cache: live_blocks={} superblocks={} bytes={} peak_bytes={} limit={} \
+             invalidations={} flushes={} retired={} reclaimed={} segments_freed={} \
+             smc_false_sharing={}",
+            occ.live_blocks,
+            occ.live_superblocks,
+            occ.arena_bytes,
+            occ.peak_bytes,
+            cache_limit,
+            occ.invalidations,
+            occ.flushes,
+            occ.retired_blocks,
+            occ.reclaimed_blocks,
+            occ.reclaimed_segments,
+            s.smc_false_sharing,
+        );
         let pct = |num: u64, den: u64| {
             if den == 0 {
                 "n/a".to_string()
@@ -457,6 +523,10 @@ mod tests {
         assert!(parse_chaos("seed=42,rate=0.5").is_ok());
         assert!(parse_chaos("rate=1,seed=0").is_ok());
         assert!(parse_chaos(" seed = 7 , rate = 0 ").is_ok());
+        let cfg = parse_chaos("seed=42,rate=0,invalidate=0.05").unwrap();
+        assert_eq!(cfg.invalidate, 0.05);
+        // Omitted storm key keeps the storm off.
+        assert_eq!(parse_chaos("seed=42,rate=0.5").unwrap().invalidate, 0.0);
     }
 
     #[test]
@@ -486,5 +556,15 @@ mod tests {
         assert!(parse_chaos("seed=1,rate=0.5,extra=9").is_err());
         assert!(parse_chaos("seed=-1,rate=0.5").is_err());
         assert!(parse_chaos("seed=1 rate=0.5").is_err());
+    }
+
+    #[test]
+    fn chaos_spec_validates_the_storm_key_like_the_base_rate() {
+        assert!(parse_chaos("seed=1,rate=0,invalidate=1.5").is_err());
+        assert!(parse_chaos("seed=1,rate=0,invalidate=NaN").is_err());
+        assert!(parse_chaos("seed=1,rate=0,invalidate=-0.1").is_err());
+        assert!(parse_chaos("seed=1,rate=0,invalidate=0.1,invalidate=0.2").is_err());
+        let why = parse_chaos("seed=1,rate=0,invalidat=0.1").unwrap_err();
+        assert!(why.contains("want seed, rate, invalidate"), "{why}");
     }
 }

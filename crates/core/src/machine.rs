@@ -105,6 +105,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Bounds the translation cache to `bytes` (0 = unlimited). Under
+    /// pressure the engine flushes generationally — superblocks first,
+    /// then coldest originals — and retranslates on demand, so the
+    /// working set stays under the budget at the cost of retranslation.
+    /// Rejected at build time when below one arena segment
+    /// ([`MachineCore::MIN_CACHE_LIMIT`]).
+    pub fn cache_limit(mut self, bytes: u64) -> MachineBuilder {
+        self.config.cache_limit = bytes;
+        self
+    }
+
     /// Degrades an HTM region to a stop-the-world exclusive section once
     /// it has aborted `n` times (threaded runs only). `0` disables.
     pub fn htm_degrade_after(mut self, n: u64) -> MachineBuilder {

@@ -357,7 +357,7 @@ pub fn run_block_from(
                         .map_err(Trap::HtmAbort)?;
                 }
             }
-            Op::Safepoint => {
+            Op::Safepoint { resume_pc } => {
                 // Interior safepoint poll: a superblock must not delay an
                 // exclusive requester longer than one original block.
                 let parked = ctx.machine.exclusive.safepoint_for(ctx.cpu.tid);
@@ -368,6 +368,17 @@ pub fn run_block_from(
                         ctx.cpu.pc,
                         parked.min(u32::MAX as u64) as u32,
                     );
+                    // The world stopped while we were parked — an
+                    // invalidation batch may have retired this superblock
+                    // (a store patched one of its stitched pages). State
+                    // is architectural at the segment seam, so deopt to
+                    // the block-granular tier at the segment about to
+                    // run; no stale stitched code executes past a park.
+                    if block.invalidated.is_set() {
+                        ctx.stats.deopts += 1;
+                        ctx.trace(adbt_trace::TraceKind::Deopt, *resume_pc, block.guest_pc);
+                        return Ok(BlockRun::Done(*resume_pc));
+                    }
                 }
             }
             Op::SideExit { cond, target } => {

@@ -84,6 +84,7 @@ pub use adbt_trace::{
     chrome, validate, Histograms, LogHistogram, TraceEvent, TraceHandle, TraceKind, TraceRecorder,
     TraceRing, WATCHDOG_TAIL,
 };
+pub use cache::CacheOccupancy;
 pub use exclusive::{ExclusiveBarrier, Halted};
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};

@@ -1,7 +1,7 @@
 //! The machine: shared services, the translation cache, and the threaded
 //! and lockstep execution loops.
 
-use crate::cache::TranslationCache;
+use crate::cache::{block_footprint, CacheOccupancy, TranslationCache, SEGMENT_FOOTPRINT};
 use crate::exclusive::ExclusiveBarrier;
 use crate::frontend;
 use crate::interp;
@@ -17,6 +17,7 @@ use adbt_htm::{HtmDomain, HtmStats};
 use adbt_ir::{BlockExit, ChainLink};
 use adbt_isa::asm::Image;
 use adbt_mmu::AddressSpace;
+use adbt_sync::epoch::Qsbr;
 use adbt_sync::Mutex;
 use adbt_trace::{TraceKind, TraceRecorder, WATCHDOG_TAIL};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +94,14 @@ pub struct MachineConfig {
     /// tiering is on; must not exceed `chain_limit`, so a superblock
     /// never covers more ground than one chained dispatch could).
     pub superblock_limit: u32,
+    /// Translation-cache memory budget in bytes (0 = unbounded). A hard
+    /// bound: when a translation would push the cache's live-plus-limbo
+    /// footprint past the limit, the translating vCPU triggers a
+    /// generational flush (superblocks demote first, then the coldest
+    /// originals) and waits for epoch reclamation to make room, instead
+    /// of growing without bound. Must be at least
+    /// [`MachineCore::MIN_CACHE_LIMIT`] when nonzero.
+    pub cache_limit: u64,
 }
 
 impl Default for MachineConfig {
@@ -117,6 +126,7 @@ impl Default for MachineConfig {
             trace: false,
             tier_threshold: 0,
             superblock_limit: 16,
+            cache_limit: 0,
         }
     }
 }
@@ -247,6 +257,10 @@ pub struct MachineCore {
     /// The shared retry policy for HTM region rollbacks (and any other
     /// engine retry loop): one place for budgets and backoff stages.
     pub retry: RetryPolicy,
+    /// The quiescent-state tracker gating translation-cache reclamation:
+    /// retired blocks are freed only after every registered vCPU has
+    /// passed a zero-reference safepoint.
+    pub(crate) qsbr: Qsbr,
     pub(crate) cache: TranslationCache,
     threaded: AtomicBool,
 }
@@ -284,6 +298,14 @@ impl MachineCore {
                 ));
             }
         }
+        if config.cache_limit > 0 && config.cache_limit < MachineCore::MIN_CACHE_LIMIT {
+            return Err(format!(
+                "cache_limit ({} bytes) is below the minimum of one arena segment \
+                 ({} bytes): a smaller budget cannot hold any translation",
+                config.cache_limit,
+                MachineCore::MIN_CACHE_LIMIT
+            ));
+        }
         let space = AddressSpace::new(config.mem_size, config.extra_virt_pages)?;
         let mut registry = HelperRegistry::new();
         scheme.install(&mut registry);
@@ -317,11 +339,21 @@ impl MachineCore {
                 // held stop-the-world SC window so it must complete.
                 degrade_after: 32,
             },
-            cache: TranslationCache::new(),
+            qsbr: Qsbr::new(),
+            cache: {
+                let cache = TranslationCache::new();
+                cache.set_limit(config.cache_limit);
+                cache
+            },
             threaded: AtomicBool::new(false),
             config,
         })
     }
+
+    /// The smallest accepted nonzero [`MachineConfig::cache_limit`]: one
+    /// arena segment's worth of block slots. Budgets below this cannot
+    /// hold a single translation, so they are rejected at construction.
+    pub const MIN_CACHE_LIMIT: u64 = SEGMENT_FOOTPRINT;
 
     /// Whether the current run uses real OS threads (guest `yield` then
     /// maps to `std::thread::yield_now`).
@@ -376,9 +408,120 @@ impl MachineCore {
             txn.poison();
         }
         let block = frontend::translate(ctx, pc)?;
-        let id = self.cache.insert(pc, block);
-        ctx.trace(TraceKind::Translate, pc, id);
-        Ok(id)
+        self.ensure_cache_room(ctx, block_footprint(&block))?;
+        let result = self.cache.insert(pc, block);
+        // Every page the new block decodes from becomes write-tracked, so
+        // a later guest store into it faults and invalidates (SMC).
+        for &page in &result.new_pages {
+            self.space.write_track(page);
+        }
+        if result.fresh {
+            ctx.trace(TraceKind::Translate, pc, result.id);
+        }
+        Ok(result.id)
+    }
+
+    /// Reserves `footprint` bytes of cache budget for a new translation,
+    /// flushing generationally and waiting out reclamation grace periods
+    /// under memory pressure. With no limit configured the fast path is a
+    /// single uncontended fetch-add.
+    ///
+    /// **Caller contract:** the caller must hold no translation-cache
+    /// borrows — under pressure this loop announces QSBR quiescence for
+    /// the calling vCPU, after which previously borrowed blocks may be
+    /// freed.
+    fn ensure_cache_room(&self, ctx: &mut ExecCtx<'_>, footprint: u64) -> Result<(), Trap> {
+        if self.cache.try_reserve(footprint) {
+            return Ok(());
+        }
+        // Pressure path. Each round: flush under the stop-the-world
+        // window, then spin waiting for the grace period to elapse so the
+        // retired footprint actually frees. Round 0 flushes down to half
+        // the limit (a generation's worth of headroom); later rounds
+        // flush everything, so the loop cannot fail while the working set
+        // fits at all.
+        const PRESSURE_ROUNDS: u32 = 4;
+        const GRACE_SPINS: u32 = 4096;
+        for round in 0..PRESSURE_ROUNDS {
+            let target = if round == 0 {
+                self.cache.limit() / 2
+            } else {
+                0
+            };
+            if ctx.start_exclusive().is_err() {
+                return Err(Trap::Livelock {
+                    pc: ctx.cpu.pc,
+                    what: "machine halted while awaiting a cache flush",
+                });
+            }
+            let epoch = self.qsbr.begin_grace();
+            let summary = self.cache.flush_generational(target, epoch);
+            for &page in &summary.untrack_pages {
+                self.space.write_untrack(page);
+            }
+            ctx.stats.flushes += 1;
+            ctx.stats.retired_blocks += summary.retired + summary.demoted;
+            ctx.trace(
+                TraceKind::Flush,
+                summary.retired.min(u32::MAX as u64) as u32,
+                summary.demoted.min(u32::MAX as u64) as u32,
+            );
+            ctx.end_exclusive();
+            for _ in 0..GRACE_SPINS {
+                // Keep announcing our own quiescence (we hold no cache
+                // borrows here — see the caller contract) and keep
+                // passing safepoints, so concurrent flushes by other
+                // starved vCPUs stay live; then try to reclaim and
+                // re-reserve.
+                self.quiesce_and_reclaim(ctx);
+                ctx.stats.exclusive_ns += self.exclusive.safepoint_for(ctx.cpu.tid);
+                if self.cache.try_reserve(footprint) {
+                    return Ok(());
+                }
+                if self.exclusive.halted() {
+                    return Err(Trap::Livelock {
+                        pc: ctx.cpu.pc,
+                        what: "machine halted while awaiting cache reclamation",
+                    });
+                }
+                if self.is_threaded() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Full flushes could not make room: either the limit is smaller
+        // than one in-flight working set of concurrent translations, or a
+        // participant never quiesces. Surface a verdict, not a hang.
+        Err(Trap::Livelock {
+            pc: ctx.cpu.pc,
+            what: "translation-cache limit too small for the working set",
+        })
+    }
+
+    /// Announces QSBR quiescence for `ctx` (the caller must hold zero
+    /// translation-cache borrows) and frees any limbo blocks whose grace
+    /// period has elapsed. The quiescent-path cost when nothing is
+    /// pending is two atomic loads and one store.
+    fn quiesce_and_reclaim(&self, ctx: &mut ExecCtx<'_>) {
+        if ctx.qsbr_slot == usize::MAX {
+            return;
+        }
+        self.qsbr.quiesce(ctx.qsbr_slot);
+        if self.cache.limbo_pending() {
+            self.reclaim_now(ctx);
+        }
+    }
+
+    #[cold]
+    fn reclaim_now(&self, ctx: &mut ExecCtx<'_>) {
+        if let Some((freed, segments)) = self.cache.reclaim_limbo(&self.qsbr) {
+            ctx.stats.reclaimed_blocks += freed;
+            ctx.trace(
+                TraceKind::Reclaim,
+                freed.min(u32::MAX as u64) as u32,
+                segments.min(u32::MAX as u64) as u32,
+            );
+        }
     }
 
     /// Executes up to `chain_limit` translated blocks for `ctx`,
@@ -397,9 +540,15 @@ impl MachineCore {
         l1: &mut L1Cache,
         chain_limit: u32,
     ) -> Option<VcpuOutcome> {
-        // The previous hop's exit link for the edge just taken; patched
-        // with the successor's id so the next traversal skips the lookup.
-        let mut link: Option<&ChainLink> = None;
+        // Step entry is a zero-reference point: no chain link or block
+        // borrow survives from the previous step, so this thread can
+        // announce QSBR quiescence and free any grace-expired blocks.
+        self.quiesce_and_reclaim(ctx);
+        // The previous hop's exit link for the edge just taken, plus the
+        // predecessor's id and which leg it is — patched with the
+        // successor's id so the next traversal skips the lookup, and
+        // registered in the edge index so invalidation can revoke it.
+        let mut link: Option<(&ChainLink, u32, bool)> = None;
         // Tiering needs chaining: superblocks are stitched along patched
         // chain links, and links are only patched when chains run. With
         // tiering off this is the discipline's single predicted branch.
@@ -425,13 +574,24 @@ impl MachineCore {
                 }
             }
             let pc = ctx.cpu.pc;
-            let id = match link.and_then(ChainLink::get) {
+            let id = match link.and_then(|(slot, _, _)| slot.get()) {
                 Some(id) => {
                     ctx.stats.chain_follows += 1;
                     id
                 }
                 None => {
                     ctx.stats.dispatch_lookups += 1;
+                    // The lookup lane (never the chain-follow fast path)
+                    // absorbs invalidation: a retire batch bumps the
+                    // cache version, and a stale L1 here would resurrect
+                    // retired ids.
+                    l1.sync(self.cache.version());
+                    // Drop the borrowed predecessor link before
+                    // translating: translation may hit the cache limit,
+                    // whose pressure path announces quiescence, after
+                    // which borrowed blocks may be freed. The edge is
+                    // re-resolved by id below.
+                    let patch = link.take().map(|(_, pred, taken)| (pred, taken));
                     let mut id = match l1.get(pc) {
                         Some(id) => {
                             ctx.stats.l1_hits += 1;
@@ -474,16 +634,33 @@ impl MachineCore {
                             }
                         }
                     }
-                    // Patch the traversed edge; sound because the cache
-                    // is append-only, so `id` never goes stale.
-                    if let Some(slot) = link {
-                        slot.set(id);
-                        ctx.trace(TraceKind::ChainPatch, pc, id);
+                    // Patch the traversed edge and register it for
+                    // revocation. The predecessor is re-resolved by id:
+                    // if it was retired while we translated, its slot may
+                    // be gone and the edge is simply not patched (the
+                    // next traversal takes the lookup path again).
+                    if let Some((pred, taken)) = patch {
+                        if let Some(pred_block) = self.cache.block(pred) {
+                            let slot = if taken {
+                                &pred_block.links.taken
+                            } else {
+                                &pred_block.links.fallthrough
+                            };
+                            slot.set(id);
+                            self.cache.register_edge(id, pred, taken);
+                            ctx.trace(TraceKind::ChainPatch, pc, id);
+                        }
                     }
                     id
                 }
             };
-            let block = self.cache.block(id);
+            let Some(block) = self.cache.block(id) else {
+                // The id lost a race with a retirement batch between
+                // resolution and dereference (stale chain link or L1
+                // entry): drop the edge and go back through the lookup.
+                link = None;
+                continue;
+            };
             // A region transaction spanning block dispatches reads the
             // engine's shared dispatcher structures — their conflict tokens
             // join the read set (the QEMU-inside-the-transaction effect that
@@ -514,13 +691,13 @@ impl MachineCore {
                     // equality guards send it back through the lookup.
                     link = match &block.exit {
                         BlockExit::Jump(target) if !block.superblock || next == *target => {
-                            Some(&block.links.taken)
+                            Some((&block.links.taken, id, true))
                         }
                         BlockExit::CondJump { taken, .. } if next == *taken => {
-                            Some(&block.links.taken)
+                            Some((&block.links.taken, id, true))
                         }
                         BlockExit::CondJump { fallthrough, .. } if next == *fallthrough => {
-                            Some(&block.links.fallthrough)
+                            Some((&block.links.fallthrough, id, false))
                         }
                         _ => None,
                     };
@@ -686,7 +863,44 @@ impl MachineCore {
             if ctx.chaos_roll(ChaosSite::SafepointDelay) {
                 ctx.stats.exclusive_ns += ctx.chaos_stall();
             }
+            if ctx.roll_invalidate() {
+                if let Some(outcome) = self.chaos_invalidate(ctx) {
+                    return Some(outcome);
+                }
+            }
         }
+        None
+    }
+
+    /// An injected invalidation-storm event: retires the translation at
+    /// the current pc exactly the way a guest self-patch would, driving
+    /// the revocation / retranslation / reclamation machinery under load.
+    /// Returns `Some` only when acquiring the exclusive window fails
+    /// because the machine was halted.
+    #[cold]
+    fn chaos_invalidate(&self, ctx: &mut ExecCtx<'_>) -> Option<VcpuOutcome> {
+        let pc = ctx.cpu.pc;
+        let victim = self.cache.lookup(pc)?;
+        if ctx.start_exclusive().is_err() {
+            return Some(VcpuOutcome::Livelocked { pc });
+        }
+        let epoch = self.qsbr.begin_grace();
+        let summary = self.cache.retire_batch(&[victim], epoch);
+        for &page in &summary.untrack_pages {
+            self.space.write_untrack(page);
+        }
+        if summary.retired + summary.demoted > 0 {
+            ctx.stats.invalidations += 1;
+            ctx.stats.retired_blocks += summary.retired + summary.demoted;
+            ctx.trace(TraceKind::Invalidate, pc, victim);
+            if ctx.record_events {
+                ctx.note_event(SchedEvent::Invalidate {
+                    tid: ctx.cpu.tid,
+                    addr: pc,
+                });
+            }
+        }
+        ctx.end_exclusive();
         None
     }
 
@@ -715,6 +929,7 @@ impl MachineCore {
                         }
                         let mut l1 = L1Cache::new();
                         self.exclusive.register();
+                        ctx.qsbr_slot = self.qsbr.register();
                         let chain_limit = self.config.chain_limit;
                         let outcome = loop {
                             if let Some(outcome) = self.step(&mut ctx, &mut l1, chain_limit) {
@@ -725,6 +940,7 @@ impl MachineCore {
                         // degraded region's exclusive section) on the way out.
                         ctx.release_region();
                         beat.done.store(true, Ordering::Relaxed);
+                        self.qsbr.unregister(ctx.qsbr_slot);
                         self.exclusive.unregister();
                         (outcome, ctx.stats)
                     })
@@ -771,6 +987,11 @@ impl MachineCore {
                 if let Some(rec) = &self.trace {
                     dump.attach_ring_events(rec.last_events(WATCHDOG_TAIL));
                 }
+                // And what the translation cache looked like: a stall
+                // during an invalidation storm or a flush loop shows up
+                // as limbo that never drains or a budget pinned at the
+                // limit.
+                dump.attach_occupancy(self.cache.occupancy());
                 *fired.lock() = Some(dump);
                 // Release every parked or waiting thread; robust_hop turns
                 // each survivor into a clean Livelocked outcome.
@@ -789,10 +1010,19 @@ impl MachineCore {
         let n = vcpus.len() as u32;
         let start = Instant::now();
         self.exclusive.register();
+        // One QSBR slot for the whole single-threaded run: every ctx
+        // announces through it. Sound because lockstep holds no block
+        // borrow across scheduled steps (no cursors), so any ctx's step
+        // entry is a zero-reference point for the thread.
+        let slot = self.qsbr.register();
 
         let mut ctxs: Vec<ExecCtx<'_>> = vcpus
             .into_iter()
-            .map(|cpu| ExecCtx::new(cpu, self, n))
+            .map(|cpu| {
+                let mut ctx = ExecCtx::new(cpu, self, n);
+                ctx.qsbr_slot = slot;
+                ctx
+            })
             .collect();
         let mut l1s: Vec<L1Cache> = (0..ctxs.len()).map(|_| L1Cache::new()).collect();
         let mut outcomes: Vec<Option<VcpuOutcome>> = vec![None; ctxs.len()];
@@ -834,6 +1064,7 @@ impl MachineCore {
                 remaining -= 1;
             }
         }
+        self.qsbr.unregister(slot);
         self.exclusive.unregister();
         let wall = start.elapsed();
         let results = ctxs
@@ -869,6 +1100,12 @@ impl MachineCore {
         let n = vcpus.len() as u32;
         let start = Instant::now();
         self.exclusive.register();
+        // The driver owns the run's only QSBR slot and the ctxs never see
+        // it (`qsbr_slot` stays unset): a paused cursor keeps a block id
+        // live across atoms, so per-atom quiescence would be unsound.
+        // The dispatch loop below announces quiescence only at points
+        // where **every** cursor is empty.
+        let slot = self.qsbr.register();
 
         let mut ctxs: Vec<ExecCtx<'_>> = vcpus
             .into_iter()
@@ -909,8 +1146,17 @@ impl MachineCore {
             for event in ctxs[idx].drain_events() {
                 sched.observe(atom, event);
             }
+            // With no cursor live, the driver thread holds zero block
+            // borrows: announce quiescence and free grace-expired limbo.
+            if cursors.iter().all(Option::is_none) {
+                self.qsbr.quiesce(slot);
+                if self.cache.limbo_pending() {
+                    self.reclaim_now(&mut ctxs[idx]);
+                }
+            }
             atom += 1;
         }
+        self.qsbr.unregister(slot);
         self.exclusive.unregister();
         let wall = start.elapsed();
         let results = ctxs
@@ -938,8 +1184,13 @@ impl MachineCore {
     ) -> Option<VcpuOutcome> {
         if let Some((id, resume_at)) = cursor.take() {
             // Mid-block resume: no safepoint, no lookup — the vCPU is
-            // between two ops of an already-dispatched block.
-            let block = self.cache.block(id);
+            // between two ops of an already-dispatched block. The id is
+            // guaranteed live: the driver only announces quiescence when
+            // every cursor is empty, so a paused block cannot be freed.
+            let block = self
+                .cache
+                .block(id)
+                .expect("paused cursor pins its block against reclamation");
             return match interp::run_block_from(ctx, block, resume_at) {
                 Ok(interp::BlockRun::Done(next)) => {
                     ctx.cpu.pc = next;
@@ -961,6 +1212,7 @@ impl MachineCore {
         }
         let pc = ctx.cpu.pc;
         ctx.stats.dispatch_lookups += 1;
+        l1.sync(self.cache.version());
         let id = match l1.get(pc) {
             Some(id) => {
                 ctx.stats.l1_hits += 1;
@@ -977,7 +1229,12 @@ impl MachineCore {
                 }
             }
         };
-        let block = self.cache.block(id);
+        let Some(block) = self.cache.block(id) else {
+            // Retired between resolution and dereference (only possible
+            // via an invalidation on this same atom's robust hop): let
+            // the next atom retranslate through the synced lookup path.
+            return None;
+        };
         // Same engine-token observation as `step`: a region transaction
         // crossing a dispatch reads the shared dispatcher structures.
         let dispatch_result = match &mut ctx.txn {
@@ -1058,10 +1315,16 @@ impl MachineCore {
         let n = vcpus.len() as u32;
         let start = Instant::now();
         self.exclusive.register();
+        // Same single-slot scheme as lockstep: one thread, no cursors.
+        let slot = self.qsbr.register();
 
         let mut ctxs: Vec<ExecCtx<'_>> = vcpus
             .into_iter()
-            .map(|cpu| ExecCtx::new(cpu, self, n))
+            .map(|cpu| {
+                let mut ctx = ExecCtx::new(cpu, self, n);
+                ctx.qsbr_slot = slot;
+                ctx
+            })
             .collect();
         let mut l1s: Vec<L1Cache> = (0..ctxs.len()).map(|_| L1Cache::new()).collect();
         let mut outcomes: Vec<Option<VcpuOutcome>> = vec![None; ctxs.len()];
@@ -1141,6 +1404,7 @@ impl MachineCore {
                 }
             }
         }
+        self.qsbr.unregister(slot);
         self.exclusive.unregister();
         let wall = start.elapsed();
         let results = ctxs
@@ -1185,15 +1449,24 @@ impl MachineCore {
         }
     }
 
-    /// Number of blocks currently in the shared translation cache
-    /// (original blocks plus superblocks).
+    /// Number of block slots ever allocated in the shared translation
+    /// cache (original blocks plus superblocks, including retired ones —
+    /// arena ids are never reused).
     pub fn cached_blocks(&self) -> usize {
         self.cache.len()
     }
 
-    /// Number of tier-2 superblocks live in the cache (never evicted).
+    /// Number of tier-2 superblocks currently live in the cache.
     pub fn superblocks(&self) -> u64 {
         self.cache.superblock_count()
+    }
+
+    /// A point-in-time translation-cache occupancy snapshot: live
+    /// blocks and superblocks, arena footprint against the budget, and
+    /// the lifecycle counters (invalidations, flushes, reclamation) —
+    /// the data behind `adbt_run --stats` and watchdog dumps.
+    pub fn cache_occupancy(&self) -> CacheOccupancy {
+        self.cache.occupancy()
     }
 
     /// Translates (or fetches from cache) the block at `pc` and renders
@@ -1208,7 +1481,8 @@ impl MachineCore {
         // stats are dropped, so dumping never perturbs run counters.
         let mut ctx = ExecCtx::new(Vcpu::new(1, pc), self, 1);
         let id = self.lookup_or_translate(&mut ctx, pc)?;
-        Ok(adbt_ir::print_block(self.cache.block(id)))
+        let block = self.cache.block(id).expect("block just translated");
+        Ok(adbt_ir::print_block(block))
     }
 }
 
@@ -1238,6 +1512,12 @@ fn trap_outcome(ctx: &ExecCtx<'_>, trap: Trap) -> VcpuOutcome {
 /// no lock and touches no shared cache line.
 struct L1Cache {
     slots: Vec<Option<(u32, u32)>>,
+    /// Shared-cache invalidation version this L1 last synced with; a
+    /// mismatch (one retire batch anywhere) drops every entry, so a
+    /// retired id can never be served from here. Checked on the lookup
+    /// lane only — the chain-follow fast path is protected by link
+    /// revocation instead.
+    version: u32,
 }
 
 const L1_SIZE: usize = 1024;
@@ -1246,6 +1526,15 @@ impl L1Cache {
     fn new() -> L1Cache {
         L1Cache {
             slots: vec![None; L1_SIZE],
+            version: 0,
+        }
+    }
+
+    #[inline]
+    fn sync(&mut self, version: u32) {
+        if self.version != version {
+            self.slots.iter_mut().for_each(|slot| *slot = None);
+            self.version = version;
         }
     }
 

@@ -9,7 +9,7 @@ use crate::watchdog::VcpuBeat;
 use adbt_chaos::{ChaosSite, ChaosStream};
 use adbt_htm::{AbortReason, Txn};
 use adbt_ir::HelperId;
-use adbt_mmu::{Access, PageFault, Width};
+use adbt_mmu::{page_of, Access, FaultKind, PageFault, Width};
 use adbt_trace::{TraceHandle, TraceKind};
 use std::fmt;
 use std::sync::Arc;
@@ -137,6 +137,21 @@ pub enum FaultOutcome {
     Fatal,
 }
 
+/// How the translation cache's claim on a faulting store was settled
+/// (see [`ExecCtx::smc_settle`]). Internal to the SMC path.
+enum SmcClaim {
+    /// The page is not write-tracked, or permissions forbid the store
+    /// anyway: the fault belongs to the scheme handler.
+    NotOurs,
+    /// The store's page is no longer tracked (its last translation was
+    /// just retired): retry the access through the normal path.
+    Untracked,
+    /// Other live translations keep the page tracked: the caller must
+    /// complete the access via `translate_bypass`, in its real shape
+    /// (plain store, CAS, fused RMW).
+    Bypass,
+}
+
 /// Everything a running vCPU thread carries: architectural state, local
 /// statistics, machine services, and (for PICO-HTM) the open transaction
 /// spanning the LL→SC window.
@@ -214,6 +229,12 @@ pub struct ExecCtx<'m> {
     /// on commit (the region is atomic at its commit point), discarded
     /// on abort (speculative stores never became visible).
     pub(crate) txn_events: Vec<SchedEvent>,
+    /// This thread's QSBR slot for translation-cache reclamation, set by
+    /// the run-mode entry points. `usize::MAX` means "no slot": the ctx
+    /// never announces quiescence and never blocks a grace period
+    /// (scheduled mode keeps the slot on the driver — a paused cursor
+    /// must pin its block).
+    pub(crate) qsbr_slot: usize,
 }
 
 impl<'m> ExecCtx<'m> {
@@ -250,6 +271,7 @@ impl<'m> ExecCtx<'m> {
             record_events: false,
             events: Vec::new(),
             txn_events: Vec::new(),
+            qsbr_slot: usize::MAX,
         }
     }
 
@@ -722,6 +744,28 @@ impl<'m> ExecCtx<'m> {
                     return Ok(old);
                 }
                 Err(fault) => {
+                    // The SMC claim settles here, not in `handle_fault`:
+                    // the generic path would complete the access as a
+                    // plain store, corrupting the fused RMW's atomicity.
+                    if fault.kind == FaultKind::Protected {
+                        match self.smc_claim_checked(fault, &mut retries)? {
+                            Some(SmcClaim::Untracked) => continue,
+                            Some(SmcClaim::Bypass) => {
+                                let paddr = self
+                                    .machine
+                                    .space
+                                    .translate_bypass(vaddr, Width::Word)
+                                    .map_err(Trap::Fault)?;
+                                let old =
+                                    self.machine.space.mem().fetch_rmw_word(paddr, op, operand);
+                                if self.machine.htm_enabled {
+                                    self.machine.htm.notify_plain_store(paddr);
+                                }
+                                return Ok(old);
+                            }
+                            Some(SmcClaim::NotOurs) | None => {}
+                        }
+                    }
                     // Any resolved outcome retries the access (`Done`
                     // cannot express an RMW).
                     self.handle_fault(
@@ -765,6 +809,34 @@ impl<'m> ExecCtx<'m> {
                     return Ok(ok);
                 }
                 Err(fault) => {
+                    // The SMC claim settles here, not in `handle_fault`:
+                    // the generic path would complete the access as a
+                    // plain store, and a CAS reported as "failed" after
+                    // its value was stored anyway livelocks the guest's
+                    // retry loop.
+                    if fault.kind == FaultKind::Protected {
+                        match self.smc_claim_checked(fault, &mut retries)? {
+                            Some(SmcClaim::Untracked) => continue,
+                            Some(SmcClaim::Bypass) => {
+                                let paddr = self
+                                    .machine
+                                    .space
+                                    .translate_bypass(vaddr, Width::Word)
+                                    .map_err(Trap::Fault)?;
+                                let ok = self
+                                    .machine
+                                    .space
+                                    .mem()
+                                    .cas_word(paddr, expected, new)
+                                    .is_ok();
+                                if ok && self.machine.htm_enabled {
+                                    self.machine.htm.notify_plain_store(paddr);
+                                }
+                                return Ok(ok);
+                            }
+                            Some(SmcClaim::NotOurs) | None => {}
+                        }
+                    }
                     match self.handle_fault(
                         fault,
                         FaultAccess::Store {
@@ -810,6 +882,25 @@ impl<'m> ExecCtx<'m> {
             // page-protection schemes already use.
             self.stats.mprotect_ns += self.chaos_stall();
         }
+        // Self-modifying code first: a store faulting into a
+        // write-tracked code page is an *engine* event (the translation
+        // cache hearing about a guest write over translated code),
+        // resolved before any scheme sees the fault. Schemes only ever
+        // handle what remains after the tracking bit's claim is settled.
+        if fault.kind == FaultKind::Protected {
+            if let FaultAccess::Store { value, width } = access {
+                if let Some(outcome) = self.smc_store(fault.vaddr, value, width)? {
+                    *retries += 1;
+                    if *retries > self.machine.config.fault_retry_limit {
+                        return Err(Trap::Livelock {
+                            pc: self.cpu.pc,
+                            what: "page-fault retry storm",
+                        });
+                    }
+                    return Ok(outcome);
+                }
+            }
+        }
         let scheme = Arc::clone(&self.machine.scheme);
         match scheme.on_page_fault(self, fault, access) {
             FaultOutcome::Fatal => Err(Trap::Fault(fault)),
@@ -824,6 +915,189 @@ impl<'m> ExecCtx<'m> {
                 Ok(outcome)
             }
         }
+    }
+
+    /// Resolves a store that faulted on a write-tracked code page — the
+    /// SMC path. Retires every translation whose guest bytes overlap the
+    /// store (and, page-conservatively, superblocks stitched over the
+    /// page) under the stop-the-world window, then completes or retries
+    /// the store. Returns `Ok(None)` when the engine has no claim (page
+    /// not tracked, or ordinary permissions forbid the write too) so the
+    /// fault falls through to the scheme's handler.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Livelock`] if the machine halted while awaiting
+    /// exclusivity; [`Trap::HtmAbort`] if completing the store inside an
+    /// open region transaction aborts it.
+    fn smc_store(
+        &mut self,
+        vaddr: u32,
+        value: u32,
+        width: Width,
+    ) -> Result<Option<FaultOutcome>, Trap> {
+        match self.smc_settle(vaddr, width)? {
+            SmcClaim::NotOurs => Ok(None),
+            // The batch retired the page's last translation and untracked
+            // it: the plain store now succeeds on retry.
+            SmcClaim::Untracked => Ok(Some(FaultOutcome::Retry)),
+            SmcClaim::Bypass => {
+                // Other live translations keep the page tracked; complete
+                // the store by bypass so it cannot fault on the tracking
+                // bit again.
+                let paddr = self
+                    .machine
+                    .space
+                    .translate_bypass(vaddr, width)
+                    .map_err(Trap::Fault)?;
+                if let Some(txn) = &mut self.txn {
+                    if let Err(reason) = txn.store(self.machine.space.mem(), paddr, width, value) {
+                        self.txn = None;
+                        self.discard_txn_events();
+                        return Err(Trap::HtmAbort(reason));
+                    }
+                } else {
+                    self.machine.space.mem().store(paddr, width, value);
+                    if self.machine.htm_enabled {
+                        self.machine.htm.notify_plain_store(paddr);
+                    }
+                }
+                Ok(Some(FaultOutcome::Done))
+            }
+        }
+    }
+
+    /// [`ExecCtx::smc_settle`] plus the fault accounting and retry-storm
+    /// guard that `handle_fault` would otherwise provide — for the
+    /// atomic primitives, which settle the SMC claim before consulting
+    /// the scheme. Folds `NotOurs` into `None` so callers fall through
+    /// to the scheme handler (which does its own accounting).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Livelock`] on the retry-storm limit or a halted machine.
+    fn smc_claim_checked(
+        &mut self,
+        fault: PageFault,
+        retries: &mut u64,
+    ) -> Result<Option<SmcClaim>, Trap> {
+        match self.smc_settle(fault.vaddr, Width::Word)? {
+            SmcClaim::NotOurs => Ok(None),
+            claim => {
+                self.stats.page_faults += 1;
+                self.trace(TraceKind::PageFault, fault.vaddr, 0);
+                *retries += 1;
+                if *retries > self.machine.config.fault_retry_limit {
+                    return Err(Trap::Livelock {
+                        pc: self.cpu.pc,
+                        what: "page-fault retry storm",
+                    });
+                }
+                Ok(Some(claim))
+            }
+        }
+    }
+
+    /// Settles the translation cache's claim on a store that faulted on
+    /// `vaddr`'s page: retires overlapping translations under the
+    /// stop-the-world window and reports how the caller should complete
+    /// the access. The caller completes it rather than this function
+    /// because only the caller knows the access's real shape — a plain
+    /// store can be performed here, but a CAS or fused RMW performed as
+    /// a plain store would corrupt the guest's atomicity (the reason
+    /// [`ExecCtx::cas_word`] and [`ExecCtx::atomic_rmw`] settle the SMC
+    /// claim themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Livelock`] if the machine halted while awaiting
+    /// exclusivity.
+    fn smc_settle(&mut self, vaddr: u32, width: Width) -> Result<SmcClaim, Trap> {
+        let page = page_of(vaddr);
+        if !self.machine.space.write_tracked(page) {
+            return Ok(SmcClaim::NotOurs);
+        }
+        // A degraded region already holds the world stopped with this
+        // vCPU as the named holder; re-requesting exclusivity would
+        // self-deadlock. (`start_exclusive` handles the SC-window case
+        // the same way itself.)
+        let held_region = self.region_exclusive;
+        if !held_region {
+            self.start_exclusive()?;
+        }
+        let victims = self.machine.cache.victims_for_store(vaddr, width.bytes());
+        if victims.is_empty() {
+            // Code/data false sharing: the tracked page holds both
+            // translated code and unrelated data, and this store hit
+            // only data. Nothing to retire — the page stays tracked, so
+            // such stores keep paying the fault-and-bypass toll.
+            self.stats.smc_false_sharing += 1;
+        } else {
+            let epoch = self.machine.qsbr.begin_grace();
+            let summary = self.machine.cache.retire_batch(&victims, epoch);
+            for &p in &summary.untrack_pages {
+                self.machine.space.write_untrack(p);
+            }
+            self.stats.invalidations += 1;
+            self.stats.retired_blocks += summary.retired + summary.demoted;
+            self.trace(TraceKind::Invalidate, vaddr, victims[0]);
+            if self.record_events {
+                self.note_event(SchedEvent::Invalidate {
+                    tid: self.cpu.tid,
+                    addr: vaddr,
+                });
+            }
+        }
+        if !held_region {
+            self.end_exclusive();
+        }
+        // The tracking bit's claim is settled; if ordinary permissions
+        // forbid the write as well, a scheme also owns this fault (PST's
+        // protected pages) — hand it the remainder.
+        let allows = self
+            .machine
+            .space
+            .perms(page)
+            .is_some_and(|perms| perms.allows(Access::Store));
+        if !allows {
+            return Ok(SmcClaim::NotOurs);
+        }
+        if !self.machine.space.write_tracked(page) {
+            return Ok(SmcClaim::Untracked);
+        }
+        Ok(SmcClaim::Bypass)
+    }
+
+    /// Rolls the separately-rated chaos dice for an injected translation
+    /// invalidation ([`ChaosSite::Invalidate`]) — the storm mode that
+    /// exercises the cache lifecycle under load. Consumes no draw from
+    /// the shared stream when the storm rate is zero, so pre-existing
+    /// campaigns replay byte-identically.
+    #[inline]
+    pub(crate) fn roll_invalidate(&mut self) -> bool {
+        // Same suppression as `chaos_roll`: degraded rungs are the
+        // ladder's guaranteed-completion fallback.
+        if self.region_exclusive || self.sc_window {
+            return false;
+        }
+        let Some(stream) = &mut self.chaos else {
+            return false;
+        };
+        if !stream.roll_invalidate() {
+            return false;
+        }
+        self.stats.injected_faults += 1;
+        self.trace(TraceKind::Chaos, 0, ChaosSite::Invalidate as u32);
+        if let Some(plane) = &self.machine.chaos {
+            plane.record(ChaosSite::Invalidate);
+        }
+        if self.record_events {
+            self.note_event(SchedEvent::Chaos {
+                tid: self.cpu.tid,
+                site: ChaosSite::Invalidate,
+            });
+        }
+        true
     }
 
     /// Enters the machine's stop-the-world exclusive section, charging

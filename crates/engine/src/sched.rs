@@ -77,6 +77,10 @@ pub enum SchedEvent {
     ExclusiveExit { tid: u32 },
     /// The chaos plane injected a fault at `site` while `tid` ran.
     Chaos { tid: u32, site: ChaosSite },
+    /// A store by `tid` at `addr` invalidated translated code (SMC):
+    /// the overlapping translations were retired and will retranslate
+    /// against the patched bytes on their next dispatch.
+    Invalidate { tid: u32, addr: u32 },
 }
 
 /// Owns every yield point of a scheduled run: consulted once per atom

@@ -111,6 +111,22 @@ pub struct VcpuStats {
     /// Duplicate LL-origin hash-table marks coalesced by the
     /// promotion-time optimizer.
     pub opt_htable_coalesced: u64,
+    /// Invalidation batches this vCPU triggered: SMC stores over
+    /// translated code plus injected invalidation-storm events.
+    pub invalidations: u64,
+    /// Generational cache flushes this vCPU triggered under the
+    /// `cache_limit` memory budget.
+    pub flushes: u64,
+    /// Blocks this vCPU retired across invalidations and flushes
+    /// (original blocks plus demoted superblocks).
+    pub retired_blocks: u64,
+    /// Limbo blocks this vCPU physically freed after their QSBR grace
+    /// period elapsed.
+    pub reclaimed_blocks: u64,
+    /// Stores that faulted on a write-tracked code page but overlapped
+    /// no translated byte — code/data false sharing on a code page (the
+    /// SMC analogue of `false_sharing_faults`).
+    pub smc_false_sharing: u64,
 
     /// Nanoseconds spent waiting for + holding exclusive sections and
     /// parked at safepoints.
@@ -177,6 +193,11 @@ impl VcpuStats {
             opt_nzcv_killed,
             opt_const_folded,
             opt_htable_coalesced,
+            invalidations,
+            flushes,
+            retired_blocks,
+            reclaimed_blocks,
+            smc_false_sharing,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -221,6 +242,11 @@ impl VcpuStats {
         self.opt_nzcv_killed += opt_nzcv_killed;
         self.opt_const_folded += opt_const_folded;
         self.opt_htable_coalesced += opt_htable_coalesced;
+        self.invalidations += invalidations;
+        self.flushes += flushes;
+        self.retired_blocks += retired_blocks;
+        self.reclaimed_blocks += reclaimed_blocks;
+        self.smc_false_sharing += smc_false_sharing;
         self.exclusive_ns += exclusive_ns;
         self.mprotect_ns += mprotect_ns;
         self.lock_wait_ns += lock_wait_ns;

@@ -32,10 +32,13 @@ use adbt_trace::TraceKind;
 
 /// What the superblock builder decided.
 pub(crate) enum TierBuild {
-    /// A superblock was stitched (and optimized).
-    Built(Box<Block>, PassStats),
-    /// Not enough successor links have been traversed yet: reset the
-    /// heat and try again once the chain warms up.
+    /// A superblock was stitched (and optimized). Carries the ids of the
+    /// original blocks it covers, so publication can register the
+    /// superblock on every constituent code page for SMC invalidation.
+    Built(Box<Block>, Vec<u32>, PassStats),
+    /// Not enough successor links have been traversed yet (or a
+    /// constituent block was invalidated mid-walk): reset the heat and
+    /// try again once the chain warms up.
     Retry,
     /// The entry block can never head a superblock (indirect or
     /// service-call exit, un-rebasable temps): stop counting it.
@@ -188,7 +191,7 @@ fn rebase_temps(op: &Op, base: u16) -> Option<Op> {
         | Op::Window
         | Op::MonitorClear
         | Op::Boundary { .. }
-        | Op::Safepoint
+        | Op::Safepoint { .. }
         | Op::SideExit { .. } => op.clone(),
     })
 }
@@ -213,7 +216,11 @@ pub(crate) fn build_superblock(
         if ids.len() as u32 >= limit {
             break;
         }
-        let cur = cache.block(*ids.last().expect("non-empty"));
+        // A constituent retired by SMC mid-walk drops the whole attempt:
+        // the retranslated replacement will warm its own links.
+        let Some(cur) = cache.block(*ids.last().expect("non-empty")) else {
+            return TierBuild::Retry;
+        };
         if stop_at_llsc && cur.has_llsc {
             break;
         }
@@ -226,7 +233,9 @@ pub(crate) fn build_superblock(
         }
     }
     if ids.len() < 2 {
-        let entry_block = cache.block(entry);
+        let Some(entry_block) = cache.block(entry) else {
+            return TierBuild::Retry;
+        };
         // A self-looping block (tight `subs`/`bne` loop) is the hottest
         // shape there is: stitch it as a single-segment superblock so
         // the optimization pipeline still applies. Anything else
@@ -250,11 +259,17 @@ pub(crate) fn build_superblock(
     let mut guest_stores: u32 = 0;
     let mut has_llsc = false;
     for (k, &id) in ids.iter().enumerate() {
-        let seg = cache.block(id);
+        let Some(seg) = cache.block(id) else {
+            return TierBuild::Retry;
+        };
         if k > 0 {
             // Interior boundary: the safepoint bound block-granular
-            // dispatch provides, preserved per original block.
-            ops.push(Op::Safepoint);
+            // dispatch provides, preserved per original block. If an
+            // invalidation retires this superblock while a vCPU is
+            // parked here, execution deopts to the segment's entry PC.
+            ops.push(Op::Safepoint {
+                resume_pc: seg.guest_pc,
+            });
         }
         ops.push(Op::Boundary {
             insns: seg.guest_len,
@@ -273,7 +288,10 @@ pub(crate) fn build_superblock(
         guest_stores += seg.guest_stores;
         has_llsc |= seg.has_llsc;
         if k + 1 < ids.len() {
-            let next_pc = cache.block(ids[k + 1]).guest_pc;
+            let Some(next) = cache.block(ids[k + 1]) else {
+                return TierBuild::Retry;
+            };
+            let next_pc = next.guest_pc;
             match &seg.exit {
                 BlockExit::Jump(target) => debug_assert_eq!(*target, next_pc),
                 BlockExit::CondJump {
@@ -301,7 +319,10 @@ pub(crate) fn build_superblock(
         }
     }
 
-    let exit = cache.block(*ids.last().expect("non-empty")).exit.clone();
+    let Some(last_block) = cache.block(*ids.last().expect("non-empty")) else {
+        return TierBuild::Retry;
+    };
+    let exit = last_block.exit.clone();
     let passes = opt::optimize(
         &mut ops,
         &exit,
@@ -309,7 +330,9 @@ pub(crate) fn build_superblock(
             coalesce_htable_marks,
         },
     );
-    let entry_block = cache.block(entry);
+    let Some(entry_block) = cache.block(entry) else {
+        return TierBuild::Retry;
+    };
     TierBuild::Built(
         Box::new(Block {
             guest_pc: entry_block.guest_pc,
@@ -321,7 +344,9 @@ pub(crate) fn build_superblock(
             has_llsc,
             superblock: true,
             links: ExitLinks::default(),
+            invalidated: Default::default(),
         }),
+        ids,
         passes,
     )
 }
@@ -338,10 +363,18 @@ impl MachineCore {
             self.scheme.coalesce_htable_marks(),
             self.scheme.requires_htm(),
         ) {
-            TierBuild::Built(block, passes) => {
+            TierBuild::Built(block, ids, passes) => {
+                let footprint = crate::cache::block_footprint(&block);
+                if !self.cache.try_reserve(footprint) {
+                    // The budget is full: don't flush the cache to make
+                    // room for an optimization — stay block-granular and
+                    // retry once churn frees space.
+                    self.cache.retry_promotion_later(entry);
+                    return None;
+                }
                 let entry_pc = block.guest_pc;
                 let sid = self.cache.push_anonymous(*block);
-                self.cache.publish_superblock(entry, sid);
+                self.cache.publish_superblock(entry, sid, &ids);
                 ctx.stats.promotions += 1;
                 ctx.stats.opt_nzcv_killed += passes.nzcv_killed;
                 ctx.stats.opt_const_folded += passes.const_folded;
@@ -364,6 +397,7 @@ impl MachineCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::block_footprint;
     use adbt_ir::{AluOp, BlockBuilder, Cond};
 
     fn simple_block(pc: u32, exit: BlockExit) -> Block {
@@ -377,24 +411,35 @@ mod tests {
         b.finish(exit, 1)
     }
 
+    /// Reserve-then-insert, as the engine does it.
+    fn insert(cache: &TranslationCache, pc: u32, block: Block) -> u32 {
+        assert!(cache.try_reserve(block_footprint(&block)));
+        cache.insert(pc, block).id
+    }
+
+    fn link(cache: &TranslationCache, from: u32, to: u32) {
+        cache.block(from).unwrap().links.taken.set(to);
+    }
+
     #[test]
     fn stitches_a_two_block_loop() {
         let cache = TranslationCache::new();
-        let a = cache.insert(0x0, simple_block(0x0, BlockExit::Jump(0x4)));
-        let b = cache.insert(0x4, simple_block(0x4, BlockExit::Jump(0x0)));
-        cache.block(a).links.taken.set(b);
-        cache.block(b).links.taken.set(a);
-        let TierBuild::Built(sb, _) = build_superblock(&cache, a, 8, false, false) else {
+        let a = insert(&cache, 0x0, simple_block(0x0, BlockExit::Jump(0x4)));
+        let b = insert(&cache, 0x4, simple_block(0x4, BlockExit::Jump(0x0)));
+        link(&cache, a, b);
+        link(&cache, b, a);
+        let TierBuild::Built(sb, parts, _) = build_superblock(&cache, a, 8, false, false) else {
             panic!("expected Built");
         };
         assert!(sb.superblock);
+        assert_eq!(parts, vec![a, b], "constituent ids come back in order");
         assert_eq!(sb.guest_pc, 0x0);
         assert_eq!(sb.guest_len, 2);
         assert_eq!(sb.exit, BlockExit::Jump(0x0), "closes back to the entry");
         // Boundary, mov, Safepoint, Boundary, mov — and the second mov's
         // temp was rebased past the first segment's.
         assert!(matches!(sb.ops[0], Op::Boundary { insns: 1 }));
-        assert!(matches!(sb.ops[2], Op::Safepoint));
+        assert!(matches!(sb.ops[2], Op::Safepoint { resume_pc: 0x4 }));
         assert!(matches!(sb.ops[3], Op::Boundary { insns: 1 }));
         assert!(
             matches!(
@@ -422,8 +467,9 @@ mod tests {
             b: Src::Imm(1),
             set_flags: true,
         });
-        let body = cache.insert(0x0, simple_block(0x0, BlockExit::Jump(0x8)));
-        let latch_id = cache.insert(
+        let body = insert(&cache, 0x0, simple_block(0x0, BlockExit::Jump(0x8)));
+        let latch_id = insert(
+            &cache,
             0x8,
             latch.finish(
                 BlockExit::CondJump {
@@ -434,12 +480,12 @@ mod tests {
                 1,
             ),
         );
-        cache.block(body).links.taken.set(latch_id);
-        cache.block(latch_id).links.taken.set(body);
+        link(&cache, body, latch_id);
+        link(&cache, latch_id, body);
         // Start from the latch: backward taken leg is preferred, so the
         // trace is latch → body, guarded by a side exit on the latch's
         // *inverted* condition (leave when the loop is done).
-        let TierBuild::Built(sb, _) = build_superblock(&cache, latch_id, 8, false, false) else {
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, latch_id, 8, false, false) else {
             panic!("expected Built");
         };
         assert_eq!(sb.guest_pc, 0x8);
@@ -458,12 +504,13 @@ mod tests {
     #[test]
     fn unwarmed_links_defer_and_indirect_exits_never_promote() {
         let cache = TranslationCache::new();
-        let cold = cache.insert(0x100, simple_block(0x100, BlockExit::Jump(0x104)));
+        let cold = insert(&cache, 0x100, simple_block(0x100, BlockExit::Jump(0x104)));
         assert!(matches!(
             build_superblock(&cache, cold, 8, false, false),
             TierBuild::Retry
         ));
-        let dead_end = cache.insert(
+        let dead_end = insert(
+            &cache,
             0x200,
             simple_block(
                 0x200,
@@ -485,15 +532,15 @@ mod tests {
         let mut first = 0;
         for i in 0..6u32 {
             let pc = i * 4;
-            let id = cache.insert(pc, simple_block(pc, BlockExit::Jump(pc + 4)));
+            let id = insert(&cache, pc, simple_block(pc, BlockExit::Jump(pc + 4)));
             if let Some(p) = prev {
-                cache.block(p).links.taken.set(id);
+                link(&cache, p, id);
             } else {
                 first = id;
             }
             prev = Some(id);
         }
-        let TierBuild::Built(sb, _) = build_superblock(&cache, first, 3, false, false) else {
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, first, 3, false, false) else {
             panic!("expected Built");
         };
         assert_eq!(sb.guest_len, 3, "limit caps the stitch");
@@ -501,14 +548,14 @@ mod tests {
         // Mark the second block as LL/SC-bearing via a fresh cache where
         // block 1 carries the flag: stop_at_llsc ends the trace after it.
         let cache = TranslationCache::new();
-        let a = cache.insert(0x0, simple_block(0x0, BlockExit::Jump(0x4)));
+        let a = insert(&cache, 0x0, simple_block(0x0, BlockExit::Jump(0x4)));
         let mut llsc = BlockBuilder::new(0x4);
         llsc.mark_llsc();
-        let b = cache.insert(0x4, llsc.finish(BlockExit::Jump(0x8), 1));
-        let c = cache.insert(0x8, simple_block(0x8, BlockExit::Jump(0xc)));
-        cache.block(a).links.taken.set(b);
-        cache.block(b).links.taken.set(c);
-        let TierBuild::Built(sb, _) = build_superblock(&cache, a, 8, false, true) else {
+        let b = insert(&cache, 0x4, llsc.finish(BlockExit::Jump(0x8), 1));
+        let c = insert(&cache, 0x8, simple_block(0x8, BlockExit::Jump(0xc)));
+        link(&cache, a, b);
+        link(&cache, b, c);
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, a, 8, false, true) else {
             panic!("expected Built");
         };
         assert_eq!(

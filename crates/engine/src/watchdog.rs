@@ -13,6 +13,7 @@
 //! Consequently `watchdog_ms` must comfortably exceed the longest
 //! legitimate stop-the-world pause of the chosen scheme.
 
+use crate::cache::CacheOccupancy;
 use adbt_trace::TraceEvent;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
@@ -54,6 +55,10 @@ pub struct WatchdogDump {
     /// the moment the watchdog fired — what each thread was *doing* when
     /// the machine stopped. Empty when tracing is off.
     pub ring_events: Vec<(u32, Vec<TraceEvent>)>,
+    /// Translation-cache occupancy at the moment the watchdog fired:
+    /// a stall during an invalidation storm shows up here as limbo that
+    /// never drains or a footprint pinned at the budget.
+    pub occupancy: Option<CacheOccupancy>,
 }
 
 impl WatchdogDump {
@@ -68,6 +73,26 @@ impl WatchdogDump {
             }
         }
         self.ring_events = ring_events;
+    }
+
+    /// Attaches a translation-cache occupancy snapshot to the dump, both
+    /// structured and rendered into the text report.
+    pub fn attach_occupancy(&mut self, occupancy: CacheOccupancy) {
+        self.report.push_str(&format!(
+            "translation cache: {} live blocks, {} superblocks, {} arena bytes \
+             (peak {}), {} invalidations, {} flushes, {} retired, {} reclaimed \
+             ({} whole segments)\n",
+            occupancy.live_blocks,
+            occupancy.live_superblocks,
+            occupancy.arena_bytes,
+            occupancy.peak_bytes,
+            occupancy.invalidations,
+            occupancy.flushes,
+            occupancy.retired_blocks,
+            occupancy.reclaimed_blocks,
+            occupancy.reclaimed_segments,
+        ));
+        self.occupancy = Some(occupancy);
     }
 }
 
@@ -107,6 +132,7 @@ pub fn sample(beats: &[std::sync::Arc<VcpuBeat>], last: &mut [u64]) -> Option<Wa
             stalled_tids: stalled,
             report,
             ring_events: Vec::new(),
+            occupancy: None,
         })
     } else {
         None

@@ -1,41 +1,82 @@
 use crate::{Cond, Op, Slot, Src};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// The most arguments a runtime helper can take ([`Op::Helper`]); the
 /// interpreter marshals arguments through a fixed buffer of this size,
 /// so [`BlockBuilder::push`] rejects longer lists at build time.
 pub const MAX_HELPER_ARGS: usize = 8;
 
-/// A write-once successor link on a cached block's exit: the arena id
-/// of the next block, patched by the first vCPU to traverse the edge.
-/// Sound only because the code cache is append-only (no self-modifying
-/// guest code): a patched id never goes stale.
+/// Sentinel meaning "edge not patched" — arena ids never reach
+/// `u32::MAX` (the cache caps out orders of magnitude earlier).
+const UNPATCHED: u32 = u32::MAX;
+
+/// A revocable successor link on a cached block's exit: the arena id of
+/// the next block, patched by the first vCPU to traverse the edge and
+/// *revoked* when the target is invalidated (self-modifying code, cache
+/// flush). A revoked link reads as unpatched, sending the next
+/// traversal back through the PC index — which no longer maps the stale
+/// target — and may then be re-patched to the fresh translation.
+///
+/// Patching races are benign: all concurrent patchers of a live edge
+/// store the id the PC index maps the target to, and revocation runs
+/// only inside stop-the-world windows, so a patch racing a revoke
+/// cannot happen. `set` still uses a compare-exchange from the sentinel
+/// so the first writer wins — later writers with the *same* id are
+/// no-ops and a stale writer cannot clobber a re-patched edge.
 ///
 /// Links are identity-free metadata of the *cache entry*, not of the
 /// translated code: `Clone` yields a fresh unpatched link and equality
 /// ignores patch state, so two blocks compare equal iff their code
 /// does.
-#[derive(Debug, Default)]
-pub struct ChainLink(OnceLock<u32>);
+#[derive(Debug)]
+pub struct ChainLink(AtomicU32);
 
 impl ChainLink {
     /// Creates an unpatched link.
     pub fn new() -> ChainLink {
-        ChainLink::default()
+        ChainLink(AtomicU32::new(UNPATCHED))
     }
 
-    /// The linked successor's cache id, if the edge has been traversed.
+    /// The linked successor's cache id, if the edge is currently
+    /// patched.
     #[inline]
     pub fn get(&self) -> Option<u32> {
-        self.0.get().copied()
+        match self.0.load(Ordering::Acquire) {
+            UNPATCHED => None,
+            id => Some(id),
+        }
     }
 
-    /// Patches the link; the first writer wins and later writes are
-    /// ignored (all writers would store the same id — the cache maps
-    /// each guest PC to one id).
+    /// Patches the link; the first writer since the last revocation
+    /// wins and later writes are ignored.
     #[inline]
     pub fn set(&self, id: u32) {
-        let _ = self.0.set(id);
+        let _ = self
+            .0
+            .compare_exchange(UNPATCHED, id, Ordering::Release, Ordering::Relaxed);
+    }
+
+    /// Revokes the link unconditionally; the next traversal goes back
+    /// through the PC index. Callers run inside a stop-the-world window.
+    #[inline]
+    pub fn revoke(&self) {
+        self.0.store(UNPATCHED, Ordering::Release);
+    }
+
+    /// Revokes the link only if it still points at `victim` — the edge
+    /// index may hold stale registrations for edges that were already
+    /// revoked and re-patched to a newer translation.
+    #[inline]
+    pub fn revoke_if(&self, victim: u32) {
+        let _ = self
+            .0
+            .compare_exchange(victim, UNPATCHED, Ordering::Release, Ordering::Relaxed);
+    }
+}
+
+impl Default for ChainLink {
+    fn default() -> ChainLink {
+        ChainLink::new()
     }
 }
 
@@ -52,6 +93,50 @@ impl PartialEq for ChainLink {
 }
 
 impl Eq for ChainLink {}
+
+/// A one-way invalidation flag on a cached block, raised (inside a
+/// stop-the-world window) when the block's guest code is overwritten or
+/// the cache is flushed. Interior superblock safepoints check it after
+/// a park so a vCPU resuming inside a stale superblock deopts to the
+/// block tier instead of finishing stale stitched code.
+///
+/// Like [`ChainLink`], this is cache-entry metadata, not translated
+/// code: `Clone` yields a fresh (clear) flag and equality ignores it.
+#[derive(Debug, Default)]
+pub struct InvalidFlag(AtomicBool);
+
+impl InvalidFlag {
+    /// Creates a clear flag.
+    pub fn new() -> InvalidFlag {
+        InvalidFlag::default()
+    }
+
+    /// Whether the block has been invalidated.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Raises the flag. Callers run inside a stop-the-world window.
+    #[inline]
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+impl Clone for InvalidFlag {
+    fn clone(&self) -> InvalidFlag {
+        InvalidFlag::default()
+    }
+}
+
+impl PartialEq for InvalidFlag {
+    fn eq(&self, _: &InvalidFlag) -> bool {
+        true
+    }
+}
+
+impl Eq for InvalidFlag {}
 
 /// The successor links of a block's exit: `taken` serves
 /// [`BlockExit::Jump`] and the taken leg of [`BlockExit::CondJump`];
@@ -128,6 +213,9 @@ pub struct Block {
     /// Per-exit successor links, patched on first traversal by the
     /// dispatch loop (ignored by `Clone`/`PartialEq`; see [`ChainLink`]).
     pub links: ExitLinks,
+    /// Invalidation flag, raised when the block's guest code is
+    /// overwritten (ignored by `Clone`/`PartialEq`; see [`InvalidFlag`]).
+    pub invalidated: InvalidFlag,
 }
 
 /// Incremental builder used by the frontend and by scheme lowering hooks.
@@ -255,6 +343,7 @@ impl BlockBuilder {
             has_llsc: self.has_llsc,
             superblock: false,
             links: ExitLinks::default(),
+            invalidated: InvalidFlag::default(),
         }
     }
 }
@@ -331,6 +420,34 @@ mod tests {
         // Clone produced a fresh, unpatched link; blocks still compare
         // equal because equality ignores link state.
         assert_eq!(b.links.taken.get(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn revoked_links_read_unpatched_and_repatch() {
+        let link = ChainLink::new();
+        link.set(3);
+        assert_eq!(link.get(), Some(3));
+        link.revoke();
+        assert_eq!(link.get(), None);
+        // After revocation the edge is patchable again.
+        link.set(5);
+        assert_eq!(link.get(), Some(5));
+        // Conditional revocation only fires on the named victim.
+        link.revoke_if(4);
+        assert_eq!(link.get(), Some(5));
+        link.revoke_if(5);
+        assert_eq!(link.get(), None);
+    }
+
+    #[test]
+    fn invalid_flag_is_sticky_and_ignored_by_eq_and_clone() {
+        let a = BlockBuilder::new(0).finish(BlockExit::Jump(4), 1);
+        let b = a.clone();
+        assert!(!a.invalidated.is_set());
+        a.invalidated.set();
+        assert!(a.invalidated.is_set());
+        assert!(!b.invalidated.is_set());
         assert_eq!(a, b);
     }
 

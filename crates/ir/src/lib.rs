@@ -30,7 +30,9 @@ mod op;
 pub mod opt;
 mod printer;
 
-pub use block::{Block, BlockBuilder, BlockExit, ChainLink, ExitLinks, MAX_HELPER_ARGS};
+pub use block::{
+    Block, BlockBuilder, BlockExit, ChainLink, ExitLinks, InvalidFlag, MAX_HELPER_ARGS,
+};
 pub use op::{HelperId, Op, RmwOp, Slot, Src};
 pub use printer::print_block;
 

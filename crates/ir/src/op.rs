@@ -253,7 +253,17 @@ pub enum Op {
     /// every interior original-block boundary so a superblock never
     /// delays an exclusive requester longer than one original block —
     /// the same bound block-granular dispatch provides.
-    Safepoint,
+    ///
+    /// `resume_pc` is the guest address of the original block the
+    /// safepoint opens. If the superblock is invalidated while this
+    /// vCPU is parked at the poll (a stop-the-world window is exactly
+    /// where invalidation runs), execution deopts here and resumes at
+    /// `resume_pc` in the block-granular tier instead of finishing the
+    /// stale stitched code.
+    Safepoint {
+        /// Guest address block-granular dispatch resumes at on deopt.
+        resume_pc: u32,
+    },
     /// Superblock-only: a deopt side exit guarding an interior
     /// conditional branch. When `cond` holds on the current flags,
     /// execution leaves the superblock at `target` and control returns

@@ -52,7 +52,7 @@ fn written_slot(op: &Op) -> Option<Slot> {
         | Op::Window
         | Op::MonitorClear
         | Op::Boundary { .. }
-        | Op::Safepoint
+        | Op::Safepoint { .. }
         | Op::SideExit { .. } => None,
     }
 }

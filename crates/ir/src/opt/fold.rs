@@ -187,7 +187,7 @@ pub fn fold_constants(ops: &mut [Op]) -> u64 {
             | Op::Window
             | Op::MonitorClear
             | Op::Boundary { .. }
-            | Op::Safepoint
+            | Op::Safepoint { .. }
             | Op::SideExit { .. } => {}
         }
         if changed {

@@ -160,7 +160,7 @@ pub fn kill_dead_nzcv(ops: &mut Vec<Op>, exit: &BlockExit) -> u64 {
             | Op::MonitorClear
             | Op::AtomicRmw { .. }
             | Op::Boundary { .. }
-            | Op::Safepoint => {}
+            | Op::Safepoint { .. } => {}
         }
     }
     // `remove` is in descending index order, so each removal leaves the

@@ -117,7 +117,7 @@ fn print_op(op: &Op) -> String {
             operand,
         } => format!("atomic_{op:?} {dst}, [{addr}], {operand}").to_lowercase(),
         Op::Boundary { insns } => format!("boundary ({insns} insns)"),
-        Op::Safepoint => "safepoint".to_string(),
+        Op::Safepoint { resume_pc } => format!("safepoint (resume {resume_pc:#x})"),
         Op::SideExit { cond, target } => {
             format!("side_exit if {cond:?} -> {target:#x}").to_lowercase()
         }
@@ -187,7 +187,7 @@ mod tests {
         b.push(Op::Yield);
         b.push(Op::Window);
         b.push(Op::Boundary { insns: 3 });
-        b.push(Op::Safepoint);
+        b.push(Op::Safepoint { resume_pc: 0x40 });
         b.push(Op::SideExit {
             cond: crate::Cond::Ne,
             target: 0x40,
@@ -208,7 +208,7 @@ mod tests {
             "yield",
             "window",
             "boundary (3 insns)",
-            "safepoint",
+            "safepoint (resume 0x40)",
             "side_exit if ne -> 0x40",
             "-> jump 0x4",
         ] {

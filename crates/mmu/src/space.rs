@@ -81,8 +81,12 @@ pub struct SpaceConfig {
 //   [31:0]  frame number
 //   [34:32] permission bits
 //   [40]    mapped flag
+//   [41]    write-track flag (SMC detection: stores fault even when
+//           permissions allow them, so the translation cache can
+//           invalidate blocks backed by this page)
 const ENTRY_PERM_SHIFT: u64 = 32;
 const ENTRY_MAPPED: u64 = 1 << 40;
+const ENTRY_TRACKED: u64 = 1 << 41;
 
 /// A paged virtual address space over a [`GuestMemory`].
 ///
@@ -200,7 +204,11 @@ impl AddressSpace {
             });
         }
         let perms = Perms::from_bits((bits >> ENTRY_PERM_SHIFT) as u8);
-        if !perms.allows(access) {
+        // Write-tracked pages fault on *every* store regardless of
+        // permissions — that is how the translation cache hears about
+        // guest writes into translated code. Same single atomic load as
+        // the permission check, so untracked pages pay nothing.
+        if !perms.allows(access) || (matches!(access, Access::Store) && bits & ENTRY_TRACKED != 0) {
             return Err(PageFault {
                 vaddr,
                 access,
@@ -313,6 +321,52 @@ impl AddressSpace {
                 (bits & !(7u64 << ENTRY_PERM_SHIFT)) | ((perms.bits() as u64) << ENTRY_PERM_SHIFT);
             match entry.compare_exchange_weak(bits, new_bits, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(old) => return Some(Perms::from_bits((old >> ENTRY_PERM_SHIFT) as u8)),
+                Err(actual) => bits = actual,
+            }
+        }
+    }
+
+    /// Marks a mapped page write-tracked: every subsequent store to it
+    /// faults [`FaultKind::Protected`] even if permissions allow
+    /// writing, until [`AddressSpace::write_untrack`] clears the mark.
+    /// The translation cache tracks every page backing translated code
+    /// this way so guest self-modification raises an invalidation event
+    /// instead of silently racing stale translations. Returns `false`
+    /// if the page is unmapped or out of range.
+    pub fn write_track(&self, page: u32) -> bool {
+        self.set_track(page, true)
+    }
+
+    /// Clears a page's write-track mark; see
+    /// [`AddressSpace::write_track`]. Returns `false` if the page is
+    /// unmapped or out of range.
+    pub fn write_untrack(&self, page: u32) -> bool {
+        self.set_track(page, false)
+    }
+
+    /// Whether a page is currently write-tracked.
+    pub fn write_tracked(&self, page: u32) -> bool {
+        let want = ENTRY_MAPPED | ENTRY_TRACKED;
+        self.entry(page)
+            .is_some_and(|e| e.load(Ordering::SeqCst) & want == want)
+    }
+
+    fn set_track(&self, page: u32, tracked: bool) -> bool {
+        let Some(entry) = self.entry(page) else {
+            return false;
+        };
+        let mut bits = entry.load(Ordering::SeqCst);
+        loop {
+            if bits & ENTRY_MAPPED == 0 {
+                return false;
+            }
+            let new_bits = if tracked {
+                bits | ENTRY_TRACKED
+            } else {
+                bits & !ENTRY_TRACKED
+            };
+            match entry.compare_exchange_weak(bits, new_bits, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
                 Err(actual) => bits = actual,
             }
         }
@@ -521,6 +575,47 @@ mod tests {
             let _ = writer.join().unwrap();
         });
         assert!(s.store(addr, Width::Word, 1).is_ok());
+    }
+
+    #[test]
+    fn write_tracked_pages_fault_stores_but_not_loads_or_fetches() {
+        let s = space();
+        let addr = PAGE_SIZE + 0x20;
+        s.store(addr, Width::Word, 11).unwrap();
+        assert!(!s.write_tracked(1));
+        assert!(s.write_track(1));
+        assert!(s.write_tracked(1));
+        // Permissions still read RWX — tracking is orthogonal.
+        assert_eq!(s.perms(1), Some(Perms::RWX));
+        assert!(s.load(addr, Width::Word).is_ok());
+        assert!(s.translate(addr, Access::Fetch, Width::Word).is_ok());
+        let fault = s.store(addr, Width::Word, 12).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Protected);
+        assert_eq!(fault.access, Access::Store);
+        // The privileged bypass path ignores tracking (the fault
+        // handler completes the store after invalidating).
+        assert!(s.translate_bypass(addr, Width::Word).is_ok());
+        // Untracking restores plain stores.
+        assert!(s.write_untrack(1));
+        assert!(!s.write_tracked(1));
+        assert!(s.store(addr, Width::Word, 13).is_ok());
+        assert_eq!(s.load(addr, Width::Word).unwrap(), 13);
+    }
+
+    #[test]
+    fn tracking_survives_protect_and_rejects_unmapped_pages() {
+        let s = space();
+        assert!(s.write_track(2));
+        // A permission change must not clobber the track bit (both
+        // mutate the same entry with CAS loops).
+        s.protect(2, Perms::READ | Perms::WRITE);
+        assert!(s.write_tracked(2));
+        let fault = s.store(2 * PAGE_SIZE, Width::Word, 1).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Protected);
+        // Unmapped and out-of-range pages cannot be tracked.
+        assert!(!s.write_track(4));
+        assert!(!s.write_tracked(4));
+        assert!(!s.write_track(1000));
     }
 
     #[test]

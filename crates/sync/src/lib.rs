@@ -8,6 +8,10 @@
 //! * `try_lock()` returning `Option`;
 //! * a [`Condvar`] whose `wait` takes `&mut MutexGuard`.
 //!
+//! It also hosts the hand-rolled quiescent-state reclamation scheme
+//! ([`epoch::Qsbr`]) the translation-cache lifecycle uses to free
+//! retired blocks only after every vCPU has passed a safepoint.
+//!
 //! # Poisoning policy
 //!
 //! A `std::sync` lock is *poisoned* when a holder panics; every later
@@ -24,6 +28,8 @@
 //! Only behavior the engine relies on is reproduced; fairness and
 //! micro-contention characteristics are whatever `std::sync` provides
 //! on the host.
+
+pub mod epoch;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};

@@ -105,11 +105,22 @@ pub enum TraceKind {
     /// block-granular tier; `addr` is the resume pc, `value` the
     /// superblock's entry pc.
     Deopt = 23,
+    /// A translated block was invalidated (SMC store, chaos storm);
+    /// `addr` is the victim's guest pc, `value` its cache id.
+    Invalidate = 24,
+    /// A cache-pressure flush pass retired a batch of blocks; `addr` is
+    /// the number of blocks retired, `value` the number of superblocks
+    /// demoted.
+    Flush = 25,
+    /// Epoch reclamation freed retired translations after a grace
+    /// period; `addr` is the number of blocks freed, `value` the number
+    /// of fully-reclaimed arena segments so far.
+    Reclaim = 26,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order (used by decode and tests).
-    pub const ALL: [TraceKind; 23] = [
+    pub const ALL: [TraceKind; 26] = [
         TraceKind::LlIssue,
         TraceKind::ScOk,
         TraceKind::ScFail,
@@ -133,6 +144,9 @@ impl TraceKind {
         TraceKind::GuestStore,
         TraceKind::Promote,
         TraceKind::Deopt,
+        TraceKind::Invalidate,
+        TraceKind::Flush,
+        TraceKind::Reclaim,
     ];
 
     /// The short name exporters print (`Perfetto` track-event names).
@@ -161,6 +175,9 @@ impl TraceKind {
             TraceKind::GuestStore => "store",
             TraceKind::Promote => "promote",
             TraceKind::Deopt => "deopt",
+            TraceKind::Invalidate => "invalidate",
+            TraceKind::Flush => "flush",
+            TraceKind::Reclaim => "reclaim",
         }
     }
 

@@ -27,6 +27,21 @@
 //! * [`Litmus::AbaStack`] — a two-thread, two-node instance of the §IV-A
 //!   lock-free stack: the victim is descheduled mid-pop while the
 //!   attacker pops and re-pushes the same node.
+//!
+//! The SMC (self-modifying code) trio exercises the translation-cache
+//! lifecycle rather than the atomicity schemes, and is expected *clean*
+//! on every scheme — a violation would mean a stale translation survived
+//! an invalidation:
+//!
+//! * [`Litmus::SmcSelf`] — a thread overwrites an instruction in its own
+//!   loop between iterations; the patched semantics must be observed on
+//!   the next pass (exit code 8, deterministically, in every mode).
+//! * [`Litmus::SmcCross`] — one thread patches another thread's loop
+//!   body; the victim's iterations are bounded, so every schedule
+//!   terminates whether the patch lands early, late, or never.
+//! * [`Litmus::SmcSuper`] — the patch lands inside a hot two-block loop
+//!   (the shape tiering stitches into a superblock), forcing demotion
+//!   back to the block-granular tier when tiering is on.
 
 use crate::stack::{self, StackConfig};
 
@@ -39,6 +54,12 @@ pub enum Litmus {
     StoreWindow,
     /// The lock-free stack, miniature (2 threads, 2 nodes, 1 op each).
     AbaStack,
+    /// A thread stores over its own translated loop body (SMC).
+    SmcSelf,
+    /// A thread patches *another* thread's translated loop body (SMC).
+    SmcCross,
+    /// The patch lands inside a promotable hot loop (SMC + tiering).
+    SmcSuper,
 }
 
 /// A generated litmus program: source text plus per-vCPU entry points.
@@ -54,7 +75,14 @@ pub struct LitmusProgram {
 
 impl Litmus {
     /// Every litmus, in report order.
-    pub const ALL: [Litmus; 3] = [Litmus::AbaLlsc, Litmus::StoreWindow, Litmus::AbaStack];
+    pub const ALL: [Litmus; 6] = [
+        Litmus::AbaLlsc,
+        Litmus::StoreWindow,
+        Litmus::AbaStack,
+        Litmus::SmcSelf,
+        Litmus::SmcCross,
+        Litmus::SmcSuper,
+    ];
 
     /// The litmus' report/CLI name.
     pub const fn name(self) -> &'static str {
@@ -62,6 +90,9 @@ impl Litmus {
             Litmus::AbaLlsc => "aba_llsc",
             Litmus::StoreWindow => "store_window",
             Litmus::AbaStack => "aba_stack",
+            Litmus::SmcSelf => "smc_self",
+            Litmus::SmcCross => "smc_cross",
+            Litmus::SmcSuper => "smc_super",
         }
     }
 
@@ -92,6 +123,18 @@ impl Litmus {
                 })
                 .source,
                 entries: vec![None, None],
+            },
+            Litmus::SmcSelf => LitmusProgram {
+                source: SMC_SELF.to_string(),
+                entries: vec![Some("patcher"), Some("bystander")],
+            },
+            Litmus::SmcCross => LitmusProgram {
+                source: SMC_CROSS.to_string(),
+                entries: vec![Some("victim"), Some("patcher")],
+            },
+            Litmus::SmcSuper => LitmusProgram {
+                source: SMC_SUPER.to_string(),
+                entries: vec![Some("hot"), Some("bystander")],
             },
         }
     }
@@ -159,6 +202,105 @@ const STORE_WINDOW: &str = r#"
         .align 4096
     x:
         .word 100
+"#;
+
+/// Store-to-own-code: the patcher runs its loop body once, overwrites
+/// the body's first instruction with the donor instruction (a stash-copy
+/// — `ldr` the donor's encoded bytes, `str` them over the target, so the
+/// program never hard-codes an encoding), and loops back. The second
+/// iteration must execute the patched instruction: exit code 1 + 7 = 8,
+/// the same in threaded multi-instruction blocks (the store retires the
+/// block it sits in; the stale tail finishes, the re-entry retranslates)
+/// and in the checker's single-instruction blocks.
+const SMC_SELF: &str = r#"
+    patcher:
+        mov   r0, #0
+        mov   r3, #0
+        mov32 r5, ppatch
+        mov32 r6, pdonor
+    ploop:
+    ppatch:
+        add   r0, r0, #1        ; patched to: add r0, r0, #7
+        add   r3, r3, #1
+        cmp   r3, #2
+        beq   pdone
+        ldr   r2, [r6]
+        str   r2, [r5]          ; SMC: store over our own loop body
+        b     ploop
+    pdone:
+        svc   #0                ; exit 8 iff the patch was honored
+
+    bystander:
+        mov   r0, #0
+        svc   #0
+
+    pdonor:
+        add   r0, r0, #7
+"#;
+
+/// Cross-vCPU code patch: the patcher rewrites the victim's loop body
+/// while the victim iterates a *bounded* number of times, so every
+/// schedule terminates. The victim's exit code counts how many
+/// iterations ran after the patch landed (0..=6) — any value is legal;
+/// what must never happen is a stale translation executing after its
+/// invalidation, which the oracle-clean verdict plus the engine's
+/// differential tests pin down.
+const SMC_CROSS: &str = r#"
+    victim:
+        mov   r0, #0
+        mov   r3, #6
+    vloop:
+    vpatch:
+        add   r0, r0, #0        ; patched to: add r0, r0, #1
+        subs  r3, r3, #1
+        bne   vloop
+        svc   #0                ; exits 0..=6 depending on patch timing
+
+    patcher:
+        mov32 r5, vpatch
+        mov32 r6, vdonor
+        ldr   r2, [r6]
+        str   r2, [r5]          ; SMC: patch another vCPU's code
+        mov   r0, #0
+        svc   #0
+
+    vdonor:
+        add   r0, r0, #1
+"#;
+
+/// Patch inside a hot loop: eight iterations of a two-block loop (body +
+/// latch, the shape tiering stitches into a superblock), with the latch
+/// instruction patched when four iterations remain. With the default
+/// translation-block size: four pre-patch latch passes add 1 each, the
+/// patching pass still runs its already-translated stale latch (+1), and
+/// the three remaining passes run the retranslated latch (+3 each) —
+/// exit 4 + 1 + 9 = 14. A stale superblock surviving the patch (no
+/// demotion) would keep adding 1 and exit below 14.
+const SMC_SUPER: &str = r#"
+    hot:
+        mov   r0, #0
+        mov   r3, #8
+        mov32 r5, spatch
+        mov32 r6, sdonor
+    sloop:
+        add   r1, r1, #1        ; loop body: its own translation block
+        cmp   r3, #4
+        bne   sskip
+        ldr   r2, [r6]
+        str   r2, [r5]          ; SMC: patch the latch mid-loop
+    sskip:
+    spatch:
+        add   r0, r0, #1        ; patched to: add r0, r0, #3
+        subs  r3, r3, #1
+        bne   sloop
+        svc   #0
+
+    bystander:
+        mov   r0, #0
+        svc   #0
+
+    sdonor:
+        add   r0, r0, #3
 "#;
 
 #[cfg(test)]

@@ -138,6 +138,13 @@ fn assert_counter_invariants(kind: SchemeKind, run: &StackRun) {
         ("opt_nzcv_killed", |c| c.opt_nzcv_killed),
         ("opt_const_folded", |c| c.opt_const_folded),
         ("opt_htable_coalesced", |c| c.opt_htable_coalesced),
+        // Translation-cache lifecycle counters obey the same merge
+        // discipline as everything else.
+        ("invalidations", |c| c.invalidations),
+        ("flushes", |c| c.flushes),
+        ("retired_blocks", |c| c.retired_blocks),
+        ("reclaimed_blocks", |c| c.reclaimed_blocks),
+        ("smc_false_sharing", |c| c.smc_false_sharing),
     ] {
         let merged = field(s);
         assert_eq!(merged, sum(field), "{kind}: merged {name} ≠ per-vCPU sum");
@@ -278,6 +285,42 @@ fn threaded_sc_storm_terminates_without_watchdog() {
         "hst: corrupted under storm-rate injection — {:?}",
         run.verdict
     );
+}
+
+/// Invalidation storm: the separately-rated `ChaosSite::Invalidate`
+/// channel retires the executing vCPU's translations at dispatch
+/// boundaries, so every scheme continuously retranslates while the base
+/// chaos rate injects its usual SC failures, aborts, and stalls. The
+/// run must terminate cleanly on all eight schemes (the armed watchdog
+/// converts a lifecycle livelock into a failing outcome), must actually
+/// invalidate, and must not corrupt the stack.
+#[test]
+fn invalidation_storm_soak_terminates_cleanly() {
+    for kind in SchemeKind::ALL {
+        let config = MachineConfig {
+            chaos: Some(ChaosCfg::new(SEED, RATE).with_invalidate(0.05)),
+            watchdog_ms: 10_000,
+            // Tiering on: storm invalidations must also demote live
+            // superblocks without stranding a vCPU.
+            tier_threshold: 16,
+            superblock_limit: 8,
+            ..MachineConfig::default()
+        };
+        let run = run_stack_with(kind, 4, stack_config(300), config, None).unwrap();
+        assert_clean_outcomes(kind, &run);
+        assert_counter_invariants(kind, &run);
+        assert!(
+            run.report.stats.invalidations > 0,
+            "{kind}: a 5% storm rate invalidated nothing — the soak is vacuous"
+        );
+        if kind != SchemeKind::PicoCas {
+            assert!(
+                !structurally_corrupted(&run),
+                "{kind}: corrupted under invalidation storm — {:?}",
+                run.verdict
+            );
+        }
+    }
 }
 
 /// Chaos off is really off: the default config reports no chaos

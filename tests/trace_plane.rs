@@ -171,6 +171,102 @@ fn watchdog_dump_includes_ring_events_per_stalled_vcpu() {
     }
 }
 
+/// The translation-cache lifecycle flows through the recorder: a
+/// self-patching prologue emits `Invalidate`, and a cache-limited churn
+/// epilogue emits `Flush` and `Reclaim` — and the rendered JSON (with
+/// all three kinds on the timeline) still validates.
+#[test]
+fn lifecycle_events_flow_through_the_recorder_and_validator() {
+    // Prologue: patch our own loop body once (SMC → Invalidate), then
+    // run a block chain too large for a segment-sized cache budget three
+    // times (pressure → Flush, grace expiry → Reclaim).
+    let mut source = String::from(
+        "    mov   r3, #0\n\
+         \x20   mov32 r5, patch\n\
+         \x20   mov32 r6, donor\n\
+         ploop:\n\
+         patch:\n\
+         \x20   add   r1, r1, #1\n\
+         \x20   add   r3, r3, #1\n\
+         \x20   cmp   r3, #2\n\
+         \x20   beq   churn\n\
+         \x20   ldr   r2, [r6]\n\
+         \x20   str   r2, [r5]\n\
+         \x20   b     ploop\n\
+         donor:\n\
+         \x20   add   r1, r1, #7\n\
+         churn:\n\
+         \x20   mov   r4, #3\n\
+         outer:\n",
+    );
+    for i in 0..1500 {
+        source.push_str(&format!(
+            "c{i}:\n    add   r0, r0, #1\n    b     c{}\n",
+            i + 1
+        ));
+    }
+    source.push_str(
+        "c1500:\n    subs  r4, r4, #1\n    bne   outer\n    mov   r0, #0\n    svc   #0\n",
+    );
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .trace(true)
+        .cache_limit(adbt::engine::MachineCore::MIN_CACHE_LIMIT)
+        .build()
+        .unwrap();
+    machine.load_asm(&source, 0x1_0000).unwrap();
+    let report = machine.run(1, 0x1_0000);
+    assert!(report.all_ok(), "{:?}", report.outcomes);
+    assert!(report.stats.invalidations >= 1);
+    assert!(report.stats.flushes >= 1);
+    assert!(report.stats.reclaimed_blocks >= 1);
+
+    let rec = machine.core().trace.as_ref().expect("recorder armed");
+    let snaps = rec.snapshot_all();
+    let events: Vec<_> = snaps.iter().flat_map(|(_, events)| events).collect();
+    for kind in [TraceKind::Flush, TraceKind::Reclaim] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "no {kind:?} event reached the ring"
+        );
+    }
+    let json = chrome::render(&snaps, chrome::Clock::Nanos);
+    let check = validate::validate_chrome_trace(&json).expect("lifecycle trace JSON is valid");
+    assert!(check.instants > 0);
+
+    // The churn traffic may have evicted the early Invalidate from the
+    // bounded ring (stats prove it happened); a patch-only run pins the
+    // event itself on the timeline.
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .trace(true)
+        .build()
+        .unwrap();
+    machine
+        .load_asm(
+            &adbt::workloads::interleave::Litmus::SmcSelf
+                .program()
+                .source,
+            0x1_0000,
+        )
+        .unwrap();
+    let patcher = machine.symbol("patcher").unwrap();
+    let report = machine.run_vcpus(vec![adbt::Vcpu::new(1, patcher)]);
+    // Exit 8 is the litmus' patched-semantics witness (1 + 7).
+    assert_eq!(report.outcomes, vec![VcpuOutcome::Exited(8)]);
+    let rec = machine.core().trace.as_ref().expect("recorder armed");
+    let snaps = rec.snapshot_all();
+    assert!(
+        snaps
+            .iter()
+            .flat_map(|(_, events)| events)
+            .any(|e| e.kind == TraceKind::Invalidate),
+        "the SMC store left no Invalidate event on the ring"
+    );
+    let json = chrome::render(&snaps, chrome::Clock::Nanos);
+    validate::validate_chrome_trace(&json).expect("SMC trace JSON is valid");
+}
+
 #[test]
 fn tracing_absent_by_default() {
     let mut machine = MachineBuilder::new(SchemeKind::Hst).build().unwrap();
