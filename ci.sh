@@ -77,3 +77,15 @@ cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
 # individual timings well clear of scheduler jitter (~0.8% measured).
 cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
     --iters 150000 --reps 5 --tiered --guard 2
+
+# Differential fuzz smoke (release, ~seconds): 32 pinned seeds of
+# generated racy-but-result-deterministic guest programs, each run
+# across all 8 schemes × {sim, sim+chaos, threaded, threaded+tiered,
+# scheduled} — 40 cells per seed. Every cell must agree on outcomes and
+# final memory, match the generator's static predictions, and pass the
+# counter-invariant suite; adbt_fuzz exits non-zero on any divergence
+# and writes a minimized, seed-replayable artifact under the temp dir.
+# The corpus start seed is pinned (adbt_fuzz --ci), so a red step here
+# names the exact seed to replay locally.
+cargo run -q --release --offline -p adbt-fuzz --bin adbt_fuzz -- \
+    --ci --seeds 32 --max-insns 256 --out "$TRACE_TMP/fuzz-artifacts"

@@ -29,8 +29,9 @@
 //! # Shrinking
 //!
 //! A failing switch set is minimized by repeatedly dropping one switch
-//! and re-running until no single drop still fails (ddmin with n = 1 —
-//! switch sets here have at most `max_preemptions` entries). The
+//! and re-running until no single drop still fails
+//! ([`crate::shrink::drop_one_fixpoint`], ddmin with n = 1 — switch
+//! sets here have at most `max_preemptions` entries). The
 //! minimized run's full choice list is rendered with
 //! [`format_choices`] into a trace that `adbt_run --replay` and
 //! [`ScriptedScheduler::parse`](adbt::engine::ScriptedScheduler::parse)
@@ -266,29 +267,13 @@ impl Searcher {
     }
 
     /// Drops switches one at a time (to a fixpoint) while the oracle
-    /// still flags the run; returns the minimized set and its record.
-    fn shrink(
-        &mut self,
-        mut switches: Vec<(u64, u32)>,
-        mut record: Record,
-    ) -> (Vec<(u64, u32)>, Record) {
-        loop {
-            let mut reduced = false;
-            for i in 0..switches.len() {
-                let mut candidate = switches.clone();
-                candidate.remove(i);
-                let r = self.execute(&candidate);
-                if r.violation.is_some() {
-                    switches = candidate;
-                    record = r;
-                    reduced = true;
-                    break;
-                }
-            }
-            if !reduced {
-                return (switches, record);
-            }
-        }
+    /// still flags the run; returns the minimized set and its record
+    /// (the shared [`crate::shrink::drop_one_fixpoint`] discipline).
+    fn shrink(&mut self, switches: Vec<(u64, u32)>, record: Record) -> (Vec<(u64, u32)>, Record) {
+        crate::shrink::drop_one_fixpoint(switches, record, |candidate| {
+            let r = self.execute(candidate);
+            r.violation.is_some().then_some(r)
+        })
     }
 
     fn found(&mut self, switches: Vec<(u64, u32)>, record: Record, exhausted: bool) -> PairReport {

@@ -29,6 +29,7 @@
 pub mod explore;
 pub mod export;
 pub mod oracle;
+pub mod shrink;
 
 pub use explore::{check_pair, CheckOpts, PairReport, Violation};
 pub use export::violation_trace_json;

@@ -1,0 +1,82 @@
+//! The drop-one-to-fixpoint shrinker shared by the interleaving checker
+//! and the differential fuzzer.
+//!
+//! Both tools minimize a failing *sequence* — forced context switches
+//! for the checker, generated program actions for the fuzzer — under a
+//! re-runnable failure predicate. The discipline is ddmin with n = 1:
+//! repeatedly drop one element and re-run; keep the drop if the failure
+//! survives; stop when no single drop does. Quadratic in the worst
+//! case, which is fine at the sizes these tools shrink (switch sets of
+//! ≤ a few entries, action lists of ≤ a few dozen), and — unlike larger
+//! ddmin chunks — every accepted step is itself a witness, so the
+//! minimized sequence is always a real failure, never a reconstruction.
+
+/// Minimizes `items` under `run`, which re-executes a candidate and
+/// returns `Some(record)` while the failure still reproduces (the
+/// record travels with the shrink so the caller ends up with the
+/// evidence for the *minimized* sequence, not the original one) and
+/// `None` once the candidate passes.
+///
+/// `record` must be the record of a failing run of `items` — the
+/// invariant every loop iteration preserves.
+pub fn drop_one_fixpoint<T: Clone, R>(
+    mut items: Vec<T>,
+    mut record: R,
+    mut run: impl FnMut(&[T]) -> Option<R>,
+) -> (Vec<T>, R) {
+    loop {
+        let mut reduced = false;
+        for i in 0..items.len() {
+            let mut candidate = items.clone();
+            candidate.remove(i);
+            if let Some(r) = run(&candidate) {
+                items = candidate;
+                record = r;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return (items, record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failing = contains both 3 and 7; everything else is noise the
+    /// shrinker must strip.
+    #[test]
+    fn shrinks_to_the_minimal_failing_core() {
+        let fails = |c: &[u32]| c.contains(&3) && c.contains(&7);
+        let items = vec![1, 3, 5, 7, 9, 11];
+        let (min, record) = drop_one_fixpoint(items, 0u32, |c| fails(c).then_some(c.len() as u32));
+        assert_eq!(min, vec![3, 7]);
+        assert_eq!(record, 2, "record tracks the minimized run");
+    }
+
+    /// A singleton failure shrinks to itself; an always-failing
+    /// predicate shrinks to empty.
+    #[test]
+    fn boundary_cases() {
+        let (min, _) = drop_one_fixpoint(vec![42], 0u8, |c| c.contains(&42).then_some(0));
+        assert_eq!(min, vec![42]);
+        let (min, _) = drop_one_fixpoint(vec![1, 2, 3], 0u8, |_| Some(0));
+        assert!(min.is_empty());
+    }
+
+    /// The record returned is from the final failing candidate, even
+    /// when several shrink steps succeed.
+    #[test]
+    fn record_follows_the_last_failing_run() {
+        let mut runs = 0u32;
+        let (min, record) = drop_one_fixpoint(vec![1, 2, 3, 4], (0u32, 0usize), |c| {
+            runs += 1;
+            c.contains(&4).then_some((runs, c.len()))
+        });
+        assert_eq!(min, vec![4]);
+        assert_eq!(record.1, 1, "record saw the minimized candidate");
+    }
+}

@@ -28,7 +28,9 @@
 //! dominant successors into an optimized superblock. `--no-tiering`
 //! keeps every block in the baseline tier; `--tier-threshold 0` is
 //! rejected (it would promote everything on first execution — say
-//! `--no-tiering` for off, or `1` for promote-on-second-execution).
+//! `--no-tiering` for off, or `1` for promote-on-second-execution), and
+//! so is `--no-tiering` combined with `--tier-threshold N` (the
+//! threshold would be silently ignored).
 //! Deterministic modes (`--sim`, `--replay`) dispatch single blocks and
 //! never tier.
 //!
@@ -138,6 +140,27 @@ fn parse_chaos(text: &str) -> Result<ChaosCfg, String> {
     }
 }
 
+/// Resolves the tiering flags to an effective threshold (0 = off).
+///
+/// `--no-tiering --tier-threshold N` is contradictory: the parsed
+/// threshold would be silently ignored, so the combination is rejected
+/// outright — same strict-validation discipline as `--tier-threshold 0`
+/// and `--cache-limit 0`. (`--no-tiering` with `--cache-limit` stays
+/// valid: a bounded cache works tier-less, it just never holds
+/// superblocks.)
+fn resolve_tier_threshold(no_tiering: bool, explicit: Option<u32>) -> Result<u32, String> {
+    match (no_tiering, explicit) {
+        (true, Some(n)) => Err(format!(
+            "--no-tiering contradicts --tier-threshold {n}: the threshold would be \
+             silently ignored; drop one of the two flags"
+        )),
+        (true, None) => Ok(0),
+        // Nonzero enforced where the flag is parsed.
+        (false, Some(n)) => Ok(n),
+        (false, None) => Ok(1024),
+    }
+}
+
 fn parse_u32(text: &str) -> Option<u32> {
     if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16).ok()
@@ -163,7 +186,7 @@ fn main() -> ExitCode {
     let mut htm_degrade_after: u64 = 0;
     let mut trace_out: Option<String> = None;
     let mut histograms = false;
-    let mut tier_threshold: u32 = 1024;
+    let mut tier_threshold: Option<u32> = None;
     let mut no_tiering = false;
     let mut cache_limit: u64 = 0;
 
@@ -229,11 +252,11 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--tier-threshold" => {
-                tier_threshold = args
+                let n = args
                     .next()
                     .and_then(|v| parse_u32(&v))
                     .unwrap_or_else(|| usage());
-                if tier_threshold == 0 {
+                if n == 0 {
                     eprintln!(
                         "--tier-threshold 0 would promote every block on its first \
                          execution; use --no-tiering to disable tiering, or 1 to \
@@ -241,6 +264,7 @@ fn main() -> ExitCode {
                     );
                     usage()
                 }
+                tier_threshold = Some(n);
             }
             "--cache-limit" => {
                 cache_limit = args
@@ -289,6 +313,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let tier_threshold = match resolve_tier_threshold(no_tiering, tier_threshold) {
+        Ok(n) => n,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::from(2);
+        }
+    };
+
     let mut builder = MachineBuilder::new(scheme)
         .memory(memory)
         .fuse_atomics(fuse)
@@ -296,7 +328,7 @@ fn main() -> ExitCode {
         .watchdog_ms(watchdog_ms)
         .htm_degrade_after(htm_degrade_after)
         .trace(trace_out.is_some() || histograms)
-        .tier_threshold(if no_tiering { 0 } else { tier_threshold })
+        .tier_threshold(tier_threshold)
         .cache_limit(cache_limit);
     if replay.is_some() {
         // Checker traces count atoms at instruction granularity; replay
@@ -457,6 +489,18 @@ fn main() -> ExitCode {
         }
         if let Some(t) = report.sim_time() {
             eprintln!("sim_time={t} units");
+            let b = report.sim_breakdown();
+            eprintln!(
+                "sim_breakdown: native={} exclusive={} instrument={} mprotect={}",
+                b.native, b.exclusive, b.instrument, b.mprotect,
+            );
+            if b.residue < 0 {
+                eprintln!(
+                    "warning: breakdown-residue={} — attributed units exceed total \
+                     CPU units (a bucket over-charged; native clamped to 0)",
+                    b.residue,
+                );
+            }
         } else {
             eprintln!("wall={:?}", report.wall);
         }
@@ -516,7 +560,21 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_chaos;
+    use super::{parse_chaos, resolve_tier_threshold};
+
+    #[test]
+    fn tiering_flags_resolve_or_conflict() {
+        // Defaults: tiering on at 1024; --no-tiering alone turns it off.
+        assert_eq!(resolve_tier_threshold(false, None), Ok(1024));
+        assert_eq!(resolve_tier_threshold(true, None), Ok(0));
+        // An explicit threshold passes through.
+        assert_eq!(resolve_tier_threshold(false, Some(64)), Ok(64));
+        // The contradictory combination is a hard error, not a silent
+        // ignore.
+        let why = resolve_tier_threshold(true, Some(64)).unwrap_err();
+        assert!(why.contains("--no-tiering"), "{why}");
+        assert!(why.contains("--tier-threshold 64"), "{why}");
+    }
 
     #[test]
     fn chaos_spec_round_trips() {

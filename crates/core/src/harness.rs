@@ -4,7 +4,7 @@
 //! integration tests are thin wrappers over these.
 
 use crate::{Error, MachineBuilder};
-use adbt_engine::{MachineConfig, RunReport, Schedule, SimCosts, Vcpu};
+use adbt_engine::{MachineConfig, RunReport, Schedule, ScriptedScheduler, SimCosts, Vcpu};
 use adbt_schemes::SchemeKind;
 use adbt_workloads::litmus::{self, Expectation, Seq};
 use adbt_workloads::parsec::{self, Program};
@@ -323,6 +323,126 @@ pub fn run_parsec_full(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Generic differential program runner
+// ---------------------------------------------------------------------------
+
+/// How [`run_program`] executes its vCPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real OS threads ([`crate::Machine::run_vcpus`]).
+    Threaded,
+    /// The deterministic simulated multicore with the default cost
+    /// model.
+    Sim,
+    /// The scheduled engine under a fresh non-preemptive
+    /// [`ScriptedScheduler`], one guest instruction per atom
+    /// (`max_block_insns` is forced to 1) — the mode whose recorded
+    /// trace `adbt_run --replay` re-executes exactly.
+    Scheduled {
+        /// Atom budget handed to `run_scheduled` (livelock safety net).
+        max_atoms: u64,
+    },
+}
+
+/// The outcome of one [`run_program`] execution cell: the report plus
+/// everything a differential oracle compares or a replay artifact
+/// needs.
+#[derive(Clone, Debug)]
+pub struct ProgramRun {
+    /// The engine run report (outcomes, merged + per-vCPU stats, chaos
+    /// snapshot, watchdog dump).
+    pub report: RunReport,
+    /// The final guest memory over the image's address range
+    /// `[base, base + image length)`, word-snapshotted after the run —
+    /// code pages included, so deterministic SMC patches must also
+    /// agree across cells.
+    pub memory: Vec<u8>,
+    /// Scheduled mode only: the recorded `VxN,…,V` schedule trace
+    /// (replay with `adbt_run --replay`).
+    pub trace: Option<String>,
+    /// Chrome trace-event JSON, when the config armed the flight
+    /// recorder (`MachineConfig::trace`).
+    pub chrome_trace: Option<String>,
+}
+
+/// Assembles `source` at [`IMAGE_BASE`] and runs `threads` vCPUs under
+/// one scheme / mode / configuration cell — the multi-config entry the
+/// differential fuzzer (`adbt_fuzz`) drives across schemes, tiering,
+/// and chaos. `entry_syms` assigns per-vCPU entry symbols round-robin
+/// (same contract as `adbt_run --entry`); empty means every vCPU starts
+/// at the image base with the standard launch ABI.
+///
+/// # Errors
+///
+/// Propagates machine-construction, assembly, symbol-resolution, and
+/// memory-read errors.
+pub fn run_program(
+    kind: SchemeKind,
+    source: &str,
+    threads: u32,
+    entry_syms: &[&str],
+    mode: ExecMode,
+    mut config: MachineConfig,
+) -> Result<ProgramRun, Error> {
+    if let ExecMode::Scheduled { .. } = mode {
+        // Scheduled traces count atoms at instruction granularity; the
+        // engine also forces tiering off for such machines.
+        config.max_block_insns = 1;
+    }
+    let mut machine = MachineBuilder::new(kind).config(config.clone()).build()?;
+    machine.load_asm(source, IMAGE_BASE)?;
+    let mut entries = Vec::with_capacity(entry_syms.len());
+    for sym in entry_syms {
+        entries.push(machine.symbol(sym)?);
+    }
+    let mut vcpus = machine.make_vcpus(threads, IMAGE_BASE);
+    if !entries.is_empty() {
+        for (i, vcpu) in vcpus.iter_mut().enumerate() {
+            vcpu.pc = entries[i % entries.len()];
+        }
+    }
+
+    let mut trace = None;
+    let report = match mode {
+        ExecMode::Threaded => machine.run_vcpus(vcpus),
+        ExecMode::Sim => machine.core().run_sim(vcpus, &SimCosts::default()),
+        ExecMode::Scheduled { max_atoms } => {
+            let mut sched = ScriptedScheduler::new();
+            let report = machine.run_scheduled(vcpus, &mut sched, max_atoms);
+            trace = Some(sched.trace());
+            report
+        }
+    };
+
+    let image_len = machine.image().map_or(0, |img| img.bytes.len());
+    let mut memory = Vec::with_capacity(image_len);
+    for word_addr in (0..image_len).step_by(4) {
+        let word = machine.read_word(IMAGE_BASE + word_addr as u32)?;
+        let take = (image_len - word_addr).min(4);
+        memory.extend_from_slice(&word.to_le_bytes()[..take]);
+    }
+
+    let chrome_trace = machine.core().trace.as_ref().map(|rec| {
+        let clock = match mode {
+            ExecMode::Threaded => adbt_engine::chrome::Clock::Nanos,
+            _ => adbt_engine::chrome::Clock::Insns,
+        };
+        adbt_engine::chrome::render_with_extras(
+            &rec.snapshot_all(),
+            clock,
+            &[("histograms", rec.hists.to_json())],
+        )
+    });
+
+    Ok(ProgramRun {
+        report,
+        memory,
+        trace,
+        chrome_trace,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +476,45 @@ mod tests {
         )
         .unwrap();
         assert!(run.intact(), "{:?}", run.verdict);
+    }
+
+    /// The differential entry: a result-deterministic LL/SC counter
+    /// must produce identical outcomes and final memory in every
+    /// execution mode, and the scheduled cell must yield a replay
+    /// trace.
+    #[test]
+    fn run_program_modes_agree_on_a_deterministic_program() {
+        let src = r#"
+            mov32 r5, x
+            mov   r4, #10
+        again:
+            ldrex r1, [r5]
+            add   r1, r1, #1
+            strex r2, r1, [r5]
+            cmp   r2, #0
+            bne   again
+            subs  r4, r4, #1
+            bne   again
+            mov   r0, #0
+            svc   #0
+            .align 4096
+        x:  .word 0
+        "#;
+        let run = |mode| {
+            run_program(SchemeKind::Pst, src, 2, &[], mode, MachineConfig::default()).unwrap()
+        };
+        let sim = run(ExecMode::Sim);
+        let threaded = run(ExecMode::Threaded);
+        let scheduled = run(ExecMode::Scheduled { max_atoms: 100_000 });
+        for cell in [&sim, &threaded, &scheduled] {
+            assert!(cell.report.all_ok(), "{:?}", cell.report.outcomes);
+        }
+        assert_eq!(sim.memory, threaded.memory);
+        assert_eq!(sim.memory, scheduled.memory);
+        let x = 4096usize; // `.align 4096` puts x at the page boundary
+        assert_eq!(&sim.memory[x..x + 4], &20u32.to_le_bytes());
+        assert!(scheduled.trace.is_some());
+        assert!(sim.trace.is_none() && sim.chrome_trace.is_none());
     }
 
     #[test]

@@ -385,9 +385,18 @@ impl<'m> ExecCtx<'m> {
     }
 
     /// Records an exclusive-section entry: the opening edge of the
-    /// span in the flight recorder plus the entry-wait histogram.
+    /// span in the flight recorder plus the entry-wait histogram. Like
+    /// [`Self::trace_ts`], deterministic modes suppress the measured
+    /// wall-clock wait (always an uncontended acquire there — the
+    /// measured nanoseconds are scheduler noise that would make traces
+    /// of identical runs differ byte-for-byte).
     fn trace_exclusive_enter(&self, waited: u64) {
         if let Some(handle) = &self.trace {
+            let waited = if self.machine.is_threaded() {
+                waited
+            } else {
+                0
+            };
             handle.recorder.hists.exclusive_wait.record(waited);
             let saturated = waited.min(u32::MAX as u64) as u32;
             handle.ring.record(

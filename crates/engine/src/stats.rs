@@ -529,6 +529,12 @@ pub struct SimBreakdown {
     pub instrument: u64,
     /// Units of permission/remap work.
     pub mprotect: u64,
+    /// Signed accounting residue: total CPU units minus every attributed
+    /// bucket. Non-negative on a correct run (`native` equals it); a
+    /// negative value means some bucket over-charged (double-counted
+    /// units) and `native` was clamped to 0 — callers should surface it
+    /// rather than let the clamp hide the accounting bug.
+    pub residue: i64,
 }
 
 impl SimBreakdown {
@@ -540,15 +546,20 @@ impl SimBreakdown {
         let exclusive = stats.sim_exclusive_units;
         let instrument = stats.sim_instrument_units;
         let mprotect = stats.sim_mprotect_units;
-        let native = total
-            .saturating_sub(exclusive)
-            .saturating_sub(instrument)
-            .saturating_sub(mprotect);
+        let residue = total as i128 - exclusive as i128 - instrument as i128 - mprotect as i128;
+        debug_assert!(
+            residue >= 0,
+            "sim breakdown residue is negative ({residue}): attributed units \
+             (exclusive {exclusive} + instrument {instrument} + mprotect {mprotect}) \
+             exceed total {total} — a bucket is over-charging"
+        );
+        let native = residue.max(0) as u64;
         SimBreakdown {
             native,
             exclusive,
             instrument,
             mprotect,
+            residue: residue.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
         }
     }
 
@@ -594,6 +605,23 @@ mod tests {
         assert_eq!(b.total(), 4_000);
         assert_eq!(b.exclusive, 100);
         assert_eq!(b.native, 4_000 - 350);
+        assert_eq!(b.residue, 4_000 - 350);
+    }
+
+    /// Over-charged buckets must not be silently clamped away: debug
+    /// builds assert, release builds report the negative residue so the
+    /// caller can print a `breakdown-residue` warning.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "residue is negative"))]
+    fn sim_breakdown_surfaces_negative_residue() {
+        let stats = VcpuStats {
+            sim_time: 100,
+            sim_exclusive_units: 150,
+            ..VcpuStats::default()
+        };
+        let b = SimBreakdown::derive(&stats, 1);
+        assert_eq!(b.residue, -50);
+        assert_eq!(b.native, 0, "native stays clamped for display");
     }
 
     #[test]

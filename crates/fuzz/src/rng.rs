@@ -1,0 +1,104 @@
+//! SplitMix64 — the fuzzer's only entropy source.
+//!
+//! Every byte of every generated program derives from one `u64` seed
+//! through this generator, so a seed in a CI log or a frozen-regression
+//! test reproduces the exact program, report, and trace. SplitMix64 is
+//! chosen for the same reason the chaos plane uses a counter-based
+//! generator: tiny state, no external dependency, and well-studied
+//! output quality (it is the seeding generator of the xoshiro family).
+
+/// A SplitMix64 stream positioned at `seed`.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Starts a stream at `seed`. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform-ish draw in `0..n` (`n > 0`). The modulo bias is
+    /// irrelevant at fuzzing's `n` (≤ a few thousand).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// A draw in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Picks an index into `weights` with probability proportional to
+    /// its weight (weights need not be normalized; total must be > 0).
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        let mut ticket = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if ticket < w {
+                return i;
+            }
+            ticket -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Known-answer test against the reference SplitMix64 outputs for
+    /// seed 0 — pins the algorithm, not just self-consistency.
+    #[test]
+    fn matches_reference_vector() {
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..256 {
+            let i = r.weighted(&[0, 3, 0, 5]);
+            assert!(i == 1 || i == 3, "picked zero-weight arm {i}");
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut r = SplitMix64::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..512 {
+            let v = r.range(2, 5);
+            assert!((2..=5).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

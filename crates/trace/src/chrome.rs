@@ -80,8 +80,42 @@ pub fn render_with_extras(
     }
 
     for (tid, events) in per_vcpu {
-        let mut open_spans = 0usize;
-        let mut last_ts = 0u64;
+        // Pre-scan: an exit whose enter was overwritten by ring
+        // wraparound has no matching "B" left in the ring. Dropping such
+        // exits (the old repair) erased the section entirely; instead,
+        // synthesize the missing opens at the track's first surviving
+        // timestamp — the span's start is clamped to the ring horizon,
+        // which is the truthful rendering of a torn recording — so every
+        // surviving "E" still pairs and the section stays visible.
+        let mut scan_depth = 0usize;
+        let mut orphans = 0usize;
+        for event in events {
+            match event.kind {
+                TraceKind::ExclusiveEnter => scan_depth += 1,
+                TraceKind::ExclusiveExit => {
+                    if scan_depth == 0 {
+                        orphans += 1;
+                    } else {
+                        scan_depth -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first_ts = events.first().map_or(0, |e| e.ts);
+        for _ in 0..orphans {
+            push(
+                format!(
+                    "{{\"name\":\"exclusive\",\"ph\":\"B\",\"ts\":{},\"pid\":{PID},\
+                     \"tid\":{tid},\"args\":{{\"waited_ns\":0,\"synthesized\":true}}}}",
+                    clock.ts(first_ts)
+                ),
+                &mut first,
+            );
+        }
+
+        let mut open_spans = orphans;
+        let mut last_ts = first_ts;
         for event in events {
             last_ts = last_ts.max(event.ts);
             let ts = clock.ts(event.ts);
@@ -98,9 +132,9 @@ pub fn render_with_extras(
                     );
                 }
                 TraceKind::ExclusiveExit => {
-                    // An exit without a recorded enter means the enter
-                    // was overwritten in the ring; dropping the exit
-                    // keeps B/E balanced.
+                    // Unreachable after the pre-scan (every orphan got a
+                    // synthesized open); kept as a belt against a
+                    // miscounted scan so the document stays balanced.
                     if open_spans == 0 {
                         continue;
                     }
@@ -201,7 +235,40 @@ mod tests {
         ];
         let json = render(&per_vcpu, Clock::Insns);
         let check = validate_chrome_trace(&json).expect("repaired output validates");
-        assert_eq!(check.spans, 1, "open enter is auto-closed");
+        assert_eq!(
+            check.spans, 2,
+            "open enter is auto-closed AND the orphan exit gets a synthesized open"
+        );
+        assert!(
+            json.contains("\"synthesized\":true"),
+            "the repair marks the synthetic open: {json}"
+        );
+    }
+
+    #[test]
+    fn ring_wraparound_orphans_open_at_the_ring_horizon() {
+        // A wrapped ring: the enter at ts=5 was overwritten, leaving
+        // [instant(30), exit(40), enter(50), exit(60)]. The orphan exit
+        // must get its open at the first surviving timestamp (30), keep
+        // per-track timestamps non-decreasing, and leave the later real
+        // pair untouched.
+        let per_vcpu = vec![(
+            1,
+            vec![
+                event(30, 1, TraceKind::LlIssue),
+                event(40, 1, TraceKind::ExclusiveExit),
+                event(50, 1, TraceKind::ExclusiveEnter),
+                event(60, 1, TraceKind::ExclusiveExit),
+            ],
+        )];
+        let json = render(&per_vcpu, Clock::Insns);
+        let check = validate_chrome_trace(&json).expect("wrapped ring output validates");
+        assert_eq!(check.spans, 2);
+        let synth = json
+            .find("\"synthesized\":true")
+            .expect("synthetic open present");
+        // The synthetic open is stamped at the track's first event.
+        assert!(json[..synth].contains("\"ts\":30"), "{json}");
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   phase), numeric `ts`, `pid`, and `tid`,
 //! * `B`/`E` duration events balance per `(pid, tid)` track and never
 //!   go negative (an `E` before any `B` is exactly the malformed shape
-//!   Perfetto refuses to stack).
+//!   Perfetto refuses to stack),
+//! * each `E` closes a `B` of the *same name* (properly nested spans),
+//!   and duration timestamps never go backwards within a track — the
+//!   shapes a torn ring-wraparound repair could otherwise smuggle past
+//!   a depth-only check.
 //!
 //! `trace_validate` (this crate's binary) wraps [`validate_chrome_trace`]
 //! for shell use; the exporter's unit tests round-trip through it.
@@ -273,7 +277,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         events: events.len(),
         ..TraceCheck::default()
     };
-    let mut depth: HashMap<(u64, u64), usize> = HashMap::new();
+    /// Per-(pid, tid) duration-event state: the open-span name stack and
+    /// the last duration timestamp (for monotonicity).
+    #[derive(Default)]
+    struct Track {
+        open: Vec<String>,
+        last_dur_ts: f64,
+    }
+    let mut tracks: HashMap<(u64, u64), Track> = HashMap::new();
     for (i, event) in events.iter().enumerate() {
         let ctx = |what: &str| format!("event {i}: {what}");
         if !matches!(event, Json::Obj(_)) {
@@ -303,30 +314,47 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
             .and_then(Json::as_num)
             .ok_or_else(|| ctx("missing numeric \"tid\""))?;
         let track = (pid as u64, tid as u64);
-        let d = depth.entry(track).or_insert_with(|| {
+        let state = tracks.entry(track).or_insert_with(|| {
             check.tracks += 1;
-            0
+            Track::default()
         });
         match ph {
-            "B" => *d += 1,
-            "E" => {
-                if *d == 0 {
+            "B" | "E" => {
+                if ts < state.last_dur_ts {
                     return Err(ctx(&format!(
-                        "\"E\" for '{name}' with no open \"B\" on track {track:?}"
+                        "\"{ph}\" for '{name}' at ts {ts} goes backwards on track \
+                         {track:?} (previous duration ts {})",
+                        state.last_dur_ts
                     )));
                 }
-                *d -= 1;
-                check.spans += 1;
+                state.last_dur_ts = ts;
+                if ph == "B" {
+                    state.open.push(name.to_string());
+                } else {
+                    let Some(opened) = state.open.pop() else {
+                        return Err(ctx(&format!(
+                            "\"E\" for '{name}' with no open \"B\" on track {track:?}"
+                        )));
+                    };
+                    if opened != name {
+                        return Err(ctx(&format!(
+                            "\"E\" for '{name}' closes open \"B\" for '{opened}' on \
+                             track {track:?} (spans must nest by name)"
+                        )));
+                    }
+                    check.spans += 1;
+                }
             }
             "i" | "I" => check.instants += 1,
             "X" | "M" | "C" => {}
             other => return Err(ctx(&format!("unknown phase \"{other}\""))),
         }
     }
-    for (track, d) in depth {
-        if d != 0 {
+    for (track, state) in tracks {
+        if !state.open.is_empty() {
             return Err(format!(
-                "track {track:?} ends with {d} unclosed \"B\" event(s)"
+                "track {track:?} ends with {} unclosed \"B\" event(s)",
+                state.open.len()
             ));
         }
     }
@@ -421,5 +449,41 @@ mod tests {
                {"name":"x","ph":"E","ts":2,"pid":1,"tid":2}"#,
         );
         assert!(validate_chrome_trace(&cross).is_err());
+    }
+
+    #[test]
+    fn rejects_name_mismatched_span_nesting() {
+        let mismatched = wrap(
+            r#"{"name":"outer","ph":"B","ts":1,"pid":1,"tid":1},
+               {"name":"inner","ph":"E","ts":2,"pid":1,"tid":1}"#,
+        );
+        let why = validate_chrome_trace(&mismatched).unwrap_err();
+        assert!(why.contains("nest by name"), "{why}");
+        // Properly nested same-name spans are fine.
+        let nested = wrap(
+            r#"{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+               {"name":"b","ph":"B","ts":2,"pid":1,"tid":1},
+               {"name":"b","ph":"E","ts":3,"pid":1,"tid":1},
+               {"name":"a","ph":"E","ts":4,"pid":1,"tid":1}"#,
+        );
+        assert_eq!(validate_chrome_trace(&nested).unwrap().spans, 2);
+    }
+
+    #[test]
+    fn rejects_backwards_duration_timestamps_per_track() {
+        let backwards = wrap(
+            r#"{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+               {"name":"a","ph":"E","ts":3,"pid":1,"tid":1}"#,
+        );
+        let why = validate_chrome_trace(&backwards).unwrap_err();
+        assert!(why.contains("backwards"), "{why}");
+        // Monotonicity is per track — another track may be earlier.
+        let two_tracks = wrap(
+            r#"{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+               {"name":"a","ph":"E","ts":6,"pid":1,"tid":1},
+               {"name":"a","ph":"B","ts":1,"pid":1,"tid":2},
+               {"name":"a","ph":"E","ts":2,"pid":1,"tid":2}"#,
+        );
+        assert_eq!(validate_chrome_trace(&two_tracks).unwrap().spans, 2);
     }
 }

@@ -50,10 +50,22 @@ pub fn spin_unlock(lock_reg: &str, t0: &str) -> String {
 /// Emits an atomic fetch-add of `delta` (an immediate) on the word at
 /// `addr_reg` — the `__atomic_fetch_add` shape. Clobbers `t0`/`t1`.
 pub fn atomic_add(label: &str, addr_reg: &str, delta: u32, t0: &str, t1: &str) -> String {
+    atomic_rmw(label, addr_reg, "add", delta, t0, t1)
+}
+
+/// Emits an atomic read-modify-write retry loop applying `op` (an ALU
+/// mnemonic: `add`, `eor`, `orr`, `and`, …) with immediate `imm` to the
+/// word at `addr_reg` — the `__atomic_fetch_<op>` shape. Clobbers
+/// `t0`/`t1`.
+///
+/// When every writer of a word sticks to one commutative-associative op
+/// class, the final value is schedule-independent — the property the
+/// differential fuzzer's generated programs are built on.
+pub fn atomic_rmw(label: &str, addr_reg: &str, op: &str, imm: u32, t0: &str, t1: &str) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{label}_retry:");
     let _ = writeln!(s, "    ldrex {t0}, [{addr_reg}]");
-    let _ = writeln!(s, "    add   {t0}, {t0}, #{delta}");
+    let _ = writeln!(s, "    {op}   {t0}, {t0}, #{imm}");
     let _ = writeln!(s, "    strex {t1}, {t0}, [{addr_reg}]");
     let _ = writeln!(s, "    cmp   {t1}, #0");
     let _ = writeln!(s, "    bne   {label}_retry");
@@ -133,6 +145,17 @@ mod tests {
             bar = barrier("b0", "r7", "r8", "r9", "r1", "r2"),
         );
         assemble(&program, 0x1000).unwrap_or_else(|e| panic!("fragment failed: {e}"));
+    }
+
+    #[test]
+    fn rmw_ops_assemble_for_every_commutative_class() {
+        for op in ["add", "eor", "orr", "and"] {
+            let program = format!(
+                "mov32 r5, w\n{}\nmov r0, #0\nsvc #0\nw: .word 0\n",
+                atomic_rmw(&format!("rmw_{op}"), "r5", op, 3, "r1", "r2"),
+            );
+            assemble(&program, 0x1000).unwrap_or_else(|e| panic!("{op}: {e}"));
+        }
     }
 
     #[test]
