@@ -80,12 +80,47 @@ cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
 
 # Differential fuzz smoke (release, ~seconds): 32 pinned seeds of
 # generated racy-but-result-deterministic guest programs, each run
-# across all 8 schemes × {sim, sim+chaos, threaded, threaded+tiered,
-# scheduled} — 40 cells per seed. Every cell must agree on outcomes and
-# final memory, match the generator's static predictions, and pass the
-# counter-invariant suite; adbt_fuzz exits non-zero on any divergence
-# and writes a minimized, seed-replayable artifact under the temp dir.
-# The corpus start seed is pinned (adbt_fuzz --ci), so a red step here
-# names the exact seed to replay locally.
+# across all 8 schemes × {sim, sim+chaos, sim+prof, threaded,
+# threaded+tiered, scheduled} — 48 cells per seed. Every cell must
+# agree on outcomes and final memory, match the generator's static
+# predictions, and pass the counter-invariant suite (sim+prof doubles
+# as the profiler's purity oracle); adbt_fuzz exits non-zero on any
+# divergence and writes a minimized, seed-replayable artifact under
+# the temp dir. The corpus start seed is pinned (adbt_fuzz --ci), so a
+# red step here names the exact seed to replay locally.
 cargo run -q --release --offline -p adbt-fuzz --bin adbt_fuzz -- \
     --ci --seeds 32 --max-insns 256 --out "$TRACE_TMP/fuzz-artifacts"
+
+# Profiled chaos soak (release, ~seconds): the same seed-pinned
+# contended counter runs on every scheme with the guest-PC contention
+# profiler armed on top of fault injection. Each run writes a .prof
+# document, a flamegraph fold, and a metrics JSONL, and the toolchain
+# re-validates its *own* output — adbt_prof --ci gates the .prof
+# schema, --check-folded the collapsed stacks, --check-metrics the
+# snapshot stream — so the emitters and validators can never drift
+# apart silently.
+for scheme in hst hst-weak hst-htm pst pst-remap pico-st pico-cas pico-htm; do
+    cargo run -q --release --offline -p adbt --bin adbt_run -- \
+        "$TRACE_TMP/soak.s" --scheme "$scheme" --threads 4 \
+        --chaos seed=7,rate=0.05 --watchdog-ms 30000 \
+        --profile "$TRACE_TMP/$scheme.prof" \
+        --metrics "$TRACE_TMP/$scheme.jsonl" --stats
+    cargo run -q --release --offline -p adbt-profile --bin adbt_prof -- \
+        "$TRACE_TMP/$scheme.prof" --ci
+    cargo run -q --release --offline -p adbt-profile --bin adbt_prof -- \
+        "$TRACE_TMP/$scheme.prof" --flamegraph "$TRACE_TMP/$scheme.folded"
+    cargo run -q --release --offline -p adbt-profile --bin adbt_prof -- \
+        --check-folded "$TRACE_TMP/$scheme.folded"
+    cargo run -q --release --offline -p adbt-profile --bin adbt_prof -- \
+        --check-metrics "$TRACE_TMP/$scheme.jsonl"
+done
+
+# Profiling-overhead guard: the dispatch-bound loop runs profiled vs
+# unprofiled per scheme; the geomean slowdown must stay under 5%. The
+# off path (one predicted branch per charge site) is the unprofiled
+# baseline of the same binary. Results land in results/ for trend
+# tracking.
+mkdir -p results
+cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
+    --iters 150000 --reps 5 --profiled --guard 5 \
+    --json results/bench_profiling.json

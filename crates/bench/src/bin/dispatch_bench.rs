@@ -11,7 +11,8 @@
 //! ```text
 //! cargo run --release -p adbt-bench --bin dispatch_bench -- \
 //!     [--iters 300000] [--reps 5] [--chain 64] [--csv dispatch.csv] \
-//!     [--traced [--guard PCT]] [--tiered [--guard PCT]]
+//!     [--traced [--guard PCT]] [--tiered [--guard PCT]] \
+//!     [--profiled [--guard PCT]]
 //! ```
 //!
 //! `--traced` switches to the flight-recorder overhead comparison: each
@@ -19,6 +20,11 @@
 //! the table reports the enabled-path overhead. `--guard PCT` then
 //! exits non-zero when the geometric-mean slowdown exceeds `PCT`
 //! percent — the CI tripwire for the "tracing is cheap" claim.
+//!
+//! `--profiled` is the same comparison for the guest-PC contention
+//! profiler: profiling off (the one-predicted-branch disabled path)
+//! versus on (hash probes at every charge site). `--guard PCT` is the
+//! CI tripwire for the "profiling stays within PCT percent" claim.
 //!
 //! `--tiered` switches to the tiered-translation comparison: two hot-loop
 //! workloads (the dispatch chain above and an ALU loop with dead flags
@@ -82,6 +88,7 @@ fn measure(
     reps: u32,
     traced: bool,
     tier_threshold: u32,
+    profiled: bool,
 ) -> (f64, adbt::VcpuStats) {
     let mut best = f64::INFINITY;
     let mut stats = adbt::VcpuStats::default();
@@ -90,6 +97,7 @@ fn measure(
             .memory(1 << 20)
             .chain_limit(chain_limit)
             .trace(traced)
+            .profile(profiled)
             .tier_threshold(tier_threshold)
             .build()
             .expect("machine construction");
@@ -116,8 +124,8 @@ fn run_chaining(args: &Args, source: &str, reps: u32, chain: u32) {
         "chained_pct",
     ]);
     for kind in SchemeKind::ALL {
-        let (unchained, _) = measure(kind, source, 1, reps, false, 0);
-        let (chained, stats) = measure(kind, source, chain, reps, false, 0);
+        let (unchained, _) = measure(kind, source, 1, reps, false, 0, false);
+        let (chained, stats) = measure(kind, source, chain, reps, false, 0, false);
         table.row(vec![
             kind.name().to_string(),
             format!("{:.2}", unchained * 1e3),
@@ -145,8 +153,8 @@ fn run_traced(args: &Args, source: &str, reps: u32, chain: u32) {
     let mut table = Table::new(&["scheme", "untraced_ms", "traced_ms", "overhead_pct"]);
     let mut ratios = Vec::new();
     for kind in SchemeKind::ALL {
-        let (untraced, _) = measure(kind, source, chain, reps, false, 0);
-        let (traced, _) = measure(kind, source, chain, reps, true, 0);
+        let (untraced, _) = measure(kind, source, chain, reps, false, 0, false);
+        let (traced, _) = measure(kind, source, chain, reps, true, 0, false);
         ratios.push(traced / untraced);
         table.row(vec![
             kind.name().to_string(),
@@ -166,6 +174,38 @@ fn run_traced(args: &Args, source: &str, reps: u32, chain: u32) {
     let guard: f64 = args.get("guard", f64::INFINITY);
     if overhead > guard {
         eprintln!("FAIL: tracing overhead {overhead:.1}% exceeds the --guard {guard}% budget");
+        std::process::exit(1);
+    }
+}
+
+/// The contention-profiler overhead comparison (`--profiled`); exits
+/// non-zero when `--guard PCT` is set and the geomean slowdown exceeds
+/// it.
+fn run_profiled(args: &Args, source: &str, reps: u32, chain: u32) {
+    let mut table = Table::new(&["scheme", "unprofiled_ms", "profiled_ms", "overhead_pct"]);
+    let mut ratios = Vec::new();
+    for kind in SchemeKind::ALL {
+        let (unprofiled, _) = measure(kind, source, chain, reps, false, 0, false);
+        let (profiled, _) = measure(kind, source, chain, reps, false, 0, true);
+        ratios.push(profiled / unprofiled);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", unprofiled * 1e3),
+            format!("{:.2}", profiled * 1e3),
+            format!("{:.1}", pct(profiled - unprofiled, unprofiled)),
+        ]);
+    }
+    let overhead = pct(geomean(&ratios) - 1.0, 1.0);
+    table.emit_with_note(
+        args,
+        &format!(
+            "geomean profiling overhead: {overhead:.1}% (hash probes on the enabled\n\
+             path; the disabled path is a single predicted branch per charge site)"
+        ),
+    );
+    let guard: f64 = args.get("guard", f64::INFINITY);
+    if overhead > guard {
+        eprintln!("FAIL: profiling overhead {overhead:.1}% exceeds the --guard {guard}% budget");
         std::process::exit(1);
     }
 }
@@ -190,9 +230,9 @@ fn run_tiered(args: &Args, reps: u32, chain: u32, iters: u32) {
     let mut cold_ratios = Vec::new();
     for (name, source) in &workloads {
         for kind in SchemeKind::ALL {
-            let (baseline, _) = measure(kind, source, chain, reps, false, 0);
-            let (tiered, stats) = measure(kind, source, chain, reps, false, 64);
-            let (cold, _) = measure(kind, source, chain, reps, false, u32::MAX);
+            let (baseline, _) = measure(kind, source, chain, reps, false, 0, false);
+            let (tiered, stats) = measure(kind, source, chain, reps, false, 64, false);
+            let (cold, _) = measure(kind, source, chain, reps, false, u32::MAX, false);
             speedups.push(baseline / tiered);
             cold_ratios.push(cold / baseline);
             table.row(vec![
@@ -236,6 +276,8 @@ fn main() {
 
     if args.flag("traced") {
         run_traced(&args, &source, reps, chain);
+    } else if args.flag("profiled") {
+        run_profiled(&args, &source, reps, chain);
     } else if args.flag("tiered") {
         run_tiered(&args, reps, chain, iters);
     } else {

@@ -208,6 +208,17 @@ impl ChaosSnapshot {
             .zip(self.counts)
             .filter(|&(_, n)| n > 0)
     }
+
+    /// Renders the per-site counts as one JSON object keyed by site
+    /// name (all sites, fired or not, so consumers see a stable shape).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = ChaosSite::ALL
+            .into_iter()
+            .zip(self.counts)
+            .map(|(site, count)| format!("\"{}\":{}", site.name(), count))
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
 }
 
 /// The per-machine injection plane: campaign config plus shared per-site

@@ -7,7 +7,8 @@
 //!          [--stats] [--chaos seed=<u64>,rate=<f64>[,invalidate=<f64>]]
 //!          [--watchdog-ms N] [--htm-degrade-after N] [--trace FILE]
 //!          [--histograms] [--tier-threshold N] [--no-tiering]
-//!          [--cache-limit BYTES]
+//!          [--cache-limit BYTES] [--profile FILE] [--metrics FILE]
+//!          [--stats-json]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -50,10 +51,33 @@
 //! instructions for `--sim`/`--replay`). `--histograms` prints the
 //! log2-bucketed latency histograms (SC-retry latency, exclusive-entry
 //! wait, HTM abort streaks) alongside `--stats`.
+//!
+//! `--profile FILE` arms the guest-PC contention profiler and writes an
+//! `adbt-prof-v1` document after the run: per-vCPU and merged tables
+//! attributing SC failures, exclusive waits, HTM aborts, monitor
+//! clears, invalidations and tier transitions to guest addresses, with
+//! symbols resolved from the image and raw instruction words captured
+//! for disassembly. Render it with `adbt_prof FILE` (`--flamegraph`
+//! folds it for a flamegraph).
+//!
+//! `--metrics FILE` writes an `adbt-metrics-v1` JSONL stream: threaded
+//! runs are sampled periodically (~20 Hz) while they execute, and every
+//! run appends one `"final":true` line carrying the merged stats block,
+//! cache occupancy, exclusive-barrier telemetry, HTM counters and the
+//! chaos snapshot. Deterministic modes (`--sim`, `--replay`) emit only
+//! the final line — mid-run sampling would perturb nothing, but there
+//! is nothing concurrent to watch either.
+//!
+//! `--stats-json` prints the same final snapshot as a single JSON
+//! object on stdout instead of the `--stats` text (combining the two is
+//! rejected — pick one rendering).
 
 use adbt::engine::ScriptedScheduler;
+use adbt::profile::{export, metrics};
 use adbt::{ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -65,7 +89,8 @@ fn usage() -> ! {
          \x20               [--watchdog-ms N] [--htm-degrade-after N]\n\
          \x20               [--trace FILE] [--histograms]\n\
          \x20               [--tier-threshold N] [--no-tiering]\n\
-         \x20               [--cache-limit BYTES]\n\
+         \x20               [--cache-limit BYTES] [--profile FILE]\n\
+         \x20               [--metrics FILE] [--stats-json]\n\
          schemes: {}",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
@@ -169,6 +194,92 @@ fn parse_u32(text: &str) -> Option<u32> {
     }
 }
 
+/// Nearest preceding symbol for a guest PC, rendered `name+0xOFF`
+/// (bare name at the symbol itself, `?` when nothing precedes the PC).
+/// Ties on the same address resolve to the lexicographically smallest
+/// name so the output is stable across the hash map's iteration order.
+fn nearest_symbol(image: &adbt::Image, pc: u32) -> String {
+    let mut best: Option<(&str, u32)> = None;
+    for (name, &addr) in &image.symbols {
+        if addr > pc {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bname, baddr)) => addr > baddr || (addr == baddr && name.as_str() < bname),
+        };
+        if better {
+            best = Some((name, addr));
+        }
+    }
+    match best {
+        Some((name, addr)) if addr == pc => name.to_string(),
+        Some((name, addr)) => format!("{name}+{:#x}", pc - addr),
+        None => "?".to_string(),
+    }
+}
+
+/// The merged profile summary for a metrics line (`null` when the
+/// profiler is off — the schema allows it).
+fn profile_summary_json(machine: &adbt::Machine) -> String {
+    match &machine.core().profile {
+        Some(rec) => metrics::profile_summary(&rec.merged()),
+        None => "null".to_string(),
+    }
+}
+
+/// The engine-side blocks every metrics line carries; `report` adds the
+/// end-of-run blocks (merged stats, HTM counters, chaos snapshot) that
+/// only exist once the vCPUs have joined.
+fn snapshot_extras(
+    machine: &adbt::Machine,
+    report: Option<&adbt::RunReport>,
+) -> Vec<(&'static str, String)> {
+    let core = machine.core();
+    let mut extras = vec![
+        ("occupancy", core.cache_occupancy().to_json()),
+        ("exclusive", core.exclusive.telemetry().to_json()),
+    ];
+    if let Some(report) = report {
+        extras.push(("stats", report.stats.to_json()));
+        extras.push(("htm", report.htm.to_json()));
+        if let Some(chaos) = &report.chaos {
+            extras.push(("chaos", chaos.to_json()));
+        }
+    }
+    extras
+}
+
+/// Builds the `adbt-prof-v1` document from the recorder plus the image
+/// (symbols) and post-run guest memory (instruction words — SMC patches
+/// show up as the *final* word at the PC, which is what a human reading
+/// the disassembly context wants).
+fn build_prof_doc(machine: &adbt::Machine, scheme: SchemeKind, clock: &str) -> export::ProfDoc {
+    let rec = machine
+        .core()
+        .profile
+        .as_ref()
+        .expect("caller armed the profiler");
+    let image = machine.image().expect("image loaded");
+    let word = |pc: u32| machine.read_word(pc).unwrap_or(0);
+    let vcpus = rec
+        .snapshot_all()
+        .into_iter()
+        .map(|(tid, snap)| export::ProfVcpu {
+            tid,
+            rows: export::resolve_rows(&snap.entries, |pc| nearest_symbol(image, pc), word),
+            overflow: snap.overflow,
+        })
+        .collect();
+    let merged = rec.merged();
+    export::ProfDoc {
+        scheme: scheme.name().to_string(),
+        clock: clock.to_string(),
+        vcpus,
+        merged: export::resolve_rows(&merged.entries, |pc| nearest_symbol(image, pc), word),
+    }
+}
+
 fn main() -> ExitCode {
     let mut source_path: Option<String> = None;
     let mut scheme = SchemeKind::Hst;
@@ -189,6 +300,9 @@ fn main() -> ExitCode {
     let mut tier_threshold: Option<u32> = None;
     let mut no_tiering = false;
     let mut cache_limit: u64 = 0;
+    let mut profile_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut stats_json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -284,9 +398,12 @@ fn main() -> ExitCode {
             "--entry" => entry = Some(args.next().unwrap_or_else(|| usage())),
             "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => profile_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--sim" => sim = true,
             "--fuse-atomics" => fuse = true,
             "--stats" => stats = true,
+            "--stats-json" => stats_json = true,
             "--histograms" => histograms = true,
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') && source_path.is_none() => {
@@ -312,6 +429,13 @@ fn main() -> ExitCode {
         eprintln!("--replay and --sim are mutually exclusive");
         return ExitCode::from(2);
     }
+    if stats && stats_json {
+        eprintln!(
+            "--stats and --stats-json are mutually exclusive: the text and JSON \
+             renderings carry the same snapshot — pick one"
+        );
+        return ExitCode::from(2);
+    }
 
     let tier_threshold = match resolve_tier_threshold(no_tiering, tier_threshold) {
         Ok(n) => n,
@@ -328,6 +452,7 @@ fn main() -> ExitCode {
         .watchdog_ms(watchdog_ms)
         .htm_degrade_after(htm_degrade_after)
         .trace(trace_out.is_some() || histograms)
+        .profile(profile_out.is_some() || metrics_out.is_some())
         .tier_threshold(tier_threshold)
         .cache_limit(cache_limit);
     if replay.is_some() {
@@ -395,12 +520,47 @@ fn main() -> ExitCode {
     // counts instead of wall time (see `ExecCtx::trace_ts`).
     let deterministic = sim || replay.is_some();
 
+    let run_start = Instant::now();
+    let mut metric_lines: Vec<String> = Vec::new();
     let report = if let Some(mut sched) = replay {
         let report = machine.run_scheduled(vcpus, &mut sched, 10_000_000);
         eprintln!("replayed schedule: {}", sched.trace());
         report
     } else if sim {
         machine.core().run_sim(vcpus, &SimCosts::default())
+    } else if metrics_out.is_some() {
+        // Sample the shared vantage points (merged profile, cache
+        // occupancy, exclusive telemetry — all atomics) from a side
+        // thread while the vCPUs run; per-vCPU stats are thread-owned
+        // and only appear on the final line.
+        let machine = &machine;
+        let lines = &mut metric_lines;
+        let stop = AtomicBool::new(false);
+        let stop = &stop;
+        std::thread::scope(|s| {
+            let sampler = s.spawn(move || {
+                let mut sampled = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    sampled.push(metrics::render_line(
+                        sampled.len() as u64,
+                        false,
+                        run_start.elapsed().as_nanos() as u64,
+                        scheme.name(),
+                        &profile_summary_json(machine),
+                        &snapshot_extras(machine, None),
+                    ));
+                }
+                sampled
+            });
+            let report = machine.run_vcpus(vcpus);
+            stop.store(true, Ordering::Relaxed);
+            *lines = sampler.join().expect("sampler thread panicked");
+            report
+        })
     } else {
         machine.run_vcpus(vcpus)
     };
@@ -505,6 +665,21 @@ fn main() -> ExitCode {
             eprintln!("wall={:?}", report.wall);
         }
     }
+    if stats_json {
+        // The same snapshot the final `--metrics` line carries, as one
+        // JSON object on stdout (machine-readable `--stats`).
+        println!(
+            "{}",
+            metrics::render_line(
+                0,
+                true,
+                run_start.elapsed().as_nanos() as u64,
+                scheme.name(),
+                &profile_summary_json(&machine),
+                &snapshot_extras(&machine, Some(&report)),
+            )
+        );
+    }
     if histograms {
         if let Some(rec) = &machine.core().trace {
             let unit = if deterministic { "insns" } else { "ns" };
@@ -528,6 +703,32 @@ fn main() -> ExitCode {
                 eprintln!("cannot write trace to {out}: {e}");
                 return ExitCode::from(2);
             }
+        }
+    }
+
+    if let Some(out) = &profile_out {
+        let clock = if deterministic { "insns" } else { "ns" };
+        let doc = build_prof_doc(&machine, scheme, clock);
+        if let Err(e) = std::fs::write(out, export::render(&doc)) {
+            eprintln!("cannot write profile to {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(out) = &metrics_out {
+        metric_lines.push(metrics::render_line(
+            metric_lines.len() as u64,
+            true,
+            run_start.elapsed().as_nanos() as u64,
+            scheme.name(),
+            &profile_summary_json(&machine),
+            &snapshot_extras(&machine, Some(&report)),
+        ));
+        let mut text = metric_lines.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("cannot write metrics to {out}: {e}");
+            return ExitCode::from(2);
         }
     }
 

@@ -364,6 +364,11 @@ pub struct ProgramRun {
     /// Chrome trace-event JSON, when the config armed the flight
     /// recorder (`MachineConfig::trace`).
     pub chrome_trace: Option<String>,
+    /// The merged guest-PC contention profile, when the config armed the
+    /// profiler (`MachineConfig::profile`). Differential oracles must
+    /// *not* compare this — it is observability, free to differ between
+    /// cells — but divergence artifacts embed its summary.
+    pub profile: Option<adbt_profile::ProfileSnapshot>,
 }
 
 /// Assembles `source` at [`IMAGE_BASE`] and runs `threads` vCPUs under
@@ -435,11 +440,14 @@ pub fn run_program(
         )
     });
 
+    let profile = machine.core().profile.as_ref().map(|rec| rec.merged());
+
     Ok(ProgramRun {
         report,
         memory,
         trace,
         chrome_trace,
+        profile,
     })
 }
 

@@ -55,8 +55,9 @@ pub use machine::{Machine, MachineBuilder};
 // The substrate, re-exported under stable paths.
 pub use adbt_engine::{
     Atomicity, Breakdown, ChaosCfg, ChaosSite, ChaosSnapshot, Histograms, LogHistogram,
-    MachineConfig, RetryPolicy, RunReport, Schedule, SimBreakdown, SimCosts, TraceEvent, TraceKind,
-    TraceRecorder, Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
+    MachineConfig, ProfileEntry, ProfileMetric, ProfileRecorder, ProfileSnapshot, ProfileTier,
+    RetryPolicy, RunReport, Schedule, SimBreakdown, SimCosts, TraceEvent, TraceKind, TraceRecorder,
+    Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
 };
 pub use adbt_isa::asm::{assemble, Image};
 pub use adbt_schemes::SchemeKind;
@@ -84,6 +85,12 @@ pub mod engine {
 /// The flight-recorder exporters (Chrome trace-event JSON + validator).
 pub mod trace {
     pub use adbt_engine::{chrome, validate};
+}
+
+/// The guest-PC contention profiler: attribution plane, `.prof` export,
+/// flamegraph folding and the metrics-snapshot schema.
+pub mod profile {
+    pub use adbt_profile::*;
 }
 
 /// The scheme implementations.

@@ -132,6 +132,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables the guest-PC contention profiler: per-vCPU fixed-size
+    /// profiles attributing SC failures, exclusive waits, HTM aborts,
+    /// monitor clears, invalidations and tier transitions to the guest
+    /// address that incurred them. `false` keeps the zero-overhead
+    /// default (one predicted branch per charge site, same discipline as
+    /// `trace`).
+    pub fn profile(mut self, on: bool) -> MachineBuilder {
+        self.config.profile = on;
+        self
+    }
+
     /// Overrides the full engine configuration.
     pub fn config(mut self, config: MachineConfig) -> MachineBuilder {
         self.config = config;

@@ -233,6 +233,32 @@ pub struct CacheOccupancy {
     pub reclaimed_segments: u64,
 }
 
+impl CacheOccupancy {
+    /// Renders the snapshot as one JSON object — the occupancy block of
+    /// the `adbt-metrics-v1` snapshot schema. Exhaustive destructure so
+    /// a new field cannot silently miss the export.
+    pub fn to_json(&self) -> String {
+        let CacheOccupancy {
+            live_blocks,
+            live_superblocks,
+            arena_bytes,
+            peak_bytes,
+            invalidations,
+            flushes,
+            retired_blocks,
+            reclaimed_blocks,
+            reclaimed_segments,
+        } = self;
+        format!(
+            "{{\"live_blocks\":{live_blocks},\"live_superblocks\":{live_superblocks},\
+             \"arena_bytes\":{arena_bytes},\"peak_bytes\":{peak_bytes},\
+             \"invalidations\":{invalidations},\"flushes\":{flushes},\
+             \"retired_blocks\":{retired_blocks},\"reclaimed_blocks\":{reclaimed_blocks},\
+             \"reclaimed_segments\":{reclaimed_segments}}}"
+        )
+    }
+}
+
 /// The shared translation cache: sharded PC index over a segmented
 /// block arena, plus the lifecycle indexes (see the module docs).
 pub(crate) struct TranslationCache {

@@ -147,6 +147,9 @@ pub fn run_block_from(
             ctx.stats.blocks += 1;
             ctx.stats.insns += block.guest_len as u64;
         }
+        if ctx.prof.is_some() {
+            ctx.prof_enter(block.guest_pc, block.superblock);
+        }
         if ctx.cpu.temps.len() < block.temps as usize {
             ctx.cpu.temps.resize(block.temps as usize, 0);
         }
@@ -358,11 +361,19 @@ pub fn run_block_from(
                 }
             }
             Op::Safepoint { resume_pc } => {
+                // Superblock segment seam: re-map the attribution scope
+                // to the stitched segment's original block PC, so
+                // charges taken in tier-2 code land on the address a
+                // deopt would resume at.
+                if ctx.prof.is_some() {
+                    ctx.prof_remap(*resume_pc);
+                }
                 // Interior safepoint poll: a superblock must not delay an
                 // exclusive requester longer than one original block.
                 let parked = ctx.machine.exclusive.safepoint_for(ctx.cpu.tid);
                 ctx.stats.exclusive_ns += parked;
                 if parked > 0 {
+                    ctx.prof_charge(adbt_profile::Metric::ParkNs, parked);
                     ctx.trace(
                         adbt_trace::TraceKind::SafepointPark,
                         ctx.cpu.pc,
@@ -376,6 +387,7 @@ pub fn run_block_from(
                     // run; no stale stitched code executes past a park.
                     if block.invalidated.is_set() {
                         ctx.stats.deopts += 1;
+                        ctx.prof_charge(adbt_profile::Metric::Deopt, 1);
                         ctx.trace(adbt_trace::TraceKind::Deopt, *resume_pc, block.guest_pc);
                         return Ok(BlockRun::Done(*resume_pc));
                     }
@@ -387,6 +399,7 @@ pub fn run_block_from(
                     // the other way. State is architectural, so resuming
                     // in the block-granular tier needs nothing but a PC.
                     ctx.stats.deopts += 1;
+                    ctx.prof_charge(adbt_profile::Metric::Deopt, 1);
                     ctx.trace(adbt_trace::TraceKind::Deopt, *target, block.guest_pc);
                     return Ok(BlockRun::Done(*target));
                 }

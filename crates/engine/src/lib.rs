@@ -80,12 +80,16 @@ mod tier;
 pub mod watchdog;
 
 pub use adbt_chaos::{ChaosCfg, ChaosPlane, ChaosSite, ChaosSnapshot, ChaosStream, RetryPolicy};
+pub use adbt_profile::{
+    Metric as ProfileMetric, PcProfile, ProfileEntry, ProfileRecorder, ProfileSnapshot,
+    Tier as ProfileTier,
+};
 pub use adbt_trace::{
     chrome, validate, Histograms, LogHistogram, TraceEvent, TraceHandle, TraceKind, TraceRecorder,
     TraceRing, WATCHDOG_TAIL,
 };
 pub use cache::CacheOccupancy;
-pub use exclusive::{ExclusiveBarrier, Halted};
+pub use exclusive::{ExclusiveBarrier, ExclusiveTelemetry, Halted};
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};
 pub use sched::{format_choices, SchedEvent, Scheduler, ScriptedScheduler};

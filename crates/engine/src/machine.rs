@@ -17,6 +17,7 @@ use adbt_htm::{HtmDomain, HtmStats};
 use adbt_ir::{BlockExit, ChainLink};
 use adbt_isa::asm::Image;
 use adbt_mmu::AddressSpace;
+use adbt_profile::{Metric as ProfMetric, ProfileRecorder};
 use adbt_sync::epoch::Qsbr;
 use adbt_sync::Mutex;
 use adbt_trace::{TraceKind, TraceRecorder, WATCHDOG_TAIL};
@@ -81,6 +82,12 @@ pub struct MachineConfig {
     /// histograms (`false` = tracing off; every trace site then costs a
     /// single predicted branch, same discipline as `chaos`).
     pub trace: bool,
+    /// Enables the guest-PC contention profiler: per-vCPU attribution
+    /// tables charging SC failures, exclusive waits, HTM aborts, monitor
+    /// clears, invalidations and tier deopts to exact guest addresses
+    /// (`false` = profiling off; every charge site then costs a single
+    /// predicted branch, same discipline as `chaos`/`trace`).
+    pub profile: bool,
     /// Executions of a block before it is promoted into a tier-2
     /// superblock (0 = tiering off; the dispatch hot path then pays a
     /// single predicted branch, same discipline as `chaos`/`trace`).
@@ -124,6 +131,7 @@ impl Default for MachineConfig {
             watchdog_ms: 0,
             htm_degrade_after: 0,
             trace: false,
+            profile: false,
             tier_threshold: 0,
             superblock_limit: 16,
             cache_limit: 0,
@@ -254,6 +262,9 @@ pub struct MachineCore {
     /// The flight recorder (per-vCPU event rings + histograms), when
     /// tracing is configured.
     pub trace: Option<Arc<TraceRecorder>>,
+    /// The guest-PC attribution plane (per-vCPU profile tables), when
+    /// profiling is configured.
+    pub profile: Option<Arc<ProfileRecorder>>,
     /// The shared retry policy for HTM region rollbacks (and any other
     /// engine retry loop): one place for budgets and backoff stages.
     pub retry: RetryPolicy,
@@ -324,6 +335,7 @@ impl MachineCore {
             output: Mutex::new(Vec::new()),
             chaos: config.chaos.map(|cfg| Arc::new(ChaosPlane::new(cfg))),
             trace: config.trace.then(|| Arc::new(TraceRecorder::new())),
+            profile: config.profile.then(|| Arc::new(ProfileRecorder::new())),
             retry: RetryPolicy {
                 max_attempts: config.htm_retry_limit,
                 yield_after: 8,
@@ -560,6 +572,14 @@ impl MachineCore {
             let parked = self.exclusive.safepoint_for(ctx.cpu.tid);
             ctx.stats.exclusive_ns += parked;
             if parked > 0 {
+                // The park belongs to the block about to run: that is
+                // the code the stop-the-world held this vCPU away from.
+                ctx.prof_charge_at(
+                    ctx.cpu.pc,
+                    adbt_profile::Tier::Block,
+                    ProfMetric::ParkNs,
+                    parked,
+                );
                 ctx.trace(
                     TraceKind::SafepointPark,
                     ctx.cpu.pc,
@@ -705,6 +725,7 @@ impl MachineCore {
                 Err(Trap::Exit(code)) => return Some(VcpuOutcome::Exited(code)),
                 Err(Trap::HtmAbort(_reason)) => {
                     ctx.stats.htm_aborts += 1;
+                    ctx.prof_htm_abort(_reason);
                     ctx.trace(TraceKind::HtmAbort, ctx.cpu.pc, _reason.code());
                     ctx.txn = None;
                     ctx.discard_txn_events();
@@ -859,6 +880,7 @@ impl MachineCore {
                 // Spurious monitor clear at a block boundary —
                 // architecturally legal at any time on ARM.
                 ctx.cpu.monitor.addr = None;
+                ctx.prof_charge(ProfMetric::MonitorClear, 1);
             }
             if ctx.chaos_roll(ChaosSite::SafepointDelay) {
                 ctx.stats.exclusive_ns += ctx.chaos_stall();
@@ -892,6 +914,9 @@ impl MachineCore {
         if summary.retired + summary.demoted > 0 {
             ctx.stats.invalidations += 1;
             ctx.stats.retired_blocks += summary.retired + summary.demoted;
+            // The injected invalidation always lands on the block at the
+            // current pc (that is how the victim was chosen).
+            ctx.prof_charge_at(pc, adbt_profile::Tier::Block, ProfMetric::Invalidation, 1);
             ctx.trace(TraceKind::Invalidate, pc, victim);
             if ctx.record_events {
                 ctx.note_event(SchedEvent::Invalidate {
@@ -992,6 +1017,21 @@ impl MachineCore {
                 // as limbo that never drains or a budget pinned at the
                 // limit.
                 dump.attach_occupancy(self.cache.occupancy());
+                // Which injections drove the stall (the text report used
+                // to lose the per-site counts entirely).
+                if let Some(plane) = &self.chaos {
+                    dump.attach_chaos(plane.snapshot());
+                }
+                // And where each stalled vCPU was paying, when the
+                // attribution plane is on: its top profile entries.
+                if let Some(rec) = &self.profile {
+                    let profiles = dump
+                        .stalled_tids
+                        .iter()
+                        .map(|&tid| (tid, rec.top_n(tid, None, 8)))
+                        .collect();
+                    dump.attach_profiles(profiles);
+                }
                 *fired.lock() = Some(dump);
                 // Release every parked or waiting thread; robust_hop turns
                 // each survivor into a clean Livelocked outcome.
@@ -1275,6 +1315,7 @@ impl MachineCore {
             Trap::Exit(code) => Some(VcpuOutcome::Exited(code)),
             Trap::HtmAbort(reason) => {
                 ctx.stats.htm_aborts += 1;
+                ctx.prof_htm_abort(reason);
                 ctx.trace(TraceKind::HtmAbort, ctx.cpu.pc, reason.code());
                 ctx.txn = None;
                 ctx.discard_txn_events();

@@ -10,6 +10,7 @@ use adbt_chaos::{ChaosSite, ChaosStream};
 use adbt_htm::{AbortReason, Txn};
 use adbt_ir::HelperId;
 use adbt_mmu::{page_of, Access, FaultKind, PageFault, Width};
+use adbt_profile::{Metric as ProfMetric, PcProfile, Tier as ProfTier};
 use adbt_trace::{TraceHandle, TraceKind};
 use std::fmt;
 use std::sync::Arc;
@@ -181,6 +182,23 @@ pub struct ExecCtx<'m> {
     pub trace: Option<TraceHandle>,
     /// Liveness heartbeat sampled by the watchdog (threaded runs only).
     pub beat: Option<Arc<VcpuBeat>>,
+    /// This vCPU's guest-PC attribution table, when the machine runs
+    /// with profiling. Every charge site is a single predicted branch
+    /// when `None`.
+    pub prof: Option<Arc<PcProfile>>,
+    /// The guest PC of the current attribution scope: the entered
+    /// block's PC, re-mapped to the stitched segment's original block
+    /// PC at superblock safepoints, so superblock samples attribute
+    /// deopt-accurately.
+    pub(crate) prof_pc: u32,
+    /// The tier of the current attribution scope.
+    pub(crate) prof_tier: ProfTier,
+    /// Consecutive failed SCs since the last success, charged to the
+    /// streak metric (at the streak's PC) when a success ends it.
+    pub(crate) prof_sc_streak: u64,
+    /// Where the current SC retry streak started; a streak that spans
+    /// blocks is charged to its first failure's address.
+    pub(crate) prof_streak_at: (u32, ProfTier),
     /// True while a *degraded* region is open: instead of an HTM
     /// transaction, the LL→SC window runs under the machine's exclusive
     /// section (the stop-the-world fallback on the degradation ladder).
@@ -242,6 +260,8 @@ impl<'m> ExecCtx<'m> {
     pub fn new(cpu: Vcpu, machine: &'m MachineCore, num_threads: u32) -> ExecCtx<'m> {
         let chaos = machine.chaos.as_ref().map(|plane| plane.stream(cpu.tid));
         let trace = machine.trace.as_ref().map(|rec| rec.handle(cpu.tid));
+        let prof = machine.profile.as_ref().map(|rec| rec.profile(cpu.tid));
+        let entry_pc = cpu.pc;
         let robust = chaos.is_some()
             || machine.config.watchdog_ms > 0
             || machine.config.htm_degrade_after > 0;
@@ -256,6 +276,11 @@ impl<'m> ExecCtx<'m> {
             chaos,
             trace,
             beat: None,
+            prof,
+            prof_pc: entry_pc,
+            prof_tier: ProfTier::Block,
+            prof_sc_streak: 0,
+            prof_streak_at: (entry_pc, ProfTier::Block),
             region_exclusive: false,
             degrade_next_region: false,
             region_blocks: 0,
@@ -290,6 +315,97 @@ impl<'m> ExecCtx<'m> {
         }
     }
 
+    /// Enters a fresh attribution scope: the dispatched block's guest
+    /// PC and tier. Called on every fresh block entry (a single
+    /// predicted branch when profiling is off, since the fields are
+    /// dead without a table to charge).
+    #[inline]
+    pub(crate) fn prof_enter(&mut self, guest_pc: u32, superblock: bool) {
+        self.prof_pc = guest_pc;
+        self.prof_tier = if superblock {
+            ProfTier::Super
+        } else {
+            ProfTier::Block
+        };
+    }
+
+    /// Re-maps the attribution scope to a stitched segment's original
+    /// block PC (superblock interior safepoints), so samples taken in
+    /// tier-2 code attribute to the same addresses a deopt would resume
+    /// at.
+    #[inline]
+    pub(crate) fn prof_remap(&mut self, segment_pc: u32) {
+        self.prof_pc = segment_pc;
+    }
+
+    /// Charges `amount` of `metric` to the current attribution scope.
+    /// Duration metrics are zeroed outside threaded runs — the
+    /// deterministic modes measure no meaningful wall time, and charging
+    /// scheduler noise would break their replay purity.
+    #[inline]
+    pub fn prof_charge(&self, metric: ProfMetric, amount: u64) {
+        if let Some(prof) = &self.prof {
+            let amount = if metric.is_duration() && !self.machine.is_threaded() {
+                0
+            } else {
+                amount
+            };
+            prof.charge(self.prof_pc, self.prof_tier, metric, amount);
+        }
+    }
+
+    /// Charges `amount` of `metric` to an explicit guest address —
+    /// used where the cost belongs to a *resolved* PC rather than the
+    /// executing scope (invalidation victims resolved through the
+    /// translation cache, tier promotions).
+    #[inline]
+    pub fn prof_charge_at(&self, pc: u32, tier: ProfTier, metric: ProfMetric, amount: u64) {
+        if let Some(prof) = &self.prof {
+            let amount = if metric.is_duration() && !self.machine.is_threaded() {
+                0
+            } else {
+                amount
+            };
+            prof.charge(pc, tier, metric, amount);
+        }
+    }
+
+    /// Profile disposition of an SC outcome: failures charge the
+    /// failure metric here and extend the retry streak; the success
+    /// ending a streak charges the streak's accumulated length to the
+    /// address where it started.
+    #[cold]
+    fn prof_sc(&mut self, ok: bool) {
+        if ok {
+            if self.prof_sc_streak > 0 {
+                let (pc, tier) = self.prof_streak_at;
+                self.prof_charge_at(pc, tier, ProfMetric::ScStreak, self.prof_sc_streak);
+                self.prof_sc_streak = 0;
+            }
+        } else {
+            if self.prof_sc_streak == 0 {
+                self.prof_streak_at = (self.prof_pc, self.prof_tier);
+            }
+            self.prof_sc_streak += 1;
+            self.prof_charge(ProfMetric::ScFail, 1);
+        }
+    }
+
+    /// Charges an HTM abort to the current scope, split by reason.
+    /// Public so schemes with internal HTM retry loops (HST-HTM) can
+    /// attribute their aborts the same way the run loop does.
+    #[inline]
+    pub fn prof_htm_abort(&self, reason: AbortReason) {
+        if self.prof.is_some() {
+            let metric = match reason {
+                AbortReason::Conflict => ProfMetric::HtmConflict,
+                AbortReason::Capacity => ProfMetric::HtmCapacity,
+                _ => ProfMetric::HtmOther,
+            };
+            self.prof_charge(metric, 1);
+        }
+    }
+
     /// Notes that this vCPU's LL armed its monitor on `addr`. Scheme
     /// helpers that arm the monitor themselves (rather than through
     /// `Op::MonitorArm`) must call this.
@@ -312,6 +428,9 @@ impl<'m> ExecCtx<'m> {
         if self.trace.is_some() {
             self.trace_sc(addr, ok, value);
         }
+        if self.prof.is_some() {
+            self.prof_sc(ok);
+        }
         if self.record_events {
             self.note_event(SchedEvent::Sc {
                 tid: self.cpu.tid,
@@ -326,6 +445,7 @@ impl<'m> ExecCtx<'m> {
     #[inline]
     pub fn note_clrex(&mut self) {
         self.trace(TraceKind::Clrex, 0, 0);
+        self.prof_charge(ProfMetric::MonitorClear, 1);
         if self.record_events {
             self.note_event(SchedEvent::Clrex { tid: self.cpu.tid });
         }
@@ -563,6 +683,8 @@ impl<'m> ExecCtx<'m> {
         self.stats.degradations += 1;
         self.stats.exclusive_entries += 1;
         self.stats.exclusive_ns += waited;
+        self.prof_charge(ProfMetric::ExclEntry, 1);
+        self.prof_charge(ProfMetric::ExclWaitNs, waited);
         self.trace(
             TraceKind::Degrade,
             self.cpu.pc,
@@ -1041,7 +1163,24 @@ impl<'m> ExecCtx<'m> {
             // only data. Nothing to retire — the page stays tracked, so
             // such stores keep paying the fault-and-bypass toll.
             self.stats.smc_false_sharing += 1;
+            self.prof_charge(ProfMetric::SmcFalseSharing, 1);
         } else {
+            // Attribute the invalidation to each victim's *original*
+            // guest PC, resolved through the translation cache before
+            // the batch retires them — the patched code pays, not the
+            // patching store's block.
+            if self.prof.is_some() {
+                for &victim in &victims {
+                    if let Some(block) = self.machine.cache.block(victim) {
+                        let tier = if block.superblock {
+                            ProfTier::Super
+                        } else {
+                            ProfTier::Block
+                        };
+                        self.prof_charge_at(block.guest_pc, tier, ProfMetric::Invalidation, 1);
+                    }
+                }
+            }
             let epoch = self.machine.qsbr.begin_grace();
             let summary = self.machine.cache.retire_batch(&victims, epoch);
             for &p in &summary.untrack_pages {
@@ -1132,6 +1271,8 @@ impl<'m> ExecCtx<'m> {
         match self.machine.exclusive.start_exclusive() {
             Ok(waited) => {
                 self.stats.exclusive_ns += waited;
+                self.prof_charge(ProfMetric::ExclEntry, 1);
+                self.prof_charge(ProfMetric::ExclWaitNs, waited);
                 self.trace_exclusive_enter(waited);
                 self.note_event(SchedEvent::ExclusiveEnter { tid: self.cpu.tid });
                 Ok(())
@@ -1182,6 +1323,8 @@ impl<'m> ExecCtx<'m> {
             self.stats.degradations += 1;
             self.stats.exclusive_entries += 1;
             self.stats.exclusive_ns += waited;
+            self.prof_charge(ProfMetric::ExclEntry, 1);
+            self.prof_charge(ProfMetric::ExclWaitNs, waited);
             self.trace_htm_streak(self.txn_retries);
             self.trace(
                 TraceKind::Degrade,

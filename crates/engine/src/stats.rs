@@ -256,6 +256,119 @@ impl VcpuStats {
         self.sim_instrument_units += sim_instrument_units;
         self.sim_event_units += sim_event_units;
     }
+
+    /// Renders every counter as one JSON object — the stats block of
+    /// the `adbt-metrics-v1` snapshot schema (`adbt_run --stats-json`
+    /// and the final `--metrics` line). The exhaustive destructure
+    /// keeps the schema honest: adding a counter without exporting it
+    /// fails to compile, same discipline as [`VcpuStats::merge`].
+    pub fn to_json(&self) -> String {
+        let VcpuStats {
+            insns,
+            blocks,
+            translations,
+            loads,
+            stores,
+            ll,
+            sc,
+            sc_failures,
+            sc_failures_injected,
+            helper_calls,
+            htable_sets,
+            page_faults,
+            false_sharing_faults,
+            exclusive_entries,
+            mprotect_calls,
+            remap_calls,
+            htm_txns,
+            htm_aborts,
+            yields,
+            lock_acquisitions,
+            txn_dispatches,
+            fused_rmws,
+            dispatch_lookups,
+            chain_follows,
+            l1_hits,
+            l1_misses,
+            injected_faults,
+            degradations,
+            promotions,
+            deopts,
+            tier_blocks,
+            tier_insns,
+            opt_nzcv_killed,
+            opt_const_folded,
+            opt_htable_coalesced,
+            invalidations,
+            flushes,
+            retired_blocks,
+            reclaimed_blocks,
+            smc_false_sharing,
+            exclusive_ns,
+            mprotect_ns,
+            lock_wait_ns,
+            sim_time,
+            sim_exclusive_units,
+            sim_mprotect_units,
+            sim_instrument_units,
+            sim_event_units,
+        } = self;
+        let fields: [(&str, u64); 48] = [
+            ("insns", *insns),
+            ("blocks", *blocks),
+            ("translations", *translations),
+            ("loads", *loads),
+            ("stores", *stores),
+            ("ll", *ll),
+            ("sc", *sc),
+            ("sc_failures", *sc_failures),
+            ("sc_failures_injected", *sc_failures_injected),
+            ("helper_calls", *helper_calls),
+            ("htable_sets", *htable_sets),
+            ("page_faults", *page_faults),
+            ("false_sharing_faults", *false_sharing_faults),
+            ("exclusive_entries", *exclusive_entries),
+            ("mprotect_calls", *mprotect_calls),
+            ("remap_calls", *remap_calls),
+            ("htm_txns", *htm_txns),
+            ("htm_aborts", *htm_aborts),
+            ("yields", *yields),
+            ("lock_acquisitions", *lock_acquisitions),
+            ("txn_dispatches", *txn_dispatches),
+            ("fused_rmws", *fused_rmws),
+            ("dispatch_lookups", *dispatch_lookups),
+            ("chain_follows", *chain_follows),
+            ("l1_hits", *l1_hits),
+            ("l1_misses", *l1_misses),
+            ("injected_faults", *injected_faults),
+            ("degradations", *degradations),
+            ("promotions", *promotions),
+            ("deopts", *deopts),
+            ("tier_blocks", *tier_blocks),
+            ("tier_insns", *tier_insns),
+            ("opt_nzcv_killed", *opt_nzcv_killed),
+            ("opt_const_folded", *opt_const_folded),
+            ("opt_htable_coalesced", *opt_htable_coalesced),
+            ("invalidations", *invalidations),
+            ("flushes", *flushes),
+            ("retired_blocks", *retired_blocks),
+            ("reclaimed_blocks", *reclaimed_blocks),
+            ("smc_false_sharing", *smc_false_sharing),
+            ("exclusive_ns", *exclusive_ns),
+            ("mprotect_ns", *mprotect_ns),
+            ("lock_wait_ns", *lock_wait_ns),
+            ("sim_time", *sim_time),
+            ("sim_exclusive_units", *sim_exclusive_units),
+            ("sim_mprotect_units", *sim_mprotect_units),
+            ("sim_instrument_units", *sim_instrument_units),
+            ("sim_event_units", *sim_event_units),
+        ];
+        let cells: Vec<String> = fields
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
 }
 
 /// The virtual-time cost model used by the simulated-multicore mode

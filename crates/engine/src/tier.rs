@@ -379,6 +379,15 @@ impl MachineCore {
                 ctx.stats.opt_nzcv_killed += passes.nzcv_killed;
                 ctx.stats.opt_const_folded += passes.const_folded;
                 ctx.stats.opt_htable_coalesced += passes.htable_coalesced;
+                // Attribute the promotion to the hot entry PC in the
+                // tier it graduates *into*: the superblock row collects
+                // the tier-2 costs that follow.
+                ctx.prof_charge_at(
+                    entry_pc,
+                    adbt_profile::Tier::Super,
+                    adbt_profile::Metric::Promote,
+                    1,
+                );
                 ctx.trace(TraceKind::Promote, entry_pc, sid);
                 Some(sid)
             }

@@ -14,6 +14,8 @@
 //! legitimate stop-the-world pause of the chosen scheme.
 
 use crate::cache::CacheOccupancy;
+use adbt_chaos::ChaosSnapshot;
+use adbt_profile::ProfileEntry;
 use adbt_trace::TraceEvent;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
@@ -59,6 +61,13 @@ pub struct WatchdogDump {
     /// a stall during an invalidation storm shows up here as limbo that
     /// never drains or a footprint pinned at the budget.
     pub occupancy: Option<CacheOccupancy>,
+    /// Per-site injected-fault counts at the moment the watchdog fired,
+    /// when a chaos campaign was active — which injections drove the
+    /// machine into the stall.
+    pub chaos: Option<ChaosSnapshot>,
+    /// The hottest profile entries per stalled vCPU (tid, entries) when
+    /// profiling was on — *where* each thread was burning its time.
+    pub profiles: Vec<(u32, Vec<ProfileEntry>)>,
 }
 
 impl WatchdogDump {
@@ -93,6 +102,34 @@ impl WatchdogDump {
             occupancy.reclaimed_segments,
         ));
         self.occupancy = Some(occupancy);
+    }
+
+    /// Attaches the chaos plane's per-site injection counts, both
+    /// structured and rendered into the text report (previously the text
+    /// rendering lost them entirely).
+    pub fn attach_chaos(&mut self, snapshot: ChaosSnapshot) {
+        self.report
+            .push_str(&format!("chaos injections: {} total\n", snapshot.total()));
+        for (site, count) in snapshot.fired() {
+            self.report
+                .push_str(&format!("  {}: {}\n", site.name(), count));
+        }
+        self.chaos = Some(snapshot);
+    }
+
+    /// Attaches the hottest profile entries per stalled vCPU, both
+    /// structured and rendered into the text report — the attribution
+    /// plane's view of where each stalled thread was paying.
+    pub fn attach_profiles(&mut self, profiles: Vec<(u32, Vec<ProfileEntry>)>) {
+        self.report.push_str("hottest profile entries:\n");
+        for (tid, entries) in &profiles {
+            self.report.push_str(&format!("  vcpu tid={tid}:\n"));
+            for entry in entries {
+                self.report
+                    .push_str(&format!("    {}\n", adbt_profile::render_entry(entry)));
+            }
+        }
+        self.profiles = profiles;
     }
 }
 
@@ -133,6 +170,8 @@ pub fn sample(beats: &[std::sync::Arc<VcpuBeat>], last: &mut [u64]) -> Option<Wa
             report,
             ring_events: Vec::new(),
             occupancy: None,
+            chaos: None,
+            profiles: Vec::new(),
         })
     } else {
         None

@@ -6,13 +6,15 @@
 //! ```
 //!
 //! Each seed generates one racy-but-result-deterministic guest program
-//! and runs it across every scheme × {sim, sim+chaos, threaded,
-//! threaded+tiered, scheduled} cell; all cells must agree on outcomes
-//! and final memory, match the generator's static predictions, and
-//! pass the counter-invariant suite. Divergences are minimized and
-//! written as replayable artifacts under `--out` (default
-//! `fuzz-artifacts/`): the minimized program, a repro report, the
-//! scheduled replay trace, and a Chrome trace.
+//! and runs it across every scheme × {sim, sim+chaos, sim+prof,
+//! threaded, threaded+tiered, scheduled} cell; all cells must agree on
+//! outcomes and final memory, match the generator's static predictions,
+//! and pass the counter-invariant suite. The `sim+prof` cell is the
+//! contention profiler's purity oracle: profiling on must change
+//! nothing observable. Divergences are minimized and written as
+//! replayable artifacts under `--out` (default `fuzz-artifacts/`): the
+//! minimized program, a repro report, the scheduled replay trace, a
+//! Chrome trace, and a guest-PC profile summary.
 //!
 //! `--seed S` fuzzes exactly that seed. `--seeds N` fuzzes `N`
 //! consecutive seeds (from `--seed`, or 0). `--ci` selects the pinned
@@ -160,6 +162,9 @@ fn write_artifacts(out: &Path, d: &adbt_fuzz::Divergence) -> std::io::Result<()>
     }
     if let Some(json) = &d.artifact.chrome_trace {
         std::fs::write(dir.join("chrome.json"), json)?;
+    }
+    if let Some(json) = &d.artifact.profile_summary {
+        std::fs::write(dir.join("profile.json"), json)?;
     }
     println!("    artifact: {}", dir.display());
     Ok(())

@@ -1,11 +1,16 @@
 //! The differential execution matrix and its oracle.
 //!
 //! One seed's program runs in every cell of
-//! `scheme × {sim, sim+chaos, threaded, threaded+tiered, scheduled}`.
-//! The first cell (reference scheme, plain sim) is the reference; every
-//! other cell must agree with it on the outcome vector and the full
-//! final memory image — code pages included, so deterministic SMC
-//! patches must land identically everywhere. The reference itself is
+//! `scheme × {sim, sim+chaos, sim+prof, threaded, threaded+tiered,
+//! scheduled}`. The first cell (reference scheme, plain sim) is the
+//! reference; every other cell must agree with it on the outcome vector
+//! and the full final memory image — code pages included, so
+//! deterministic SMC patches must land identically everywhere. The
+//! `sim+prof` cell is the profiler's purity oracle: it is the reference
+//! configuration with the contention profiler enabled, so any
+//! divergence there means observation changed behaviour. The profile
+//! snapshot itself is never compared — it is observability, free to
+//! differ — but divergence artifacts embed its summary. The reference itself is
 //! checked against the generator's *static* predictions (exit codes and
 //! final data-word values), so agreement alone can't mask a bug every
 //! scheme shares. Every cell additionally passes the counter-invariant
@@ -36,6 +41,9 @@ pub enum CellMode {
     /// Sim with the deterministic fault-injection campaign (SC-failure
     /// injection plus an invalidation storm).
     SimChaos,
+    /// Sim with the guest-PC contention profiler enabled — the purity
+    /// oracle: profiling must never change outcomes or memory.
+    SimProfiled,
     /// Real OS threads, untiered, watchdog armed.
     Threaded,
     /// Real OS threads with aggressive tiering (sim never tiers, so
@@ -48,9 +56,10 @@ pub enum CellMode {
 
 impl CellMode {
     /// Every mode, in matrix order (reference first).
-    pub const ALL: [CellMode; 5] = [
+    pub const ALL: [CellMode; 6] = [
         CellMode::Sim,
         CellMode::SimChaos,
+        CellMode::SimProfiled,
         CellMode::Threaded,
         CellMode::ThreadedTiered,
         CellMode::Scheduled,
@@ -60,6 +69,7 @@ impl CellMode {
         match self {
             CellMode::Sim => "sim",
             CellMode::SimChaos => "sim+chaos",
+            CellMode::SimProfiled => "sim+prof",
             CellMode::Threaded => "threaded",
             CellMode::ThreadedTiered => "threaded+tier",
             CellMode::Scheduled => "sched",
@@ -150,6 +160,7 @@ impl FuzzOpts {
                         .with_invalidate(self.chaos_invalidate),
                 );
             }
+            CellMode::SimProfiled => cfg.profile = true,
             CellMode::Threaded => cfg.watchdog_ms = self.watchdog_ms,
             CellMode::ThreadedTiered => {
                 cfg.watchdog_ms = self.watchdog_ms;
@@ -162,7 +173,7 @@ impl FuzzOpts {
 
     fn exec_mode(&self, cell: Cell) -> ExecMode {
         match cell.mode {
-            CellMode::Sim | CellMode::SimChaos => ExecMode::Sim,
+            CellMode::Sim | CellMode::SimChaos | CellMode::SimProfiled => ExecMode::Sim,
             CellMode::Threaded | CellMode::ThreadedTiered => ExecMode::Threaded,
             CellMode::Scheduled => ExecMode::Scheduled {
                 max_atoms: self.max_atoms,
@@ -218,6 +229,10 @@ pub struct Artifact {
     /// Chrome trace-event JSON of a traced sim run of the minimized
     /// program on the offending scheme.
     pub chrome_trace: Option<String>,
+    /// Profile-summary JSON (`adbt-metrics-v1` `profile` object) of a
+    /// profiled sim run of the minimized program on the offending
+    /// scheme — which guest PCs were contending when the bug fired.
+    pub profile_summary: Option<String>,
 }
 
 /// One seed's verdict.
@@ -549,6 +564,17 @@ fn build_artifact(
     )
     .ok()
     .and_then(|run| run.chrome_trace);
+    // The profiled sim cell attributes the minimized program's contention
+    // to guest PCs — where the retries/waits were when the bug fired.
+    let profiled = Cell {
+        scheme: cell.scheme,
+        mode: CellMode::SimProfiled,
+    };
+    let profile_summary = opts
+        .run_cell(seed, profiled, &prog)
+        .ok()
+        .and_then(|run| run.profile)
+        .map(|snap| adbt::profile::metrics::profile_summary(&snap));
 
     let mut report = String::new();
     let _ = writeln!(report, "adbt_fuzz divergence report");
@@ -598,6 +624,7 @@ fn build_artifact(
         report,
         replay_trace,
         chrome_trace,
+        profile_summary,
     }
 }
 
@@ -638,7 +665,7 @@ mod tests {
             ..FuzzOpts::default()
         };
         let result = run_seed(3, &opts);
-        assert_eq!(result.cells, 10);
+        assert_eq!(result.cells, 12);
         assert!(
             result.divergence.is_none(),
             "{:?}",
@@ -681,6 +708,11 @@ mod tests {
         );
         let chrome = artifact.chrome_trace.expect("chrome trace");
         assert!(chrome.contains("\"traceEvents\""));
+        let profile = artifact.profile_summary.expect("profile summary");
+        assert!(
+            profile.contains("\"totals\""),
+            "not a profile summary: {profile}"
+        );
     }
 
     /// The counter suite must flag a cooked report: merged ≠ sum.

@@ -18,6 +18,27 @@ pub struct HtmStats {
     pub interference_aborts: u64,
 }
 
+impl HtmStats {
+    /// Renders the counters as one JSON object — the htm block of the
+    /// `adbt-metrics-v1` snapshot schema. Exhaustive destructure so a
+    /// new counter cannot silently miss the export.
+    pub fn to_json(&self) -> String {
+        let HtmStats {
+            begun,
+            committed,
+            conflict_aborts,
+            capacity_aborts,
+            explicit_aborts,
+            interference_aborts,
+        } = self;
+        format!(
+            "{{\"begun\":{begun},\"committed\":{committed},\
+             \"conflict_aborts\":{conflict_aborts},\"capacity_aborts\":{capacity_aborts},\
+             \"explicit_aborts\":{explicit_aborts},\"interference_aborts\":{interference_aborts}}}"
+        )
+    }
+}
+
 pub(crate) struct StatsCells {
     pub begun: AtomicU64,
     pub committed: AtomicU64,

@@ -33,6 +33,17 @@ impl AbortReason {
             AbortReason::EngineInterference => 4,
         }
     }
+
+    /// A stable snake-case name for machine-readable exports (metrics
+    /// snapshots, profile documents).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Conflict => "conflict",
+            AbortReason::Capacity => "capacity",
+            AbortReason::Explicit => "explicit",
+            AbortReason::EngineInterference => "engine_interference",
+        }
+    }
 }
 
 impl fmt::Display for AbortReason {

@@ -18,6 +18,7 @@
 use adbt_engine::{
     AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry, RetryPolicy, TraceKind, Trap,
 };
+use adbt_htm::AbortReason;
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{Access, Width};
 use std::time::Instant;
@@ -334,8 +335,9 @@ impl AtomicScheme for HstHtm {
                 let mut attempt = 0u64;
                 // One unified retry shape: spin, then yield, then — once
                 // the budget is spent — degrade to stop-the-world.
-                let backoff = |ctx: &mut ExecCtx<'_>, attempt: u64| {
+                let backoff = |ctx: &mut ExecCtx<'_>, attempt: u64, reason: AbortReason| {
                     ctx.stats.htm_aborts += 1;
+                    ctx.prof_htm_abort(reason);
                     ctx.trace(
                         TraceKind::HtmAbort,
                         addr,
@@ -360,15 +362,15 @@ impl AtomicScheme for HstHtm {
                     // set: a competing LL or instrumented store flipping
                     // the entry after our check below aborts this commit
                     // (the entry's cache line, on real HTM).
-                    if txn.observe(entry_token).is_err() {
-                        backoff(ctx, attempt);
+                    if let Err(reason) = txn.observe(entry_token) {
+                        backoff(ctx, attempt, reason);
                         continue;
                     }
                     // Transactionally read the word so any concurrent
                     // plain store (which bumps the version) aborts us,
                     // then re-validate the hash entry inside the window.
-                    if txn.load_word(ctx.machine.space.mem(), paddr).is_err() {
-                        backoff(ctx, attempt);
+                    if let Err(reason) = txn.load_word(ctx.machine.space.mem(), paddr) {
+                        backoff(ctx, attempt, reason);
                         continue;
                     }
                     if !sc_precondition(ctx, addr) {
@@ -377,15 +379,15 @@ impl AtomicScheme for HstHtm {
                         ctx.note_sc(addr, false, new);
                         return Ok(1);
                     }
-                    if txn.store_word(paddr, new).is_err() {
-                        backoff(ctx, attempt);
+                    if let Err(reason) = txn.store_word(paddr, new) {
+                        backoff(ctx, attempt, reason);
                         continue;
                     }
                     // Injected spurious abort at commit, the point real
                     // HTM is most likely to fail for external reasons.
                     if ctx.robust && ctx.chaos_roll(ChaosSite::HtmCommit) {
-                        let _ = txn.abort();
-                        backoff(ctx, attempt);
+                        let reason = txn.abort();
+                        backoff(ctx, attempt, reason);
                         continue;
                     }
                     match txn.commit(ctx.machine.space.mem()) {
@@ -400,8 +402,8 @@ impl AtomicScheme for HstHtm {
                             ctx.note_sc(addr, true, new);
                             return Ok(0);
                         }
-                        Err(_) => {
-                            backoff(ctx, attempt);
+                        Err(reason) => {
+                            backoff(ctx, attempt, reason);
                         }
                     }
                 }

@@ -19,7 +19,7 @@
 //! as a no-op and interleaves at block boundaries, where the
 //! helper+store pair is never split.
 
-use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry};
+use adbt_engine::{AtomicScheme, Atomicity, ChaosSite, ExecCtx, HelperRegistry, ProfileMetric};
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::Width;
 use adbt_sync::{Mutex, MutexGuard};
@@ -50,14 +50,21 @@ fn lock_registry<'a>(
     }
     // Injected lock-acquire stall: models a descheduled lock holder.
     if ctx.robust && ctx.chaos_roll(ChaosSite::LockStall) {
-        ctx.stats.lock_wait_ns += ctx.chaos_stall();
+        let stall = ctx.chaos_stall();
+        ctx.stats.lock_wait_ns += stall;
+        ctx.prof_charge(ProfileMetric::ExclWaitNs, stall);
     }
     if let Some(guard) = shared.try_lock() {
         return guard;
     }
     let start = Instant::now();
     let guard = shared.lock();
-    ctx.stats.lock_wait_ns += start.elapsed().as_nanos() as u64;
+    let waited = start.elapsed().as_nanos() as u64;
+    ctx.stats.lock_wait_ns += waited;
+    // PICO-ST's global registry lock plays the role the exclusive
+    // barrier plays elsewhere, so contended waits land in the same
+    // profile bucket and the hot guest PCs show up under `excl_wait_ns`.
+    ctx.prof_charge(ProfileMetric::ExclWaitNs, waited);
     guard
 }
 

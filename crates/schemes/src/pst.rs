@@ -22,7 +22,7 @@
 
 use adbt_engine::{
     AtomicScheme, Atomicity, ChaosSite, ExecCtx, FaultAccess, FaultOutcome, HelperRegistry,
-    TraceKind, Trap,
+    ProfileMetric, TraceKind, Trap,
 };
 use adbt_ir::{BlockBuilder, HelperId, Op, Slot, Src};
 use adbt_mmu::{FaultKind, PageFault, Perms, Width, PAGE_SHIFT, PAGE_SIZE};
@@ -208,6 +208,7 @@ fn handle_protected_store(
     let broke_any = list.len() != before;
     if !broke_any {
         ctx.stats.false_sharing_faults += 1;
+        ctx.prof_charge(ProfileMetric::FalseSharing, 1);
         ctx.trace(TraceKind::FalseSharing, fault.vaddr, 0);
     }
     if list.is_empty() {

@@ -4,7 +4,7 @@
 //!
 //! 1. **Frozen corpus** — seeds that exercise every generator feature
 //!    (SMC patch loops, page-straddling stores, chaos-absorbing retry
-//!    loops) run the full 8-scheme × 5-cell matrix and must stay
+//!    loops) run the full 8-scheme × 6-cell matrix and must stay
 //!    divergence-free. A seed that ever finds an engine bug gets
 //!    appended here after the fix, so the bug stays dead.
 //! 2. **Replay fidelity** — the acceptance contract that a recorded
@@ -40,7 +40,7 @@ fn frozen_corpus_stays_clean() {
             "seed {seed:#x} regressed: {:?}",
             result.divergence.map(|d| (d.cell, d.minimized_detail)),
         );
-        assert_eq!(result.cells, 40, "matrix shrank behind the corpus' back");
+        assert_eq!(result.cells, 48, "matrix shrank behind the corpus' back");
     }
 }
 
