@@ -91,6 +91,14 @@ cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
 cargo run -q --release --offline -p adbt-fuzz --bin adbt_fuzz -- \
     --ci --seeds 32 --max-insns 256 --out "$TRACE_TMP/fuzz-artifacts"
 
+# Adaptive fuzz smoke (release, ~seconds): 8 pinned seeds rerun with
+# the arbiter-driven auto cells appended to the matrix — an adaptive
+# machine under an aggressively short epoch must agree with every
+# static reference in every execution mode, migrations and all.
+cargo run -q --release --offline -p adbt-fuzz --bin adbt_fuzz -- \
+    --ci --seeds 8 --max-insns 256 --auto \
+    --out "$TRACE_TMP/fuzz-auto-artifacts"
+
 # Profiled chaos soak (release, ~seconds): the same seed-pinned
 # contended counter runs on every scheme with the guest-PC contention
 # profiler armed on top of fault injection. Each run writes a .prof
@@ -124,3 +132,16 @@ mkdir -p results
 cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
     --iters 150000 --reps 5 --profiled --guard 5 \
     --json results/bench_profiling.json
+
+# Adaptive-arbitration guard: part 1 measures the armed-idle adaptive
+# machine (epoch never elapses) against the static-with-profile
+# baseline per scheme — the geomean overhead must stay under 3%, the
+# tripwire for "adaptation you don't run is (nearly) free" (a static
+# machine's adaptation-off path is one predicted branch and strictly
+# cheaper than even the armed machine). Part 2 scores --scheme auto
+# against every static on the three-phase mixed workload in
+# deterministic virtual time; the table lands in results/ as the
+# record behind EXPERIMENTS.md's adaptive-mode section.
+cargo run -q --release --offline -p adbt-bench --bin dispatch_bench -- \
+    --iters 60000 --reps 3 --adapt --guard 3 \
+    --json results/bench_adapt.json

@@ -1,0 +1,314 @@
+//! # adbt-adapt — profile-driven online scheme arbitration
+//!
+//! The CGO'21 paper's central result is that no single atomic-emulation
+//! scheme wins everywhere: HST's inline store test is cheap until SC
+//! traffic makes its stop-the-world sections dominate, the PST family
+//! collapses under protection-fault storms, and the HTM-backed schemes
+//! are fastest right up until contention turns them into abort storms.
+//! This crate closes the loop the paper leaves open: it watches the
+//! engine's per-epoch workload signals and *moves the machine* to the
+//! scheme its cost models predict is cheapest for the code actually
+//! running.
+//!
+//! The division of labor with `adbt-engine` is strict:
+//!
+//! * the **engine** owns when arbitration happens, the legality rules
+//!   (atomicity-class policy, store-family coexistence), hysteresis,
+//!   cooldown, and the migration mechanics (retire → retranslate under
+//!   the stop-the-world window);
+//! * **this crate** owns only the scoring: a pure function from an
+//!   [`EpochObservation`] to a [`Proposal`], so decisions replay
+//!   deterministically and can be unit-tested without a machine.
+//!
+//! [`CostModelArbiter`] is the default policy: score every candidate by
+//! pricing the epoch's observed signal deltas under its
+//! [`SchemeCostModel`](adbt_engine::SchemeCostModel) weights, and
+//! propose the cheapest *legal* candidate — but only when it undercuts
+//! the active scheme by a configurable margin, so near-ties never churn
+//! the translation cache.
+
+use adbt_engine::{AdaptPolicy, Atomicity, EpochObservation, Proposal, SchemeArbiter};
+
+/// The default arbitration policy: per-candidate cost-model scoring
+/// with a switch margin.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModelArbiter {
+    /// Minimum predicted improvement, in percent of the active scheme's
+    /// cost, before a switch is proposed. Damps churn on near-ties;
+    /// the engine's hysteresis and cooldown damp flapping on top.
+    pub margin_percent: u64,
+}
+
+impl Default for CostModelArbiter {
+    fn default() -> CostModelArbiter {
+        CostModelArbiter { margin_percent: 10 }
+    }
+}
+
+impl CostModelArbiter {
+    /// Creates the arbiter with the default 10% switch margin.
+    pub fn new() -> CostModelArbiter {
+        CostModelArbiter::default()
+    }
+}
+
+/// Whether the policy would let the machine move between two atomicity
+/// classes. Mirrors the engine's gate: the arbiter marks illegal
+/// candidates ineligible up front so it never proposes a move the
+/// engine would only deny (the engine still re-checks — its gate is the
+/// enforcement, this is the optimization).
+fn class_move_ok(policy: AdaptPolicy, from: Atomicity, to: Atomicity) -> bool {
+    if from == to {
+        return true;
+    }
+    match policy {
+        AdaptPolicy::Strong => false,
+        AdaptPolicy::WeakOk => from != Atomicity::Incorrect && to != Atomicity::Incorrect,
+    }
+}
+
+impl SchemeArbiter for CostModelArbiter {
+    fn decide(&self, obs: &EpochObservation<'_>) -> Proposal {
+        let from = obs.candidates[obs.active].atomicity;
+        let scores: Vec<u64> = obs
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| {
+                if i != obs.active && !class_move_ok(obs.policy, from, cand.atomicity) {
+                    u64::MAX
+                } else {
+                    obs.signals.cost_under(&cand.costs)
+                }
+            })
+            .collect();
+        let active_cost = scores[obs.active];
+        let mut target = obs.active;
+        let mut best = active_cost;
+        for (i, &score) in scores.iter().enumerate() {
+            // Strict `<`: ties keep the earlier candidate (and the
+            // active scheme beats any equal challenger), so the
+            // proposal is deterministic.
+            if score < best {
+                best = score;
+                target = i;
+            }
+        }
+        if target != obs.active {
+            // Demand the margin in u128 space so `cost * 100` cannot wrap.
+            let margin = self.margin_percent.min(99) as u128;
+            if (best as u128) * 100 > (active_cost as u128) * (100 - margin) {
+                target = obs.active;
+            }
+        }
+        Proposal { target, scores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adbt_engine::{CandidateInfo, EpochSignals, SchemeCostModel, StoreFamily};
+
+    fn cand(
+        name: &'static str,
+        atomicity: Atomicity,
+        family: StoreFamily,
+        costs: SchemeCostModel,
+    ) -> CandidateInfo {
+        CandidateInfo {
+            name,
+            atomicity,
+            family,
+            requires_htm: false,
+            costs,
+        }
+    }
+
+    /// A miniature strong-class candidate set shaped like the real one:
+    /// cheap-stores/expensive-SC vs expensive-stores/cheap-SC vs
+    /// contention-fragile.
+    fn strong_set() -> Vec<CandidateInfo> {
+        vec![
+            cand(
+                "hst",
+                Atomicity::Strong,
+                StoreFamily::Htable,
+                SchemeCostModel {
+                    store_unit: 1,
+                    sc_unit: 80,
+                    sc_retry_unit: 80,
+                    contention_unit: 0,
+                    fault_unit: 0,
+                },
+            ),
+            cand(
+                "pico-st",
+                Atomicity::Strong,
+                StoreFamily::Locked,
+                SchemeCostModel {
+                    store_unit: 40,
+                    sc_unit: 40,
+                    sc_retry_unit: 40,
+                    contention_unit: 30,
+                    fault_unit: 0,
+                },
+            ),
+            cand(
+                "pico-htm",
+                Atomicity::Strong,
+                StoreFamily::Plain,
+                SchemeCostModel {
+                    store_unit: 0,
+                    sc_unit: 40,
+                    sc_retry_unit: 60,
+                    contention_unit: 120,
+                    fault_unit: 0,
+                },
+            ),
+            cand(
+                "hst-weak",
+                Atomicity::Weak,
+                StoreFamily::Plain,
+                SchemeCostModel {
+                    store_unit: 0,
+                    sc_unit: 25,
+                    sc_retry_unit: 25,
+                    contention_unit: 0,
+                    fault_unit: 0,
+                },
+            ),
+        ]
+    }
+
+    fn observe(
+        active: usize,
+        policy: AdaptPolicy,
+        signals: EpochSignals,
+        candidates: &[CandidateInfo],
+    ) -> Proposal {
+        CostModelArbiter::new().decide(&EpochObservation {
+            epoch: 1,
+            active,
+            candidates,
+            policy,
+            signals,
+            hot_site: None,
+        })
+    }
+
+    #[test]
+    fn store_heavy_quiet_workload_prefers_inline_marks() {
+        let candidates = strong_set();
+        // Lots of plain stores, no contention: PICO-ST's locked stores
+        // are ruinous, HST's inline marks are nearly free, PICO-HTM's
+        // uninstrumented stores win outright.
+        let signals = EpochSignals {
+            insns: 10_000,
+            stores: 4_000,
+            sc: 10,
+            ..EpochSignals::default()
+        };
+        let p = observe(1, AdaptPolicy::Strong, signals, &candidates);
+        assert_eq!(candidates[p.target].name, "pico-htm");
+        assert!(p.scores[2] < p.scores[0] && p.scores[0] < p.scores[1]);
+    }
+
+    #[test]
+    fn abort_storm_steers_away_from_htm() {
+        let candidates = strong_set();
+        let signals = EpochSignals {
+            insns: 10_000,
+            stores: 100,
+            sc: 500,
+            sc_failures: 200,
+            htm_aborts: 400,
+            ..EpochSignals::default()
+        };
+        let p = observe(2, AdaptPolicy::Strong, signals, &candidates);
+        // Contention prices pico-htm out; the proposal leaves it.
+        assert_ne!(p.target, 2);
+        assert_eq!(candidates[p.target].name, "pico-st");
+    }
+
+    #[test]
+    fn strong_policy_marks_weak_candidates_ineligible() {
+        let candidates = strong_set();
+        let signals = EpochSignals {
+            insns: 10_000,
+            sc: 1_000,
+            ..EpochSignals::default()
+        };
+        let p = observe(0, AdaptPolicy::Strong, signals, &candidates);
+        // hst-weak would be cheapest, but it is out of class.
+        assert_eq!(p.scores[3], u64::MAX);
+        assert_ne!(p.target, 3);
+        // Under weak-ok the same signals may take it.
+        let p = observe(0, AdaptPolicy::WeakOk, signals, &candidates);
+        assert_eq!(candidates[p.target].name, "hst-weak");
+    }
+
+    #[test]
+    fn margin_suppresses_near_ties() {
+        let a = SchemeCostModel {
+            store_unit: 0,
+            sc_unit: 100,
+            sc_retry_unit: 0,
+            contention_unit: 0,
+            fault_unit: 0,
+        };
+        let b = SchemeCostModel {
+            store_unit: 0,
+            sc_unit: 97,
+            ..a
+        };
+        let candidates = vec![
+            cand("a", Atomicity::Strong, StoreFamily::Plain, a),
+            cand("b", Atomicity::Strong, StoreFamily::Plain, b),
+        ];
+        let signals = EpochSignals {
+            insns: 100,
+            sc: 100,
+            ..EpochSignals::default()
+        };
+        // b is ~3% cheaper — inside the 10% margin, so hold.
+        let p = observe(0, AdaptPolicy::Strong, signals, &candidates);
+        assert_eq!(p.target, 0);
+        // Zero margin takes any strict improvement.
+        let eager = CostModelArbiter { margin_percent: 0 };
+        let p = eager.decide(&EpochObservation {
+            epoch: 1,
+            active: 0,
+            candidates: &candidates,
+            policy: AdaptPolicy::Strong,
+            signals,
+            hot_site: None,
+        });
+        assert_eq!(p.target, 1);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index_and_never_leave_active() {
+        let m = SchemeCostModel {
+            store_unit: 0,
+            sc_unit: 0,
+            sc_retry_unit: 0,
+            contention_unit: 0,
+            fault_unit: 0,
+        };
+        let candidates = vec![
+            cand("a", Atomicity::Strong, StoreFamily::Plain, m),
+            cand("b", Atomicity::Strong, StoreFamily::Plain, m),
+            cand("c", Atomicity::Strong, StoreFamily::Plain, m),
+        ];
+        let signals = EpochSignals {
+            insns: 500,
+            ..EpochSignals::default()
+        };
+        // All equal: every active index holds.
+        for active in 0..3 {
+            let p = observe(active, AdaptPolicy::Strong, signals, &candidates);
+            assert_eq!(p.target, active);
+        }
+    }
+}

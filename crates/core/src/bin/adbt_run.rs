@@ -1,14 +1,15 @@
 //! `adbt-run` — run a guest assembly program from the command line.
 //!
 //! ```text
-//! adbt-run <program.s> [--scheme hst] [--threads 4] [--base 0x10000]
+//! adbt-run <program.s> [--scheme hst|auto] [--threads 4] [--base 0x10000]
 //!          [--entry <symbol|addr>] [--sim] [--replay <trace>]
 //!          [--fuse-atomics] [--dump <symbol|addr>] [--memory BYTES]
 //!          [--stats] [--chaos seed=<u64>,rate=<f64>[,invalidate=<f64>]]
 //!          [--watchdog-ms N] [--htm-degrade-after N] [--trace FILE]
 //!          [--histograms] [--tier-threshold N] [--no-tiering]
 //!          [--cache-limit BYTES] [--profile FILE] [--metrics FILE]
-//!          [--stats-json]
+//!          [--stats-json] [--adapt-epoch N] [--adapt-policy strong|weak-ok]
+//!          [--adapt-log FILE] [--no-adapt]
 //! ```
 //!
 //! The program is assembled at `--base`, each vCPU starts at `--entry`
@@ -71,12 +72,26 @@
 //! `--stats-json` prints the same final snapshot as a single JSON
 //! object on stdout instead of the `--stats` text (combining the two is
 //! rejected — pick one rendering).
+//!
+//! `--scheme auto` arms **adaptive mode**: all eight schemes are
+//! installed as migration candidates and the online arbiter
+//! (`adbt-adapt`) moves the machine between them as the workload's
+//! observed profile shifts — contended LL/SC toward HST, HTM abort
+//! storms away from the HTM schemes, fault storms away from the PST
+//! family. `--adapt-epoch N` sets the retired-instruction epoch between
+//! arbitrations (default 20000), `--adapt-policy strong|weak-ok` the
+//! atomicity-class lattice migrations may traverse (default `strong`:
+//! never weaken), and `--adapt-log FILE` retains the `adbt-adapt-v1`
+//! decision log. `--no-adapt` documents that a run is deliberately
+//! static; combining it with `--scheme auto` is rejected, as are the
+//! `--adapt-*` flags without `--scheme auto` (they would be silently
+//! ignored).
 
 use adbt::engine::ScriptedScheduler;
-use adbt::profile::{export, metrics};
-use adbt::{ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
+use adbt::observe;
+use adbt::profile::export;
+use adbt::{AdaptConfig, AdaptPolicy, ChaosCfg, MachineBuilder, SchemeKind, SimCosts, VcpuOutcome};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
@@ -91,7 +106,9 @@ fn usage() -> ! {
          \x20               [--tier-threshold N] [--no-tiering]\n\
          \x20               [--cache-limit BYTES] [--profile FILE]\n\
          \x20               [--metrics FILE] [--stats-json]\n\
-         schemes: {}",
+         \x20               [--adapt-epoch N] [--adapt-policy strong|weak-ok]\n\
+         \x20               [--adapt-log FILE] [--no-adapt]\n\
+         schemes: {}, auto",
         SchemeKind::ALL.map(|k| k.name()).join(", ")
     );
     std::process::exit(2)
@@ -186,6 +203,22 @@ fn resolve_tier_threshold(no_tiering: bool, explicit: Option<u32>) -> Result<u32
     }
 }
 
+/// Resolves `--scheme`'s argument: a static scheme, `auto` (adaptive
+/// mode, `Ok(None)`), or an error that lists every valid name — a bare
+/// "unknown scheme" message helps nobody pick the right one.
+fn resolve_scheme(name: &str) -> Result<Option<SchemeKind>, String> {
+    if name.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    match SchemeKind::from_name(name) {
+        Some(kind) => Ok(Some(kind)),
+        None => Err(format!(
+            "unknown scheme `{name}`; valid schemes: {}, auto",
+            SchemeKind::ALL.map(|k| k.name()).join(", ")
+        )),
+    }
+}
+
 fn parse_u32(text: &str) -> Option<u32> {
     if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16).ok()
@@ -219,42 +252,11 @@ fn nearest_symbol(image: &adbt::Image, pc: u32) -> String {
     }
 }
 
-/// The merged profile summary for a metrics line (`null` when the
-/// profiler is off — the schema allows it).
-fn profile_summary_json(machine: &adbt::Machine) -> String {
-    match &machine.core().profile {
-        Some(rec) => metrics::profile_summary(&rec.merged()),
-        None => "null".to_string(),
-    }
-}
-
-/// The engine-side blocks every metrics line carries; `report` adds the
-/// end-of-run blocks (merged stats, HTM counters, chaos snapshot) that
-/// only exist once the vCPUs have joined.
-fn snapshot_extras(
-    machine: &adbt::Machine,
-    report: Option<&adbt::RunReport>,
-) -> Vec<(&'static str, String)> {
-    let core = machine.core();
-    let mut extras = vec![
-        ("occupancy", core.cache_occupancy().to_json()),
-        ("exclusive", core.exclusive.telemetry().to_json()),
-    ];
-    if let Some(report) = report {
-        extras.push(("stats", report.stats.to_json()));
-        extras.push(("htm", report.htm.to_json()));
-        if let Some(chaos) = &report.chaos {
-            extras.push(("chaos", chaos.to_json()));
-        }
-    }
-    extras
-}
-
 /// Builds the `adbt-prof-v1` document from the recorder plus the image
 /// (symbols) and post-run guest memory (instruction words — SMC patches
 /// show up as the *final* word at the PC, which is what a human reading
 /// the disassembly context wants).
-fn build_prof_doc(machine: &adbt::Machine, scheme: SchemeKind, clock: &str) -> export::ProfDoc {
+fn build_prof_doc(machine: &adbt::Machine, clock: &str) -> export::ProfDoc {
     let rec = machine
         .core()
         .profile
@@ -273,7 +275,7 @@ fn build_prof_doc(machine: &adbt::Machine, scheme: SchemeKind, clock: &str) -> e
         .collect();
     let merged = rec.merged();
     export::ProfDoc {
-        scheme: scheme.name().to_string(),
+        scheme: machine.scheme_label().to_string(),
         clock: clock.to_string(),
         vcpus,
         merged: export::resolve_rows(&merged.entries, |pc| nearest_symbol(image, pc), word),
@@ -282,7 +284,8 @@ fn build_prof_doc(machine: &adbt::Machine, scheme: SchemeKind, clock: &str) -> e
 
 fn main() -> ExitCode {
     let mut source_path: Option<String> = None;
-    let mut scheme = SchemeKind::Hst;
+    // `None` = `--scheme auto` (adaptive mode).
+    let mut scheme: Option<SchemeKind> = Some(SchemeKind::Hst);
     let mut threads: u32 = 1;
     let mut base: u32 = 0x1_0000;
     let mut entry: Option<String> = None;
@@ -303,17 +306,44 @@ fn main() -> ExitCode {
     let mut profile_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut stats_json = false;
+    let mut adapt_epoch: Option<u64> = None;
+    let mut adapt_policy: Option<AdaptPolicy> = None;
+    let mut adapt_log_out: Option<String> = None;
+    let mut no_adapt = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scheme" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                scheme = SchemeKind::from_name(&name).unwrap_or_else(|| {
-                    eprintln!("unknown scheme `{name}`");
+                scheme = resolve_scheme(&name).unwrap_or_else(|why| {
+                    eprintln!("{why}");
                     usage()
                 });
             }
+            "--adapt-epoch" => {
+                adapt_epoch = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                if adapt_epoch == Some(0) {
+                    eprintln!(
+                        "--adapt-epoch 0 would arbitrate at every dispatch; the epoch \
+                         must be at least 1 retired instruction"
+                    );
+                    usage()
+                }
+            }
+            "--adapt-policy" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                adapt_policy = Some(AdaptPolicy::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown --adapt-policy `{name}` (want strong or weak-ok)");
+                    usage()
+                }));
+            }
+            "--adapt-log" => adapt_log_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-adapt" => no_adapt = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -429,6 +459,28 @@ fn main() -> ExitCode {
         eprintln!("--replay and --sim are mutually exclusive");
         return ExitCode::from(2);
     }
+    if scheme.is_none() && no_adapt {
+        eprintln!(
+            "--scheme auto contradicts --no-adapt: auto *is* the adaptive mode; \
+             pick a static scheme to run without the arbiter"
+        );
+        return ExitCode::from(2);
+    }
+    if scheme.is_some() {
+        // Adapt knobs on a static machine would be silently ignored —
+        // same strict-validation discipline as the tiering flags.
+        let stray = [
+            ("--adapt-epoch", adapt_epoch.is_some()),
+            ("--adapt-policy", adapt_policy.is_some()),
+            ("--adapt-log", adapt_log_out.is_some()),
+        ]
+        .into_iter()
+        .find_map(|(flag, set)| set.then_some(flag));
+        if let Some(flag) = stray {
+            eprintln!("{flag} has no effect without --scheme auto");
+            return ExitCode::from(2);
+        }
+    }
     if stats && stats_json {
         eprintln!(
             "--stats and --stats-json are mutually exclusive: the text and JSON \
@@ -445,16 +497,31 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut builder = MachineBuilder::new(scheme)
-        .memory(memory)
-        .fuse_atomics(fuse)
-        .chaos(chaos)
-        .watchdog_ms(watchdog_ms)
-        .htm_degrade_after(htm_degrade_after)
-        .trace(trace_out.is_some() || histograms)
-        .profile(profile_out.is_some() || metrics_out.is_some())
-        .tier_threshold(tier_threshold)
-        .cache_limit(cache_limit);
+    let mut builder = match scheme {
+        Some(kind) => MachineBuilder::new(kind),
+        None => {
+            let mut cfg = AdaptConfig::default();
+            if let Some(epoch) = adapt_epoch {
+                cfg.epoch_insns = epoch;
+            }
+            if let Some(policy) = adapt_policy {
+                cfg.policy = policy;
+            }
+            cfg.log = adapt_log_out.is_some();
+            // HST first: the paper's headline strong scheme is the
+            // sensible prior until the profile says otherwise.
+            MachineBuilder::adaptive(SchemeKind::Hst, cfg)
+        }
+    }
+    .memory(memory)
+    .fuse_atomics(fuse)
+    .chaos(chaos)
+    .watchdog_ms(watchdog_ms)
+    .htm_degrade_after(htm_degrade_after)
+    .trace(trace_out.is_some() || histograms)
+    .profile(profile_out.is_some() || metrics_out.is_some())
+    .tier_threshold(tier_threshold)
+    .cache_limit(cache_limit);
     if replay.is_some() {
         // Checker traces count atoms at instruction granularity; replay
         // must translate the same single-instruction blocks.
@@ -529,38 +596,12 @@ fn main() -> ExitCode {
     } else if sim {
         machine.core().run_sim(vcpus, &SimCosts::default())
     } else if metrics_out.is_some() {
-        // Sample the shared vantage points (merged profile, cache
-        // occupancy, exclusive telemetry — all atomics) from a side
-        // thread while the vCPUs run; per-vCPU stats are thread-owned
-        // and only appear on the final line.
-        let machine = &machine;
-        let lines = &mut metric_lines;
-        let stop = AtomicBool::new(false);
-        let stop = &stop;
-        std::thread::scope(|s| {
-            let sampler = s.spawn(move || {
-                let mut sampled = Vec::new();
-                while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(50));
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    sampled.push(metrics::render_line(
-                        sampled.len() as u64,
-                        false,
-                        run_start.elapsed().as_nanos() as u64,
-                        scheme.name(),
-                        &profile_summary_json(machine),
-                        &snapshot_extras(machine, None),
-                    ));
-                }
-                sampled
-            });
-            let report = machine.run_vcpus(vcpus);
-            stop.store(true, Ordering::Relaxed);
-            *lines = sampler.join().expect("sampler thread panicked");
-            report
-        })
+        // The sampling loop lives in `adbt::observe` so its flush
+        // discipline is testable; it appends the final snapshot itself,
+        // on every exit path including a watchdog halt.
+        let (report, lines) = observe::run_with_metrics(&machine, vcpus, Duration::from_millis(50));
+        metric_lines = lines;
+        report
     } else {
         machine.run_vcpus(vcpus)
     };
@@ -639,6 +680,15 @@ fn main() -> ExitCode {
             pct(s.sc_failures, s.sc),
             pct(s.htm_aborts, s.htm_txns),
         );
+        if machine.is_adaptive() {
+            eprintln!(
+                "adapt: epochs={} migrations={} denied={} final_scheme={}",
+                s.adapt_epochs,
+                s.adapt_migrations,
+                s.adapt_denied,
+                machine.active_scheme_name(),
+            );
+        }
         if let Some(snapshot) = &report.chaos {
             let sites = snapshot
                 .fired()
@@ -670,13 +720,11 @@ fn main() -> ExitCode {
         // JSON object on stdout (machine-readable `--stats`).
         println!(
             "{}",
-            metrics::render_line(
+            observe::final_metrics_line(
+                &machine,
+                &report,
                 0,
-                true,
-                run_start.elapsed().as_nanos() as u64,
-                scheme.name(),
-                &profile_summary_json(&machine),
-                &snapshot_extras(&machine, Some(&report)),
+                run_start.elapsed().as_nanos() as u64
             )
         );
     }
@@ -708,7 +756,7 @@ fn main() -> ExitCode {
 
     if let Some(out) = &profile_out {
         let clock = if deterministic { "insns" } else { "ns" };
-        let doc = build_prof_doc(&machine, scheme, clock);
+        let doc = build_prof_doc(&machine, clock);
         if let Err(e) = std::fs::write(out, export::render(&doc)) {
             eprintln!("cannot write profile to {out}: {e}");
             return ExitCode::from(2);
@@ -716,18 +764,29 @@ fn main() -> ExitCode {
     }
 
     if let Some(out) = &metrics_out {
-        metric_lines.push(metrics::render_line(
-            metric_lines.len() as u64,
-            true,
-            run_start.elapsed().as_nanos() as u64,
-            scheme.name(),
-            &profile_summary_json(&machine),
-            &snapshot_extras(&machine, Some(&report)),
-        ));
+        if metric_lines.is_empty() {
+            // Deterministic modes (`--sim`, `--replay`) bypass the
+            // sampling loop and emit only the final line.
+            metric_lines.push(observe::final_metrics_line(
+                &machine,
+                &report,
+                0,
+                run_start.elapsed().as_nanos() as u64,
+            ));
+        }
         let mut text = metric_lines.join("\n");
         text.push('\n');
         if let Err(e) = std::fs::write(out, text) {
             eprintln!("cannot write metrics to {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(out) = &adapt_log_out {
+        let mut text = machine.adapt_log().join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("cannot write adapt log to {out}: {e}");
             return ExitCode::from(2);
         }
     }
@@ -761,7 +820,26 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_chaos, resolve_tier_threshold};
+    use super::{parse_chaos, resolve_scheme, resolve_tier_threshold};
+    use adbt::SchemeKind;
+
+    #[test]
+    fn scheme_argument_resolves_static_names_and_auto() {
+        assert_eq!(resolve_scheme("hst"), Ok(Some(SchemeKind::Hst)));
+        assert_eq!(resolve_scheme("pico-cas"), Ok(Some(SchemeKind::PicoCas)));
+        assert_eq!(resolve_scheme("auto"), Ok(None));
+        assert_eq!(resolve_scheme("AUTO"), Ok(None));
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_every_valid_name() {
+        let why = resolve_scheme("hts").unwrap_err();
+        for kind in SchemeKind::ALL {
+            assert!(why.contains(kind.name()), "missing {}: {why}", kind.name());
+        }
+        assert!(why.contains("auto"), "{why}");
+        assert!(why.contains("`hts`"), "{why}");
+    }
 
     #[test]
     fn tiering_flags_resolve_or_conflict() {

@@ -48,16 +48,18 @@
 mod error;
 pub mod harness;
 mod machine;
+pub mod observe;
 
 pub use error::Error;
 pub use machine::{Machine, MachineBuilder};
 
 // The substrate, re-exported under stable paths.
 pub use adbt_engine::{
-    Atomicity, Breakdown, ChaosCfg, ChaosSite, ChaosSnapshot, Histograms, LogHistogram,
-    MachineConfig, ProfileEntry, ProfileMetric, ProfileRecorder, ProfileSnapshot, ProfileTier,
-    RetryPolicy, RunReport, Schedule, SimBreakdown, SimCosts, TraceEvent, TraceKind, TraceRecorder,
-    Trap, Vcpu, VcpuOutcome, VcpuStats, WatchdogDump,
+    validate_adapt_log, AdaptAction, AdaptConfig, AdaptPolicy, Atomicity, Breakdown, ChaosCfg,
+    ChaosSite, ChaosSnapshot, Histograms, LogHistogram, MachineConfig, ProfileEntry, ProfileMetric,
+    ProfileRecorder, ProfileSnapshot, ProfileTier, RetryPolicy, RunReport, Schedule, SimBreakdown,
+    SimCosts, TraceEvent, TraceKind, TraceRecorder, Trap, Vcpu, VcpuOutcome, VcpuStats,
+    WatchdogDump,
 };
 pub use adbt_isa::asm::{assemble, Image};
 pub use adbt_schemes::SchemeKind;
@@ -96,4 +98,9 @@ pub mod profile {
 /// The scheme implementations.
 pub mod schemes {
     pub use adbt_schemes::*;
+}
+
+/// The online scheme arbiter (`--scheme auto` / adaptive mode).
+pub mod adapt {
+    pub use adbt_adapt::*;
 }

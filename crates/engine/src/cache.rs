@@ -108,6 +108,11 @@ pub(crate) struct TierMeta {
     state: AtomicU8,
     /// The published superblock's arena id, or [`NO_SUPERBLOCK`].
     super_id: AtomicU32,
+    /// Index of the [`crate::AtomicScheme`] the block was lowered
+    /// under (always 0 on static machines). Written once in `push`,
+    /// before the slot is published; the adaptive arbiter and the
+    /// tier-2 walker read it to keep scheme cohorts from mixing.
+    scheme_tag: AtomicU8,
 }
 
 impl TierMeta {
@@ -116,6 +121,7 @@ impl TierMeta {
             heat: AtomicU32::new(0),
             state: AtomicU8::new(TIER_COLD),
             super_id: AtomicU32::new(NO_SUPERBLOCK),
+            scheme_tag: AtomicU8::new(0),
         }
     }
 }
@@ -464,10 +470,15 @@ impl TranslationCache {
     /// redirect, never via cold lookup (so the block-granular tier
     /// always resolves original blocks). Caller must hold a byte
     /// reservation for the block.
-    pub(crate) fn push_anonymous(&self, block: Block) -> u32 {
-        let id = self.push(block);
+    pub(crate) fn push_anonymous(&self, block: Block, scheme_tag: u8) -> u32 {
+        let id = self.push(block, scheme_tag);
         self.superblocks.fetch_add(1, Ordering::Relaxed);
         id
+    }
+
+    /// The scheme tag a live block was lowered under.
+    pub(crate) fn scheme_tag(&self, id: u32) -> u8 {
+        self.slot(id).meta.scheme_tag.load(Ordering::Relaxed)
     }
 
     /// Superblocks currently live in the arena.
@@ -505,7 +516,8 @@ impl TranslationCache {
     /// this call pushed it, and any code pages that now need MMU
     /// write-tracking. Caller must hold a reservation of
     /// [`block_footprint`] bytes; it is released on a lost race.
-    pub(crate) fn insert(&self, pc: u32, block: Block) -> InsertResult {
+    /// `scheme_tag` records which scheme lowered the block.
+    pub(crate) fn insert(&self, pc: u32, block: Block, scheme_tag: u8) -> InsertResult {
         let footprint = block_footprint(&block);
         let pages: Vec<u32> = page_range(&block).collect();
         let mut shard = self.shard(pc).write();
@@ -517,7 +529,7 @@ impl TranslationCache {
                 new_pages: Vec::new(),
             };
         }
-        let id = self.push(block);
+        let id = self.push(block, scheme_tag);
         shard.insert(pc, id);
         drop(shard);
         let mut new_pages = Vec::new();
@@ -536,7 +548,7 @@ impl TranslationCache {
         }
     }
 
-    fn push(&self, block: Block) -> u32 {
+    fn push(&self, block: Block, scheme_tag: u8) -> u32 {
         let _guard = self.push_lock.lock();
         let id = self.len.load(Ordering::Relaxed);
         let seg_index = (id >> SEG_BITS) as usize;
@@ -547,8 +559,12 @@ impl TranslationCache {
                 .collect::<Vec<_>>()
                 .into_boxed_slice()
         });
-        let cell = &segment[(id & (SEG_SIZE - 1)) as usize].block;
-        let prev = cell
+        let slot = &segment[(id & (SEG_SIZE - 1)) as usize];
+        // Written before the len Release below publishes the slot, so
+        // any reader that can name `id` sees the tag.
+        slot.meta.scheme_tag.store(scheme_tag, Ordering::Relaxed);
+        let prev = slot
+            .block
             .0
             .swap(Box::into_raw(Box::new(block)), Ordering::Release);
         assert!(prev.is_null(), "arena slot written twice");
@@ -883,7 +899,7 @@ mod tests {
     /// Reserve-then-insert, the way the engine drives the cache.
     fn insert(cache: &TranslationCache, pc: u32, block: Block) -> InsertResult {
         assert!(cache.try_reserve(block_footprint(&block)));
-        cache.insert(pc, block)
+        cache.insert(pc, block, 0)
     }
 
     #[test]
@@ -953,7 +969,7 @@ mod tests {
         let mut sb = block_at(0x4000);
         sb.superblock = true;
         assert!(cache.try_reserve(block_footprint(&sb)));
-        let sid = cache.push_anonymous(sb);
+        let sid = cache.push_anonymous(sb, 0);
         assert_eq!(
             cache.lookup(0x4000),
             Some(id),
@@ -1073,7 +1089,7 @@ mod tests {
         let mut sb = block_at(0x1000);
         sb.superblock = true;
         assert!(cache.try_reserve(block_footprint(&sb)));
-        let sid = cache.push_anonymous(sb);
+        let sid = cache.push_anonymous(sb, 0);
         cache.publish_superblock(id, sid, &[id]);
 
         let summary = cache.retire_batch(&[id], qsbr.begin_grace());
@@ -1095,7 +1111,7 @@ mod tests {
         let mut sb = block_at(0x1000);
         sb.superblock = true;
         assert!(cache.try_reserve(block_footprint(&sb)));
-        let sid = cache.push_anonymous(sb);
+        let sid = cache.push_anonymous(sb, 0);
         cache.publish_superblock(id, sid, &[id]);
         assert_eq!(cache.hot_redirect(id), Some(sid));
 
@@ -1137,7 +1153,7 @@ mod tests {
         for i in 0..3u32 {
             let pc = 0x1000 + i * 4;
             assert!(cache.try_reserve(per_block));
-            ids.push(cache.insert(pc, block_at(pc)).id);
+            ids.push(cache.insert(pc, block_at(pc), 0).id);
         }
         // Full: the fourth reservation must fail, and the peak must
         // respect the limit.

@@ -26,10 +26,18 @@ pub(crate) fn mmu_width(width: IsaWidth) -> Width {
 ///
 /// Traps only if instruction *fetch* faults unrecoverably (data-side
 /// faults are runtime events, not translation events).
-pub fn translate(ctx: &mut ExecCtx<'_>, pc: u32) -> Result<Block, Trap> {
+///
+/// The caller names the scheme to lower under: on an adaptive machine
+/// the active candidate is resolved *once* per translation, so the
+/// emitted block and its cache scheme tag can never disagree.
+pub fn translate(
+    ctx: &mut ExecCtx<'_>,
+    pc: u32,
+    scheme: &std::sync::Arc<dyn crate::scheme::AtomicScheme>,
+) -> Result<Block, Trap> {
     ctx.stats.translations += 1;
     let max_insns = ctx.machine.config.max_block_insns.max(1);
-    let scheme = std::sync::Arc::clone(&ctx.machine.scheme);
+    let scheme = std::sync::Arc::clone(scheme);
     let mut b = BlockBuilder::new(pc);
     let mut cur = pc;
     let mut count = 0u32;

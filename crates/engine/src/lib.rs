@@ -65,6 +65,7 @@
 //! # }
 //! ```
 
+mod arbiter;
 mod cache;
 mod exclusive;
 pub mod frontend;
@@ -88,12 +89,16 @@ pub use adbt_trace::{
     chrome, validate, Histograms, LogHistogram, TraceEvent, TraceHandle, TraceKind, TraceRecorder,
     TraceRing, WATCHDOG_TAIL,
 };
+pub use arbiter::{
+    validate_adapt_log, AdaptAction, AdaptConfig, AdaptPolicy, CandidateInfo, EpochObservation,
+    EpochSignals, Proposal, SchemeArbiter,
+};
 pub use cache::CacheOccupancy;
 pub use exclusive::{ExclusiveBarrier, ExclusiveTelemetry, Halted};
 pub use machine::{MachineConfig, MachineCore, RunReport, Schedule, VcpuOutcome};
 pub use runtime::{ExecCtx, FaultAccess, FaultOutcome, HelperFn, HelperRegistry, Trap};
 pub use sched::{format_choices, SchedEvent, Scheduler, ScriptedScheduler};
-pub use scheme::{AtomicScheme, Atomicity};
+pub use scheme::{AtomicScheme, Atomicity, SchemeCostModel, StoreFamily};
 pub use state::{Flags, Monitor, Vcpu, VcpuSnapshot};
 pub use stats::{calibration, Breakdown, Calibration, SimBreakdown, SimCosts, VcpuStats};
 pub use store_test::StoreTestTable;

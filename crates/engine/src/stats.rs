@@ -127,6 +127,14 @@ pub struct VcpuStats {
     /// no translated byte — code/data false sharing on a code page (the
     /// SMC analogue of `false_sharing_faults`).
     pub smc_false_sharing: u64,
+    /// Adaptive-arbiter epochs this vCPU arbitrated (scored an epoch
+    /// under `--scheme auto`).
+    pub adapt_epochs: u64,
+    /// Scheme migrations this vCPU executed.
+    pub adapt_migrations: u64,
+    /// Arbiter proposals the engine rejected for atomicity-class policy
+    /// reasons.
+    pub adapt_denied: u64,
 
     /// Nanoseconds spent waiting for + holding exclusive sections and
     /// parked at safepoints.
@@ -198,6 +206,9 @@ impl VcpuStats {
             retired_blocks,
             reclaimed_blocks,
             smc_false_sharing,
+            adapt_epochs,
+            adapt_migrations,
+            adapt_denied,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -247,6 +258,9 @@ impl VcpuStats {
         self.retired_blocks += retired_blocks;
         self.reclaimed_blocks += reclaimed_blocks;
         self.smc_false_sharing += smc_false_sharing;
+        self.adapt_epochs += adapt_epochs;
+        self.adapt_migrations += adapt_migrations;
+        self.adapt_denied += adapt_denied;
         self.exclusive_ns += exclusive_ns;
         self.mprotect_ns += mprotect_ns;
         self.lock_wait_ns += lock_wait_ns;
@@ -304,6 +318,9 @@ impl VcpuStats {
             retired_blocks,
             reclaimed_blocks,
             smc_false_sharing,
+            adapt_epochs,
+            adapt_migrations,
+            adapt_denied,
             exclusive_ns,
             mprotect_ns,
             lock_wait_ns,
@@ -313,7 +330,7 @@ impl VcpuStats {
             sim_instrument_units,
             sim_event_units,
         } = self;
-        let fields: [(&str, u64); 48] = [
+        let fields: [(&str, u64); 51] = [
             ("insns", *insns),
             ("blocks", *blocks),
             ("translations", *translations),
@@ -354,6 +371,9 @@ impl VcpuStats {
             ("retired_blocks", *retired_blocks),
             ("reclaimed_blocks", *reclaimed_blocks),
             ("smc_false_sharing", *smc_false_sharing),
+            ("adapt_epochs", *adapt_epochs),
+            ("adapt_migrations", *adapt_migrations),
+            ("adapt_denied", *adapt_denied),
             ("exclusive_ns", *exclusive_ns),
             ("mprotect_ns", *mprotect_ns),
             ("lock_wait_ns", *lock_wait_ns),

@@ -210,6 +210,7 @@ pub(crate) fn build_superblock(
     limit: u32,
     coalesce_htable_marks: bool,
     stop_at_llsc: bool,
+    scheme_tag: u8,
 ) -> TierBuild {
     let mut ids: Vec<u32> = vec![entry];
     loop {
@@ -228,6 +229,11 @@ pub(crate) fn build_superblock(
             // Loop closure: the trace bit its own tail; the final exit
             // re-enters through the entry block's redirect.
             Some(next) if ids.contains(&next) => break,
+            // A successor lowered under a different scheme (adaptive
+            // migration in flight) must not be stitched into this
+            // cohort: the walk ends at the scheme boundary and the
+            // trace retries once retranslation reconverges.
+            Some(next) if cache.scheme_tag(next) != scheme_tag => break,
             Some(next) => ids.push(next),
             None => break,
         }
@@ -356,12 +362,20 @@ impl MachineCore {
     /// block `entry`. Returns the superblock's cache id when one was
     /// published; `None` resolves the claim as retry-later or never.
     pub(crate) fn promote(&self, ctx: &mut ExecCtx<'_>, entry: u32) -> Option<u32> {
+        // Build under the scheme that lowered the entry block (which an
+        // adaptive migration may have since deactivated): the stitched
+        // code inherits its segments' lowering, so the optimizer's
+        // legality and the superblock's tag must follow the *blocks'*
+        // scheme, not the active one.
+        let scheme_tag = self.cache.scheme_tag(entry);
+        let scheme = self.scheme_of(scheme_tag);
         match build_superblock(
             &self.cache,
             entry,
             self.config.superblock_limit,
-            self.scheme.coalesce_htable_marks(),
-            self.scheme.requires_htm(),
+            scheme.coalesce_htable_marks(),
+            scheme.requires_htm(),
+            scheme_tag,
         ) {
             TierBuild::Built(block, ids, passes) => {
                 let footprint = crate::cache::block_footprint(&block);
@@ -373,7 +387,7 @@ impl MachineCore {
                     return None;
                 }
                 let entry_pc = block.guest_pc;
-                let sid = self.cache.push_anonymous(*block);
+                let sid = self.cache.push_anonymous(*block, scheme_tag);
                 self.cache.publish_superblock(entry, sid, &ids);
                 ctx.stats.promotions += 1;
                 ctx.stats.opt_nzcv_killed += passes.nzcv_killed;
@@ -423,7 +437,7 @@ mod tests {
     /// Reserve-then-insert, as the engine does it.
     fn insert(cache: &TranslationCache, pc: u32, block: Block) -> u32 {
         assert!(cache.try_reserve(block_footprint(&block)));
-        cache.insert(pc, block).id
+        cache.insert(pc, block, 0).id
     }
 
     fn link(cache: &TranslationCache, from: u32, to: u32) {
@@ -437,7 +451,7 @@ mod tests {
         let b = insert(&cache, 0x4, simple_block(0x4, BlockExit::Jump(0x0)));
         link(&cache, a, b);
         link(&cache, b, a);
-        let TierBuild::Built(sb, parts, _) = build_superblock(&cache, a, 8, false, false) else {
+        let TierBuild::Built(sb, parts, _) = build_superblock(&cache, a, 8, false, false, 0) else {
             panic!("expected Built");
         };
         assert!(sb.superblock);
@@ -494,7 +508,8 @@ mod tests {
         // Start from the latch: backward taken leg is preferred, so the
         // trace is latch → body, guarded by a side exit on the latch's
         // *inverted* condition (leave when the loop is done).
-        let TierBuild::Built(sb, _, _) = build_superblock(&cache, latch_id, 8, false, false) else {
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, latch_id, 8, false, false, 0)
+        else {
             panic!("expected Built");
         };
         assert_eq!(sb.guest_pc, 0x8);
@@ -515,7 +530,7 @@ mod tests {
         let cache = TranslationCache::new();
         let cold = insert(&cache, 0x100, simple_block(0x100, BlockExit::Jump(0x104)));
         assert!(matches!(
-            build_superblock(&cache, cold, 8, false, false),
+            build_superblock(&cache, cold, 8, false, false, 0),
             TierBuild::Retry
         ));
         let dead_end = insert(
@@ -529,7 +544,7 @@ mod tests {
             ),
         );
         assert!(matches!(
-            build_superblock(&cache, dead_end, 8, false, false),
+            build_superblock(&cache, dead_end, 8, false, false, 0),
             TierBuild::Never
         ));
     }
@@ -549,7 +564,7 @@ mod tests {
             }
             prev = Some(id);
         }
-        let TierBuild::Built(sb, _, _) = build_superblock(&cache, first, 3, false, false) else {
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, first, 3, false, false, 0) else {
             panic!("expected Built");
         };
         assert_eq!(sb.guest_len, 3, "limit caps the stitch");
@@ -564,7 +579,7 @@ mod tests {
         let c = insert(&cache, 0x8, simple_block(0x8, BlockExit::Jump(0xc)));
         link(&cache, a, b);
         link(&cache, b, c);
-        let TierBuild::Built(sb, _, _) = build_superblock(&cache, a, 8, false, true) else {
+        let TierBuild::Built(sb, _, _) = build_superblock(&cache, a, 8, false, true, 0) else {
             panic!("expected Built");
         };
         assert_eq!(

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! adbt_fuzz [--seeds N] [--seed S] [--max-insns N] [--max-threads N]
-//!           [--out DIR] [--ci]
+//!           [--out DIR] [--ci] [--auto]
 //! ```
 //!
 //! Each seed generates one racy-but-result-deterministic guest program
@@ -20,7 +20,10 @@
 //! consecutive seeds (from `--seed`, or 0). `--ci` selects the pinned
 //! CI corpus (start seed [`adbt_fuzz::CI_CORPUS_START`], 32 seeds,
 //! 256-instruction budget) — deterministic, so a red CI step names the
-//! exact seed to replay locally.
+//! exact seed to replay locally. `--auto` appends adaptive
+//! (`--scheme auto`) cells to the matrix: an arbiter-driven machine
+//! under an aggressively short epoch must still agree with the static
+//! reference in every mode.
 //!
 //! Exit status: 0 = corpus clean, 1 = divergence(s) found (artifacts
 //! written), 2 = usage error.
@@ -32,7 +35,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: adbt_fuzz [--seeds N] [--seed S] [--max-insns N] [--max-threads N]\n\
-         \x20                [--out DIR] [--ci]"
+         \x20                [--out DIR] [--ci] [--auto]"
     );
     std::process::exit(2);
 }
@@ -89,6 +92,7 @@ fn main() -> ExitCode {
             }
             "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--ci" => ci = true,
+            "--auto" => opts.auto = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -109,11 +113,12 @@ fn main() -> ExitCode {
     });
 
     println!(
-        "adbt_fuzz: {} seed(s) from {:#018x} — {} schemes × {} cells, ≤{} insns, ≤{} threads",
+        "adbt_fuzz: {} seed(s) from {:#018x} — {} schemes, {} cells{}, ≤{} insns, ≤{} threads",
         seeds,
         start,
         opts.schemes.len(),
-        opts.cells().len() / opts.schemes.len().max(1),
+        opts.cells().len(),
+        if opts.auto { " (auto armed)" } else { "" },
         opts.gen.max_insns,
         opts.gen.max_threads,
     );

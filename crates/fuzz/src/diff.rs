@@ -27,9 +27,9 @@
 //! into a replayable artifact.
 
 use crate::gen::{Action, FuzzProgram, GenConfig, ProgramSpec};
-use adbt::harness::{run_program, ExecMode, ProgramRun};
+use adbt::harness::{run_program, run_program_adaptive, ExecMode, ProgramRun};
 use adbt::workloads::IMAGE_BASE;
-use adbt::{ChaosCfg, MachineConfig, RunReport, SchemeKind, VcpuOutcome};
+use adbt::{AdaptConfig, ChaosCfg, MachineConfig, RunReport, SchemeKind, VcpuOutcome};
 use std::fmt::Write as _;
 
 /// The non-scheme axes of the matrix.
@@ -80,16 +80,25 @@ impl CellMode {
 /// One cell of the matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cell {
-    /// The atomic-emulation scheme under test.
+    /// The atomic-emulation scheme under test (the *initial* scheme for
+    /// an adaptive cell).
     pub scheme: SchemeKind,
     /// The execution configuration.
     pub mode: CellMode,
+    /// Adaptive cell: the machine starts on `scheme` with the online
+    /// arbiter armed (strong policy, aggressive epoch) and must still
+    /// agree with the static reference.
+    pub auto: bool,
 }
 
 impl Cell {
-    /// Display name, e.g. `pico-cas/threaded+tier`.
+    /// Display name, e.g. `pico-cas/threaded+tier` or `auto[hst]/sim`.
     pub fn name(&self) -> String {
-        format!("{}/{}", self.scheme, self.mode.tag())
+        if self.auto {
+            format!("auto[{}]/{}", self.scheme, self.mode.tag())
+        } else {
+            format!("{}/{}", self.scheme, self.mode.tag())
+        }
     }
 }
 
@@ -115,6 +124,14 @@ pub struct FuzzOpts {
     pub superblock_limit: u32,
     /// Guest memory per cell.
     pub mem_size: u32,
+    /// Add adaptive (`--scheme auto`) cells to the matrix: one per
+    /// mode, starting on HST under the strong policy. Off by default —
+    /// the static 8×6 matrix is already the expensive part.
+    pub auto: bool,
+    /// Arbitration epoch for the adaptive cells, in retired
+    /// instructions. Aggressively short so migrations actually fire
+    /// inside small generated programs.
+    pub adapt_epoch: u64,
 }
 
 impl Default for FuzzOpts {
@@ -129,17 +146,33 @@ impl Default for FuzzOpts {
             tier_threshold: 8,
             superblock_limit: 8,
             mem_size: 8 << 20,
+            auto: false,
+            adapt_epoch: 500,
         }
     }
 }
 
 impl FuzzOpts {
-    /// The full cell list, reference first.
+    /// The full cell list, reference first; adaptive cells (when armed)
+    /// last, so the reference is always a static machine.
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::new();
         for &scheme in &self.schemes {
             for mode in CellMode::ALL {
-                cells.push(Cell { scheme, mode });
+                cells.push(Cell {
+                    scheme,
+                    mode,
+                    auto: false,
+                });
+            }
+        }
+        if self.auto {
+            for mode in CellMode::ALL {
+                cells.push(Cell {
+                    scheme: SchemeKind::Hst,
+                    mode,
+                    auto: true,
+                });
             }
         }
         cells
@@ -183,15 +216,30 @@ impl FuzzOpts {
 
     fn run_cell(&self, seed: u64, cell: Cell, prog: &FuzzProgram) -> Result<ProgramRun, String> {
         let entries: Vec<&str> = prog.entries.iter().map(String::as_str).collect();
-        run_program(
-            cell.scheme,
-            &prog.source,
-            prog.entries.len() as u32,
-            &entries,
-            self.exec_mode(cell),
-            self.config(seed, cell),
-        )
-        .map_err(|e| format!("{}: cell failed to run: {e}", cell.name()))
+        let run = if cell.auto {
+            run_program_adaptive(
+                cell.scheme,
+                AdaptConfig {
+                    epoch_insns: self.adapt_epoch.max(1),
+                    ..AdaptConfig::default()
+                },
+                &prog.source,
+                prog.entries.len() as u32,
+                &entries,
+                self.exec_mode(cell),
+                self.config(seed, cell),
+            )
+        } else {
+            run_program(
+                cell.scheme,
+                &prog.source,
+                prog.entries.len() as u32,
+                &entries,
+                self.exec_mode(cell),
+                self.config(seed, cell),
+            )
+        };
+        run.map_err(|e| format!("{}: cell failed to run: {e}", cell.name()))
     }
 }
 
@@ -278,6 +326,16 @@ pub fn counter_violations(report: &RunReport, chaos_active: bool) -> Vec<String>
         s.sc_failures_injected,
         s.sc_failures,
     );
+    bound(
+        "adapt_migrations ≤ adapt_epochs",
+        s.adapt_migrations,
+        s.adapt_epochs,
+    );
+    bound(
+        "adapt_denied ≤ adapt_epochs",
+        s.adapt_denied,
+        s.adapt_epochs,
+    );
 
     let sum =
         |field: fn(&adbt::VcpuStats) -> u64| -> u64 { report.per_cpu.iter().map(field).sum() };
@@ -313,6 +371,9 @@ pub fn counter_violations(report: &RunReport, chaos_active: bool) -> Vec<String>
         reclaimed_blocks,
         smc_false_sharing,
         lock_wait_ns,
+        adapt_epochs,
+        adapt_migrations,
+        adapt_denied,
     );
 
     if chaos_active {
@@ -539,6 +600,7 @@ fn build_artifact(
     let sched = Cell {
         scheme: cell.scheme,
         mode: CellMode::Scheduled,
+        auto: cell.auto,
     };
     let replay_trace = opts
         .run_cell(seed, sched, &prog)
@@ -550,6 +612,7 @@ fn build_artifact(
         Cell {
             scheme: cell.scheme,
             mode: CellMode::Sim,
+            auto: cell.auto,
         },
     );
     traced_cfg.trace = true;
@@ -569,6 +632,7 @@ fn build_artifact(
     let profiled = Cell {
         scheme: cell.scheme,
         mode: CellMode::SimProfiled,
+        auto: cell.auto,
     };
     let profile_summary = opts
         .run_cell(seed, profiled, &prog)
@@ -692,6 +756,7 @@ mod tests {
         let cell = Cell {
             scheme: SchemeKind::Hst,
             mode: CellMode::Threaded,
+            auto: false,
         };
         let artifact = build_artifact(11, &opts, cell, "detail", "min detail", &spec);
         assert!(artifact.source.contains("t0_entry"));
@@ -734,6 +799,7 @@ mod tests {
                 Cell {
                     scheme: SchemeKind::Hst,
                     mode: CellMode::Sim,
+                    auto: false,
                 },
                 &prog,
             )
@@ -765,10 +831,12 @@ mod tests {
         let sim = Cell {
             scheme: SchemeKind::Hst,
             mode: CellMode::Sim,
+            auto: false,
         };
         let threaded = Cell {
             scheme: SchemeKind::Hst,
             mode: CellMode::Threaded,
+            auto: false,
         };
         let reference = opts.run_cell(5, sim, &prog).unwrap();
         assert!(compare_to_reference(threaded, &reference, &reference).is_none());
@@ -802,6 +870,7 @@ mod tests {
         let sim = Cell {
             scheme: SchemeKind::Hst,
             mode: CellMode::Sim,
+            auto: false,
         };
         let reference = opts.run_cell(5, sim, &prog).unwrap();
         assert!(check_predictions(&prog, &reference).is_none());
@@ -837,6 +906,7 @@ mod tests {
                 Cell {
                     scheme: SchemeKind::Hst,
                     mode: CellMode::Sim,
+                    auto: false,
                 },
                 &prog,
             )

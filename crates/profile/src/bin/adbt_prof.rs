@@ -220,6 +220,51 @@ mod tests {
         assert_eq!((top[0].pc, top[1].pc), (0x20, 0x40), "ties break by pc");
     }
 
+    /// Byte-stability regression for `--ci` runs: the top-N order is a
+    /// pure function of the row *values* — (metric desc, then (pc, tier)
+    /// asc) — never of the input order, so two permutations of the same
+    /// rows render identical tables across rebuilds.
+    #[test]
+    fn top_rows_order_is_independent_of_input_order() {
+        let tiered = |pc: u32, tier: Tier, fails: u64| ProfRow {
+            tier,
+            ..row(pc, fails)
+        };
+        // Adversarial ties: equal metric values across different PCs,
+        // and the same PC at both tiers.
+        let rows = vec![
+            tiered(0x40, Tier::Super, 9),
+            row(0x10, 9),
+            tiered(0x10, Tier::Super, 9),
+            row(0x40, 9),
+            row(0x20, 3),
+            row(0x30, 9),
+        ];
+        let render = |rows: &[ProfRow]| {
+            top_rows(rows, Metric::ScFail, 10)
+                .iter()
+                .map(|r| format!("{} {:#x} {}\n", r.get(Metric::ScFail), r.pc, r.tier.name()))
+                .collect::<String>()
+        };
+        let forward = render(&rows);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        assert_eq!(forward, render(&reversed), "order must not leak through");
+        let expected: Vec<(u32, Tier)> = vec![
+            (0x10, Tier::Block),
+            (0x10, Tier::Super),
+            (0x30, Tier::Block),
+            (0x40, Tier::Block),
+            (0x40, Tier::Super),
+            (0x20, Tier::Block),
+        ];
+        let got: Vec<(u32, Tier)> = top_rows(&rows, Metric::ScFail, 10)
+            .iter()
+            .map(|r| (r.pc, r.tier))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
     #[test]
     fn context_disassembles_or_falls_back() {
         assert_eq!(context(&row(0x10, 1)), "svc #0");

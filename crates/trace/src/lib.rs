@@ -116,11 +116,18 @@ pub enum TraceKind {
     /// period; `addr` is the number of blocks freed, `value` the number
     /// of fully-reclaimed arena segments so far.
     Reclaim = 26,
+    /// The adaptive arbiter scored an epoch; `addr` is the hot site (0
+    /// if none), `value` packs the action in the high half-word and the
+    /// target candidate index in the low.
+    AdaptDecision = 27,
+    /// The adaptive arbiter executed a scheme migration; `addr` is the
+    /// hot site (0 if none), `value` the new active candidate index.
+    AdaptMigrate = 28,
 }
 
 impl TraceKind {
     /// Every kind, in discriminant order (used by decode and tests).
-    pub const ALL: [TraceKind; 26] = [
+    pub const ALL: [TraceKind; 28] = [
         TraceKind::LlIssue,
         TraceKind::ScOk,
         TraceKind::ScFail,
@@ -147,6 +154,8 @@ impl TraceKind {
         TraceKind::Invalidate,
         TraceKind::Flush,
         TraceKind::Reclaim,
+        TraceKind::AdaptDecision,
+        TraceKind::AdaptMigrate,
     ];
 
     /// The short name exporters print (`Perfetto` track-event names).
@@ -178,6 +187,8 @@ impl TraceKind {
             TraceKind::Invalidate => "invalidate",
             TraceKind::Flush => "flush",
             TraceKind::Reclaim => "reclaim",
+            TraceKind::AdaptDecision => "adapt_decision",
+            TraceKind::AdaptMigrate => "adapt_migrate",
         }
     }
 

@@ -1,6 +1,6 @@
 //! The guest-PC contention profiler, end to end.
 //!
-//! Four contracts from the observability work are on trial:
+//! Five contracts from the observability work are on trial:
 //!
 //! 1. **Off by default, and pure** — an untouched config allocates no
 //!    recorder, and arming the profiler on a deterministic run changes
@@ -14,7 +14,10 @@
 //!    cross-plane identities hold: profiled `sc_fail` equals the stats
 //!    plane's `sc_failures`, profiled HTM-abort reasons sum to
 //!    `htm_aborts`.
-//! 4. **Exact attribution** — a schedule that deschedules the
+//! 4. **Crash-proof metrics** — the `--metrics` stream ends with its
+//!    `"final":true` snapshot even when the watchdog halts a livelocked
+//!    run; the stream validates against the `adbt-metrics-v1` schema.
+//! 5. **Exact attribution** — a schedule that deschedules the
 //!    `aba_llsc` victim between its LL and SC charges exactly one
 //!    `sc_fail` to the victim's `strex` PC under HST, and none under
 //!    value-comparing PICO-CAS (the ABA bug is invisible to it — which
@@ -246,7 +249,88 @@ fn chaos_soak_with_profiling_neither_perturbs_nor_miscounts_any_scheme() {
 }
 
 // ---------------------------------------------------------------------------
-// 4. Exact attribution on the aba_llsc litmus
+// 4. Metrics stream: the final snapshot survives a watchdog halt
+// ---------------------------------------------------------------------------
+
+/// Freeze the machine from outside until the watchdog declares it
+/// livelocked: the metrics stream must still end with exactly one
+/// `"final":true` snapshot carrying the merged stats block — a run that
+/// dies ugly may not lose its last line.
+#[test]
+fn metrics_final_snapshot_survives_a_livelocked_watchdog_exit() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut machine = MachineBuilder::new(SchemeKind::Hst)
+        .memory(1 << 20)
+        .profile(true)
+        .watchdog_ms(200)
+        .build()
+        .unwrap();
+    // No exit: the loop runs until the watchdog halts the machine.
+    machine
+        .load_asm(
+            "retry:\n\
+             \x20   ldrex r1, [r5]\n\
+             \x20   add   r1, r1, #1\n\
+             \x20   strex r2, r1, [r5]\n\
+             \x20   b     retry\n",
+            0x1_0000,
+        )
+        .unwrap();
+    let vcpus = machine.core().make_vcpus(2, 0x1_0000);
+
+    let run_done = AtomicBool::new(false);
+    let (report, lines) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let out = adbt::observe::run_with_metrics(
+                &machine,
+                vcpus,
+                std::time::Duration::from_millis(20),
+            );
+            run_done.store(true, Ordering::SeqCst);
+            out
+        });
+        // Let the vCPUs retire some work (and the sampler emit some
+        // periodic lines) first.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let barrier = &machine.core().exclusive;
+        barrier.register();
+        // Hold exclusivity until the watchdog fires and halts the run
+        // (polling `run_done` too — `run_threaded` resets the halt flag
+        // on its way out).
+        if barrier.start_exclusive().is_ok() {
+            while !barrier.halted() && !run_done.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            barrier.end_exclusive();
+        }
+        barrier.unregister();
+        handle.join().expect("run thread panicked")
+    });
+
+    for outcome in &report.outcomes {
+        assert!(
+            matches!(outcome, VcpuOutcome::Livelocked { .. }),
+            "expected Livelocked after the halt, got {outcome:?}"
+        );
+    }
+    let last = lines.last().expect("metrics stream is never empty");
+    assert!(
+        last.contains("\"final\":true"),
+        "last line is not the final snapshot: {last}"
+    );
+    assert!(
+        last.contains("\"stats\":"),
+        "final line lacks the merged stats block: {last}"
+    );
+    // And the whole stream passes the schema validator — including the
+    // exactly-one-final-line rule.
+    let stream = lines.join("\n") + "\n";
+    adbt::profile::metrics::validate_metrics_jsonl(&stream).expect("metrics stream validates");
+}
+
+// ---------------------------------------------------------------------------
+// 5. Exact attribution on the aba_llsc litmus
 // ---------------------------------------------------------------------------
 
 /// Decodes the victim's instruction stream and returns the guest PCs of
